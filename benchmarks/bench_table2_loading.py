@@ -1,0 +1,34 @@
+"""Table 2 — graph loading time vs. node count.
+
+The paper loads R-MAT graphs of 1M..4096M nodes into Trinity; the sweep here
+keeps the 4x node-count progression at a pure-Python scale and reports the
+loading time of each size.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import table2_loading_times
+from repro.bench.harness import build_cloud
+from repro.graph.generators.rmat import generate_rmat
+from repro.workloads.datasets import DEFAULT_SEED
+
+from conftest import save_rows
+
+NODE_COUNTS = (1_000, 4_000, 16_000, 64_000)
+
+
+def test_table2_loading_times(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: table2_loading_times(node_counts=NODE_COUNTS), rounds=1, iterations=1
+    )
+    save_rows(results_dir, "table2_loading", rows, "Table 2: graph loading time")
+    assert [row["nodes"] for row in rows] == list(NODE_COUNTS)
+    # Loading time grows with graph size but stays far from quadratic.
+    assert rows[-1]["load_time_s"] >= rows[0]["load_time_s"]
+
+
+def test_table2_single_load(benchmark):
+    """Loading one mid-size R-MAT graph into a 4-machine cloud."""
+    graph = generate_rmat(16_000, 16.0, label_density=0.01, seed=DEFAULT_SEED)
+    cloud = benchmark(lambda: build_cloud(graph, machine_count=4))
+    assert cloud.node_count == 16_000

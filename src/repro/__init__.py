@@ -1,0 +1,57 @@
+"""repro: a reproduction of "Efficient Subgraph Matching on Billion Node Graphs".
+
+The package implements the paper's STwig-based, index-free distributed
+subgraph matching algorithm on top of a simulated Trinity-style memory
+cloud, plus the baselines, workloads, and benchmark harness needed to
+regenerate the paper's evaluation.
+
+Quickstart::
+
+    from repro import ClusterConfig, MemoryCloud, SubgraphMatcher
+    from repro.graph.generators import generate_rmat
+    from repro.query import parse_query
+
+    graph = generate_rmat(node_count=10_000, average_degree=8, label_density=0.01, seed=1)
+    cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=4))
+    matcher = SubgraphMatcher(cloud)
+    query = parse_query(\"\"\"
+        node u L1
+        node v L2
+        node w L3
+        edge u v
+        edge v w
+        edge w u
+    \"\"\")
+    result = matcher.match(query, limit=1024)
+    print(result.match_count, "matches")
+"""
+
+from repro.cloud.cluster import MemoryCloud
+from repro.cloud.config import ClusterConfig, NetworkModel
+from repro.core.engine import SubgraphMatcher
+from repro.core.planner import MatcherConfig, QueryPlan
+from repro.core.result import MatchResult, MatchTable
+from repro.errors import ReproError
+from repro.graph.builder import GraphBuilder
+from repro.graph.labeled_graph import LabeledGraph
+from repro.query.parser import parse_query
+from repro.query.query_graph import QueryGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LabeledGraph",
+    "GraphBuilder",
+    "QueryGraph",
+    "parse_query",
+    "MemoryCloud",
+    "ClusterConfig",
+    "NetworkModel",
+    "SubgraphMatcher",
+    "MatcherConfig",
+    "QueryPlan",
+    "MatchResult",
+    "MatchTable",
+    "ReproError",
+    "__version__",
+]

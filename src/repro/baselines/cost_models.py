@@ -1,0 +1,122 @@
+"""Analytic index cost models behind Table 1.
+
+Table 1 of the paper compares subgraph matching methods by index size,
+index construction time, and update cost, and extrapolates them to a
+Facebook-scale graph (n = 800 M nodes, m = 100 B edges, d = 130).  Those
+columns are analytic — none of the systems could actually index that graph —
+so we reproduce them the same way: each method gets a cost model derived
+from its published complexity, evaluated for arbitrary (n, m, d) and, in the
+Table 1 benchmark, also cross-checked against measured sizes of the indices
+we actually implement (edge index, neighborhood signatures, STwig string
+index) on graphs small enough to build them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+#: Entries-per-second throughput assumed when converting work into time.
+#: Only used for order-of-magnitude "index time" estimates, as in the paper.
+#: The value is calibrated against the paper's own extrapolations (e.g.
+#: ">20 days" to build an edge index over Facebook's 10^11 edges), which
+#: include sorting, compression, and disk I/O — far below raw memory speed.
+DEFAULT_ENTRIES_PER_SECOND = 5e4
+
+
+@dataclass(frozen=True)
+class GraphScale:
+    """Size parameters of a (possibly hypothetical) data graph."""
+
+    nodes: float
+    edges: float
+
+    @property
+    def average_degree(self) -> float:
+        """Average degree ``d = 2m / n``."""
+        return 2.0 * self.edges / self.nodes if self.nodes else 0.0
+
+
+#: The Facebook-scale graph used in Table 1's rightmost columns.
+FACEBOOK_SCALE = GraphScale(nodes=8e8, edges=1e11)
+
+
+@dataclass(frozen=True)
+class MethodCostModel:
+    """Complexity-derived cost model of one method's index."""
+
+    name: str
+    category: str
+    index_size_entries: float
+    index_build_operations: float
+    update_operations: float
+
+    def index_time_seconds(
+        self, throughput: float = DEFAULT_ENTRIES_PER_SECOND
+    ) -> float:
+        """Estimated index construction time at ``throughput`` entries/second."""
+        return self.index_build_operations / throughput
+
+    def as_row(self) -> Dict[str, float | str]:
+        """Flat dict for table rendering."""
+        return {
+            "method": self.name,
+            "category": self.category,
+            "index_size_entries": self.index_size_entries,
+            "index_build_ops": self.index_build_operations,
+            "index_time_s": self.index_time_seconds(),
+            "update_ops": self.update_operations,
+        }
+
+
+def table1_cost_models(
+    scale: GraphScale,
+    signature_radius: int = 2,
+    gaddi_distance: int = 4,
+) -> List[MethodCostModel]:
+    """Instantiate the Table 1 cost models for a graph of the given scale.
+
+    The formulas follow the complexity column of Table 1:
+
+    * Ullmann / VF2 — no index at all.
+    * RDF-3X / BitMat — edge index: O(m) size, O(m) build, O(d)/O(m) update.
+    * Subdue / SpiderMine — frequent-subgraph mining: exponential build.
+    * R-Join / Distance-Join — 2-hop index: O(n·m^1/2) size, O(n^4) build.
+    * GraphQL / Zhao — r-neighborhood signatures: O(n·d^r).
+    * GADDI — pairs within distance L: O(n·d^L).
+    * STwig — string index only: O(n) size, O(n) build, O(1) update.
+    """
+    n, m, d = scale.nodes, scale.edges, scale.average_degree
+    d_r = d**signature_radius
+    d_l = d**gaddi_distance
+    return [
+        MethodCostModel("Ullmann", "no index", 0.0, 0.0, 0.0),
+        MethodCostModel("VF2", "no index", 0.0, 0.0, 0.0),
+        MethodCostModel("RDF-3X", "edge index", m, m, d),
+        MethodCostModel("BitMat", "edge index", m, m, m),
+        MethodCostModel("Subdue", "frequent subgraph", m, 2.0**40, m),
+        MethodCostModel("SpiderMine", "frequent subgraph", m, 2.0**40, m),
+        MethodCostModel("R-Join", "2-hop reachability", n * (m**0.5), n**4, n),
+        MethodCostModel("Distance-Join", "2-hop reachability", n * (m**0.5), n**4, n),
+        MethodCostModel("GraphQL", "neighborhood signature", m + n * d_r, m + n * d_r, d_r),
+        MethodCostModel("Zhao-Han", "neighborhood signature", n * d_r, n * d_r, d_l),
+        MethodCostModel("GADDI", "distance index", n * d_l, n * d_l, d_l),
+        MethodCostModel("STwig", "string index only", n, n, 1.0),
+    ]
+
+
+def feasible_at_scale(
+    model: MethodCostModel,
+    max_entries: float = 1e12,
+    max_build_seconds: float = 7 * 86_400.0,
+) -> bool:
+    """Whether a method's index is feasible under storage/time budgets.
+
+    Table 1's point is that only the STwig string index stays feasible at
+    Facebook scale; this predicate lets the benchmark state that claim as a
+    boolean column instead of eyeballing huge numbers.
+    """
+    return (
+        model.index_size_entries <= max_entries
+        and model.index_time_seconds() <= max_build_seconds
+    )

@@ -1,0 +1,125 @@
+"""Ullmann's subgraph isomorphism algorithm (1976).
+
+The first of the two "no index" baselines in Table 1.  Classic backtracking
+over a candidate matrix with the refinement step: a candidate data node for
+query node ``u`` survives only if each neighbor of ``u`` still has at least
+one candidate among the data node's neighbors.
+
+This implementation works on vertex-labeled undirected graphs and enumerates
+all embeddings (bijective on query nodes), matching the semantics of the
+STwig engine so results can be compared row-for-row in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.query.query_graph import QueryGraph
+
+
+def ullmann_match(
+    graph: LabeledGraph,
+    query: QueryGraph,
+    limit: Optional[int] = None,
+) -> List[Dict[str, int]]:
+    """Enumerate all subgraph isomorphisms of ``query`` in ``graph``.
+
+    Args:
+        graph: the data graph.
+        query: the query pattern.
+        limit: stop after this many matches (None = all).
+
+    Returns:
+        A list of assignments (query node -> data node).
+    """
+    query_nodes = list(query.nodes())
+    candidates: Dict[str, List[int]] = {}
+    for qnode in query_nodes:
+        label = query.label(qnode)
+        degree = query.degree(qnode)
+        candidates[qnode] = [
+            node
+            for node in graph.nodes_with_label(label)
+            if graph.degree(node) >= degree
+        ]
+        if not candidates[qnode]:
+            return []
+
+    # Process query nodes in increasing candidate-count order for earlier pruning.
+    order = sorted(query_nodes, key=lambda q: len(candidates[q]))
+    results: List[Dict[str, int]] = []
+    assignment: Dict[str, int] = {}
+    used: set[int] = set()
+
+    def refine(partial: Dict[str, int]) -> Optional[Dict[str, List[int]]]:
+        """One pass of Ullmann's refinement given the current partial assignment."""
+        refined: Dict[str, List[int]] = {}
+        for qnode in query_nodes:
+            if qnode in partial:
+                refined[qnode] = [partial[qnode]]
+                continue
+            keep: List[int] = []
+            for data_node in candidates[qnode]:
+                if data_node in used:
+                    continue
+                ok = True
+                for qneighbor in query.neighbors(qnode):
+                    if qneighbor in partial:
+                        if not graph.has_edge(data_node, partial[qneighbor]):
+                            ok = False
+                            break
+                    else:
+                        neighbor_candidates = candidates[qneighbor]
+                        if not any(
+                            graph.has_edge(data_node, other)
+                            for other in neighbor_candidates
+                        ):
+                            ok = False
+                            break
+                if ok:
+                    keep.append(data_node)
+            if not keep:
+                return None
+            refined[qnode] = keep
+        return refined
+
+    def backtrack(depth: int) -> bool:
+        """Return True when the result limit is reached."""
+        if depth == len(order):
+            results.append(dict(assignment))
+            return limit is not None and len(results) >= limit
+        qnode = order[depth]
+        refined = refine(assignment)
+        if refined is None:
+            return False
+        for data_node in refined[qnode]:
+            if data_node in used:
+                continue
+            if not _consistent(graph, query, assignment, qnode, data_node):
+                continue
+            assignment[qnode] = data_node
+            used.add(data_node)
+            if backtrack(depth + 1):
+                return True
+            used.discard(data_node)
+            del assignment[qnode]
+        return False
+
+    backtrack(0)
+    return results
+
+
+def _consistent(
+    graph: LabeledGraph,
+    query: QueryGraph,
+    assignment: Dict[str, int],
+    qnode: str,
+    data_node: int,
+) -> bool:
+    """Check that mapping ``qnode -> data_node`` respects already-mapped edges."""
+    for qneighbor in query.neighbors(qnode):
+        mapped = assignment.get(qneighbor)
+        if mapped is not None and not graph.has_edge(data_node, mapped):
+            return False
+    return True

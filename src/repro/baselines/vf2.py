@@ -1,0 +1,140 @@
+"""VF2-style subgraph isomorphism (Cordella et al. 2004).
+
+The second "no index" baseline from Table 1, and the correctness oracle used
+by the test suite: the STwig engine's results are cross-checked against this
+implementation on randomly generated graphs and queries.
+
+The implementation follows VF2's state-space search with the standard
+feasibility rules adapted to undirected vertex-labeled graphs:
+
+* label compatibility,
+* consistency of already-mapped neighbors,
+* a look-ahead that compares the number of unmapped data neighbors with the
+  number of unmapped query neighbors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.query.query_graph import QueryGraph
+
+
+def vf2_match(
+    graph: LabeledGraph,
+    query: QueryGraph,
+    limit: Optional[int] = None,
+) -> List[Dict[str, int]]:
+    """Enumerate subgraph isomorphisms of ``query`` in ``graph`` (VF2 search).
+
+    Args:
+        graph: the data graph.
+        query: the query pattern.
+        limit: stop after this many matches (None = all).
+    """
+    matcher = _Vf2State(graph, query, limit)
+    matcher.search()
+    return matcher.results
+
+
+class _Vf2State:
+    """Mutable search state for the VF2 recursion."""
+
+    def __init__(self, graph: LabeledGraph, query: QueryGraph, limit: Optional[int]) -> None:
+        self.graph = graph
+        self.query = query
+        self.limit = limit
+        self.results: List[Dict[str, int]] = []
+        self.core_query: Dict[str, int] = {}
+        self.core_data: Dict[int, str] = {}
+        # Static matching order: most-constrained query node first (fewest
+        # label candidates, then highest degree), subsequent nodes chosen to
+        # stay connected to the already-ordered prefix.
+        self.order = self._matching_order()
+        self.candidates_by_node: Dict[str, List[int]] = {
+            qnode: [
+                node
+                for node in graph.nodes_with_label(query.label(qnode))
+                if graph.degree(node) >= query.degree(qnode)
+            ]
+            for qnode in query.nodes()
+        }
+
+    def _matching_order(self) -> List[str]:
+        query = self.query
+        graph = self.graph
+        label_counts = graph.label_frequencies()
+        remaining = set(query.nodes())
+        order: List[str] = []
+
+        def rank(qnode: str) -> tuple:
+            return (label_counts.get(query.label(qnode), 0), -query.degree(qnode), qnode)
+
+        first = min(remaining, key=rank)
+        order.append(first)
+        remaining.discard(first)
+        while remaining:
+            frontier = [
+                qnode
+                for qnode in remaining
+                if any(neighbor in order for neighbor in query.neighbors(qnode))
+            ]
+            pool = frontier or sorted(remaining)
+            chosen = min(pool, key=rank)
+            order.append(chosen)
+            remaining.discard(chosen)
+        return order
+
+    def search(self, depth: int = 0) -> bool:
+        """Recursive VF2 search; returns True when the limit is reached."""
+        if depth == len(self.order):
+            self.results.append(dict(self.core_query))
+            return self.limit is not None and len(self.results) >= self.limit
+        qnode = self.order[depth]
+        for data_node in self._candidate_pool(qnode):
+            if data_node in self.core_data:
+                continue
+            if not self._feasible(qnode, data_node):
+                continue
+            self.core_query[qnode] = data_node
+            self.core_data[data_node] = qnode
+            if self.search(depth + 1):
+                return True
+            del self.core_query[qnode]
+            del self.core_data[data_node]
+        return False
+
+    def _candidate_pool(self, qnode: str) -> List[int]:
+        """Candidates for ``qnode``: neighbors of mapped neighbors when possible."""
+        mapped_neighbors = [
+            self.core_query[n] for n in self.query.neighbors(qnode) if n in self.core_query
+        ]
+        if mapped_neighbors:
+            label = self.query.label(qnode)
+            pool = {
+                candidate
+                for candidate in self.graph.neighbors(mapped_neighbors[0])
+                if self.graph.label(candidate) == label
+            }
+            return sorted(pool)
+        return self.candidates_by_node[qnode]
+
+    def _feasible(self, qnode: str, data_node: int) -> bool:
+        query = self.query
+        graph = self.graph
+        if graph.degree(data_node) < query.degree(qnode):
+            return False
+        # Consistency with already-mapped query neighbors.
+        for qneighbor in query.neighbors(qnode):
+            mapped = self.core_query.get(qneighbor)
+            if mapped is not None and not graph.has_edge(data_node, mapped):
+                return False
+        # Look-ahead: enough unmapped data neighbors to host unmapped query neighbors.
+        unmapped_query_neighbors = sum(
+            1 for qneighbor in query.neighbors(qnode) if qneighbor not in self.core_query
+        )
+        unmapped_data_neighbors = sum(
+            1 for neighbor in graph.neighbors(data_node) if neighbor not in self.core_data
+        )
+        return unmapped_data_neighbors >= unmapped_query_neighbors

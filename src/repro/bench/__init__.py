@@ -1,0 +1,18 @@
+"""Benchmark harness and per-figure experiment drivers."""
+
+from repro.bench.harness import (
+    BatchMeasurement,
+    build_cloud,
+    run_baseline,
+    run_suite,
+)
+from repro.bench.reporting import format_series, format_table
+
+__all__ = [
+    "BatchMeasurement",
+    "build_cloud",
+    "run_suite",
+    "run_baseline",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,57 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+The benchmark drivers print the same rows and series the paper's tables and
+figures report; these helpers keep that output readable and uniform without
+pulling in plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, object]], title: str | None = None) -> str:
+    """Render a list of row dicts as an aligned text table.
+
+    Column order follows the keys of the first row; missing values render as
+    empty cells; floats are shown with 4 significant digits.
+    """
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[_format_value(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(r[i]) for r in rendered)) for i, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    y_label: str,
+    points: Iterable[tuple],
+    title: str | None = None,
+) -> str:
+    """Render an (x, y) series as two aligned columns (one figure curve)."""
+    rows = [{x_label: x, y_label: y} for x, y in points]
+    return format_table(rows, title=title)
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

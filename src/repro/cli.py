@@ -1,0 +1,166 @@
+"""Command-line interface for the repro library.
+
+Three subcommands cover the common workflows without writing Python:
+
+* ``generate`` — produce a synthetic labeled graph and save it to disk::
+
+      python -m repro generate --kind rmat --nodes 10000 --degree 8 \
+          --label-density 0.01 --seed 1 --out /tmp/g
+
+* ``query`` — load a saved graph into a simulated memory cloud and run a
+  query written in the textual format (``node``/``edge`` lines)::
+
+      python -m repro query --graph /tmp/g --query-file pattern.q \
+          --machines 4 --limit 1024
+
+* ``experiment`` — run one of the paper's experiments and print its table::
+
+      python -m repro experiment table2
+      python -m repro experiment fig10d
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bench import experiments, future_work
+from repro.bench.reporting import format_table
+from repro.cloud.cluster import MemoryCloud
+from repro.cloud.config import ClusterConfig
+from repro.core.engine import SubgraphMatcher
+from repro.core.planner import MatcherConfig
+from repro.graph.generators import (
+    generate_gnm,
+    generate_power_law,
+    generate_rmat,
+    patents_like,
+    wordnet_like,
+)
+from repro.graph.io import load_graph, save_graph
+from repro.query.parser import parse_query
+
+#: Experiment name -> zero-argument driver producing table rows.
+EXPERIMENTS: Dict[str, Callable[[], List[dict]]] = {
+    "table1": experiments.table1_method_comparison,
+    "table2": experiments.table2_loading_times,
+    "fig8a": experiments.figure8a_dfs_query_size,
+    "fig8b": experiments.figure8b_random_query_size,
+    "fig8c": experiments.figure8c_random_edge_count,
+    "fig9a": lambda: experiments.figure9_speedup(kind="dfs"),
+    "fig9b": lambda: experiments.figure9_speedup(kind="random"),
+    "fig10a": experiments.figure10a_graph_size_fixed_degree,
+    "fig10b": experiments.figure10b_graph_size_fixed_density,
+    "fig10c": experiments.figure10c_average_degree,
+    "fig10d": experiments.figure10d_label_density,
+    "ablation-opts": experiments.ablation_optimizations,
+    "ablation-blocks": experiments.ablation_block_size,
+    "throughput": future_work.throughput_vs_machines,
+    "transmitted-data": future_work.transmitted_data_vs_machines,
+    "latency-bounds": future_work.response_time_bounds,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="STwig subgraph matching (VLDB 2012 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic labeled graph")
+    generate.add_argument(
+        "--kind",
+        choices=["rmat", "gnm", "power-law", "patents-like", "wordnet-like"],
+        default="rmat",
+    )
+    generate.add_argument("--nodes", type=int, default=10_000)
+    generate.add_argument("--degree", type=float, default=8.0)
+    generate.add_argument("--edges", type=int, help="edge count (gnm only)")
+    generate.add_argument("--label-density", type=float, default=0.01)
+    generate.add_argument("--scale", type=float, help="scale factor (look-alikes only)")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True, help="output path prefix")
+
+    query = subparsers.add_parser("query", help="run a subgraph query over a saved graph")
+    query.add_argument("--graph", required=True, help="graph path prefix (from 'generate')")
+    query.add_argument("--query-file", required=True, help="query in the textual node/edge format")
+    query.add_argument("--machines", type=int, default=4)
+    query.add_argument("--limit", type=int, default=1024)
+    query.add_argument("--max-stwig-leaves", type=int, default=None)
+    query.add_argument("--show", type=int, default=5, help="number of matches to print")
+    query.add_argument("--explain", action="store_true", help="print the query plan")
+
+    experiment = subparsers.add_parser("experiment", help="run one paper experiment")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+
+    return parser
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    if args.kind == "rmat":
+        graph = generate_rmat(args.nodes, args.degree, args.label_density, seed=args.seed)
+    elif args.kind == "gnm":
+        edge_count = args.edges if args.edges is not None else round(args.nodes * args.degree / 2)
+        graph = generate_gnm(args.nodes, edge_count, seed=args.seed)
+    elif args.kind == "power-law":
+        graph = generate_power_law(
+            args.nodes, args.degree, label_density=args.label_density, seed=args.seed
+        )
+    elif args.kind == "patents-like":
+        graph = patents_like(scale=args.scale or 0.005, seed=args.seed)
+    else:
+        graph = wordnet_like(scale=args.scale or 0.25, seed=args.seed)
+    label_path, edge_path = save_graph(args.out, graph)
+    print(
+        f"generated {graph.node_count} nodes / {graph.edge_count} edges "
+        f"({len(graph.distinct_labels())} labels)"
+    )
+    print(f"labels: {label_path}\nedges:  {edge_path}")
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    query = parse_query(Path(args.query_file).read_text(encoding="utf-8"))
+    cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=args.machines))
+    matcher = SubgraphMatcher(cloud, MatcherConfig(max_stwig_leaves=args.max_stwig_leaves))
+    if args.explain:
+        print(matcher.explain(query).describe())
+    result = matcher.match(query, limit=args.limit)
+    print(
+        f"{result.match_count} matches in {result.wall_seconds * 1000:.1f} ms wall "
+        f"({result.simulated_seconds * 1000:.1f} ms simulated cluster time)"
+    )
+    print(
+        f"communication: {result.metrics['messages']} messages, "
+        f"{result.metrics['bytes_transferred']} bytes"
+    )
+    for assignment in result.as_dicts()[: args.show]:
+        print("  ", assignment)
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    rows = EXPERIMENTS[args.name]()
+    print(format_table(rows, title=f"experiment: {args.name}"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro`` / the ``repro`` console script."""
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _command_generate(args)
+    if args.command == "query":
+        return _command_query(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    return 2  # pragma: no cover - argparse enforces the choices above
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

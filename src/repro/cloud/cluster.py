@@ -1,0 +1,249 @@
+"""The simulated memory cloud: a cluster of partition-holding machines.
+
+:class:`MemoryCloud` reproduces the Trinity API surface the paper's
+algorithms are written against:
+
+* ``Cloud.Load(id)``     -> :meth:`MemoryCloud.load`
+* ``Index.getID(label)`` -> :meth:`MemoryCloud.get_local_ids` (per machine,
+  local nodes only, exactly as in the paper)
+* ``Index.hasLabel(id, label)`` -> :meth:`MemoryCloud.has_label`
+
+Every call is issued *by* a machine (the ``requester``); when the requested
+cell lives on a different machine the access is charged to the
+:class:`~repro.cloud.metrics.CloudMetrics` as network traffic.  During graph
+loading the cloud also records, for every pair of machines, the set of label
+pairs connected by a cross-machine edge — the preprocessing the paper uses
+to build the query-specific *cluster graph* without touching the data graph
+at query time (Section 5.3).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.cloud.config import ClusterConfig
+from repro.cloud.machine import Machine
+from repro.cloud.metrics import CloudMetrics
+from repro.errors import CloudError, NodeNotFoundError
+from repro.graph.labeled_graph import LabeledGraph, NodeCell
+from repro.graph.partition import PartitionAssignment
+
+
+class MemoryCloud:
+    """A cluster of :class:`Machine` objects holding one partitioned graph."""
+
+    def __init__(self, config: ClusterConfig | None = None) -> None:
+        self.config = config or ClusterConfig()
+        self.config.validate()
+        self.machines: List[Machine] = [
+            Machine(machine_id) for machine_id in range(self.config.machine_count)
+        ]
+        self.metrics = CloudMetrics()
+        self.loading_seconds: float = 0.0
+        self._assignment: PartitionAssignment | None = None
+        self._label_pairs: Dict[Tuple[int, int], Set[FrozenSet[str]]] = {}
+        self._graph_node_count = 0
+        self._graph_edge_count = 0
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_graph(
+        cls, graph: LabeledGraph, config: ClusterConfig | None = None
+    ) -> "MemoryCloud":
+        """Partition ``graph`` and load it into a fresh memory cloud."""
+        cloud = cls(config)
+        cloud.load_graph(graph)
+        return cloud
+
+    def load_graph(self, graph: LabeledGraph) -> float:
+        """Partition and load ``graph``; returns the wall-clock loading seconds.
+
+        Loading performs exactly the work Table 2 measures: assigning every
+        node to a machine, materializing its cell (label + neighbor IDs) in
+        that machine's store, building the per-machine label index, and
+        recording cross-machine label-pair metadata.
+        """
+        started = time.perf_counter()
+        assignment = self.config.partitioner.assign(graph, self.config.machine_count)
+        self._assignment = assignment
+        self._graph_node_count = graph.node_count
+        self._graph_edge_count = graph.edge_count
+
+        for node_id in graph.nodes():
+            machine_id = assignment.machine_of(node_id)
+            cell = graph.cell(node_id)
+            self.machines[machine_id].store_cell(node_id, cell.label, cell.neighbors)
+
+        if self.config.track_label_pairs:
+            self._record_label_pairs(graph, assignment)
+
+        self.loading_seconds = time.perf_counter() - started
+        return self.loading_seconds
+
+    def _record_label_pairs(
+        self, graph: LabeledGraph, assignment: PartitionAssignment
+    ) -> None:
+        """Record label pairs per machine pair for cluster-graph construction."""
+        pairs = self._label_pairs
+        for u, v in graph.edges():
+            machine_u = assignment.machine_of(u)
+            machine_v = assignment.machine_of(v)
+            label_pair = frozenset((graph.label(u), graph.label(v)))
+            key = (machine_u, machine_v) if machine_u <= machine_v else (machine_v, machine_u)
+            pairs.setdefault(key, set()).add(label_pair)
+
+    # -- Trinity-style operators ----------------------------------------------
+
+    def load(self, node_id: int, requester: int | None = None) -> NodeCell:
+        """``Cloud.Load(id)``: fetch the cell for ``node_id``.
+
+        Args:
+            node_id: global node ID.
+            requester: machine issuing the request; ``None`` means the query
+                proxy/client, which is always charged as a remote access.
+        """
+        owner = self.owner_of(node_id)
+        cell = self.machines[owner].load(node_id)
+        requester_id = owner if requester is None else requester
+        if requester is None:
+            # Client access: count one remote round trip from a virtual proxy.
+            self.metrics.record_load(-1, owner, len(cell.neighbors))
+        else:
+            self.metrics.record_load(requester_id, owner, len(cell.neighbors))
+        return cell
+
+    def get_local_ids(self, machine_id: int, label: str) -> Tuple[int, ...]:
+        """``Index.getID(label)`` on one machine: IDs of *local* nodes with ``label``."""
+        machine = self._machine(machine_id)
+        ids = machine.get_ids(label)
+        self.metrics.record_index_lookup(machine_id, len(ids))
+        return ids
+
+    def get_ids(self, label: str) -> Tuple[int, ...]:
+        """Global label lookup: union of every machine's local index (sorted)."""
+        ids: List[int] = []
+        for machine in self.machines:
+            ids.extend(self.get_local_ids(machine.machine_id, label))
+        return tuple(sorted(ids))
+
+    def has_label(self, node_id: int, label: str, requester: int | None = None) -> bool:
+        """``Index.hasLabel(id, label)``: check a (possibly remote) node's label."""
+        owner = self.owner_of(node_id)
+        requester_id = owner if requester is None else requester
+        self.metrics.record_label_probe(requester_id, owner)
+        return self.machines[owner].has_label(node_id, label)
+
+    def label_of(self, node_id: int, requester: int | None = None) -> str:
+        """Return the label of ``node_id`` (charged like a label probe)."""
+        owner = self.owner_of(node_id)
+        requester_id = owner if requester is None else requester
+        self.metrics.record_label_probe(requester_id, owner)
+        label = self.machines[owner].label_index.label_of(node_id)
+        if label is None:
+            raise NodeNotFoundError(node_id, f"machine {owner}")
+        return label
+
+    def explore_neighborhood(
+        self, node_id: int, hops: int, requester: int | None = None
+    ) -> Dict[int, int]:
+        """Breadth-first exploration of the ``hops``-hop neighborhood of a node.
+
+        Reproduces the access pattern behind the paper's Trinity claim that
+        "exploring the entire 3-hop neighborhood of any node ... takes less
+        than 100 milliseconds": every visited node's cell is loaded through
+        :meth:`load` (charging local/remote accesses), and the mapping
+        ``node_id -> distance`` of all nodes within ``hops`` hops is
+        returned.
+
+        Args:
+            node_id: the start node.
+            hops: how many hops to expand (0 returns just the start node).
+            requester: machine driving the exploration; defaults to the
+                owner of ``node_id`` (exploration started where the data is).
+        """
+        if hops < 0:
+            raise CloudError(f"hops must be non-negative, got {hops}")
+        origin = self.owner_of(node_id) if requester is None else requester
+        distances: Dict[int, int] = {node_id: 0}
+        frontier = [node_id]
+        for depth in range(1, hops + 1):
+            next_frontier: List[int] = []
+            for current in frontier:
+                cell = self.load(current, requester=origin)
+                for neighbor in cell.neighbors:
+                    if neighbor not in distances:
+                        distances[neighbor] = depth
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        return distances
+
+    # -- topology ----------------------------------------------------------------
+
+    def owner_of(self, node_id: int) -> int:
+        """Return the machine ID that stores ``node_id``."""
+        if self._assignment is None:
+            raise CloudError("no graph has been loaded into the cloud")
+        return self._assignment.machine_of(node_id)
+
+    def label_pairs_between(self, machine_a: int, machine_b: int) -> Set[FrozenSet[str]]:
+        """Label pairs connected by at least one edge between two machines.
+
+        Includes ``machine_a == machine_b`` (intra-machine edges).  Returns
+        an empty set when label-pair tracking is disabled.
+        """
+        key = (machine_a, machine_b) if machine_a <= machine_b else (machine_b, machine_a)
+        return set(self._label_pairs.get(key, set()))
+
+    @property
+    def machine_count(self) -> int:
+        """Number of machines in the cluster."""
+        return self.config.machine_count
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes loaded into the cloud."""
+        return self._graph_node_count
+
+    @property
+    def edge_count(self) -> int:
+        """Number of edges of the loaded graph."""
+        return self._graph_edge_count
+
+    def partition_sizes(self) -> List[int]:
+        """Number of nodes per machine."""
+        return [machine.node_count for machine in self.machines]
+
+    def memory_footprint_entries(self) -> int:
+        """Total store size across machines, in entries (Table 1 index-size proxy)."""
+        return sum(machine.memory_footprint_entries() for machine in self.machines)
+
+    def global_label_frequencies(self) -> Dict[str, int]:
+        """Label -> total node count across the whole cluster.
+
+        The planner uses these global statistics for the ``f(v)`` ranking;
+        in a real deployment they are aggregated once at load time.
+        """
+        frequencies: Dict[str, int] = {}
+        for machine in self.machines:
+            for label in machine.label_index.labels():
+                frequencies[label] = (
+                    frequencies.get(label, 0) + machine.label_index.label_frequency(label)
+                )
+        return frequencies
+
+    def reset_metrics(self) -> None:
+        """Zero the communication counters (between benchmark runs)."""
+        self.metrics.reset()
+
+    def _machine(self, machine_id: int) -> Machine:
+        if not 0 <= machine_id < len(self.machines):
+            raise CloudError(f"machine {machine_id} out of range [0, {len(self.machines)})")
+        return self.machines[machine_id]
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryCloud(machines={self.machine_count}, nodes={self.node_count}, "
+            f"edges={self.edge_count})"
+        )

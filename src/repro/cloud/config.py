@@ -1,0 +1,69 @@
+"""Configuration of the simulated memory cloud."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.partition import HashPartitioner, Partitioner
+from repro.utils.validation import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Cost model converting message/byte counts into simulated seconds.
+
+    The defaults are loosely calibrated to the paper's gigabit cluster:
+    ~0.1 ms latency per message round trip and ~1 Gbps effective bandwidth.
+    Trinity merges small messages into batches before transmission
+    ("message merging and batch transmission", Section 2.2), so the latency
+    term is charged per batch of ``messages_per_batch`` messages rather than
+    per message, while the byte term always reflects the full volume.  Only
+    the *relative* costs matter for reproducing the shape of the scaling
+    experiments.
+    """
+
+    latency_per_message: float = 1e-4
+    seconds_per_byte: float = 8e-9
+    local_op_cost: float = 2e-7
+    messages_per_batch: int = 512
+
+    def validate(self) -> None:
+        require_non_negative(self.latency_per_message, "latency_per_message")
+        require_non_negative(self.seconds_per_byte, "seconds_per_byte")
+        require_non_negative(self.local_op_cost, "local_op_cost")
+        require_positive(self.messages_per_batch, "messages_per_batch")
+
+    def network_seconds(self, messages: int, bytes_transferred: int) -> float:
+        """Simulated network time for a message/byte volume (batched latency)."""
+        if messages <= 0 and bytes_transferred <= 0:
+            return 0.0
+        batches = -(-max(0, messages) // self.messages_per_batch)  # ceil division
+        return (
+            batches * self.latency_per_message
+            + max(0, bytes_transferred) * self.seconds_per_byte
+        )
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static configuration of a :class:`~repro.cloud.cluster.MemoryCloud`.
+
+    Attributes:
+        machine_count: number of simulated machines holding partitions.
+        partitioner: node -> machine assignment policy (paper default:
+            hash partitioning).
+        network: message/byte cost model for simulated communication time.
+        track_label_pairs: whether to record, for every pair of machines,
+            the label pairs connected by a cross-machine edge.  This is the
+            metadata the paper's *cluster graph* is built from; disabling it
+            saves memory when the optimization is not needed.
+    """
+
+    machine_count: int = 4
+    partitioner: Partitioner = field(default_factory=HashPartitioner)
+    network: NetworkModel = field(default_factory=NetworkModel)
+    track_label_pairs: bool = True
+
+    def validate(self) -> None:
+        require_positive(self.machine_count, "machine_count")
+        self.network.validate()

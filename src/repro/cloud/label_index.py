@@ -1,0 +1,72 @@
+"""Per-machine label index (the paper's "string index").
+
+The only index the STwig approach uses: a mapping from a text label to the
+IDs of *local* nodes carrying that label, plus a reverse lookup from a local
+node ID to its label.  Both are linear in the partition size and O(1) to
+update, which is the property Table 1 highlights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+
+class LabelIndex:
+    """Label -> local node IDs index for one machine's partition."""
+
+    def __init__(self) -> None:
+        self._label_to_nodes: Dict[str, List[int]] = {}
+        self._node_to_label: Dict[int, str] = {}
+        self._sorted = True
+
+    def add(self, node_id: int, label: str) -> None:
+        """Register a local node under ``label``."""
+        self._label_to_nodes.setdefault(label, []).append(node_id)
+        self._node_to_label[node_id] = label
+        self._sorted = False
+
+    def add_many(self, items: Iterable[Tuple[int, str]]) -> None:
+        """Register many (node_id, label) pairs."""
+        for node_id, label in items:
+            self.add(node_id, label)
+
+    def get_ids(self, label: str) -> Tuple[int, ...]:
+        """Return local node IDs carrying ``label`` (empty tuple if none)."""
+        self._ensure_sorted()
+        return tuple(self._label_to_nodes.get(label, ()))
+
+    def has_label(self, node_id: int, label: str) -> bool:
+        """True if the local node ``node_id`` carries ``label``."""
+        return self._node_to_label.get(node_id) == label
+
+    def label_of(self, node_id: int) -> str | None:
+        """Return the label of a local node, or None if not local."""
+        return self._node_to_label.get(node_id)
+
+    def contains_node(self, node_id: int) -> bool:
+        """True if ``node_id`` is indexed on this machine."""
+        return node_id in self._node_to_label
+
+    def labels(self) -> Tuple[str, ...]:
+        """Return the sorted distinct labels present on this machine."""
+        return tuple(sorted(self._label_to_nodes))
+
+    def label_frequency(self, label: str) -> int:
+        """Number of local nodes carrying ``label``."""
+        return len(self._label_to_nodes.get(label, ()))
+
+    @property
+    def node_count(self) -> int:
+        """Number of local nodes indexed."""
+        return len(self._node_to_label)
+
+    def size_in_entries(self) -> int:
+        """Index size measured in entries (for the Table 1 index-size column)."""
+        return len(self._node_to_label) + len(self._label_to_nodes)
+
+    def _ensure_sorted(self) -> None:
+        if self._sorted:
+            return
+        for nodes in self._label_to_nodes.values():
+            nodes.sort()
+        self._sorted = True

@@ -1,0 +1,81 @@
+"""One simulated machine of the memory cloud.
+
+Each machine owns a disjoint partition of the data graph: for every local
+node it stores a cell (label + full neighbor ID list, mirroring Trinity's
+flat cell store) and a local :class:`~repro.cloud.label_index.LabelIndex`.
+Neighbor lists include *remote* neighbors — the cell knows the IDs of its
+neighbors regardless of where those neighbors live, exactly as in Trinity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.cloud.label_index import LabelIndex
+from repro.errors import NodeNotFoundError
+from repro.graph.labeled_graph import NodeCell
+
+
+class Machine:
+    """Partition store + label index for one cluster machine."""
+
+    def __init__(self, machine_id: int) -> None:
+        self.machine_id = machine_id
+        self._cells: Dict[int, NodeCell] = {}
+        self.label_index = LabelIndex()
+
+    # -- loading -----------------------------------------------------------
+
+    def store_cell(self, node_id: int, label: str, neighbors: Tuple[int, ...]) -> None:
+        """Store the cell for a local node."""
+        self._cells[node_id] = NodeCell(node_id, label, neighbors)
+        self.label_index.add(node_id, label)
+
+    def store_cells(self, cells: Iterable[Tuple[int, str, Tuple[int, ...]]]) -> None:
+        """Store many cells at once."""
+        for node_id, label, neighbors in cells:
+            self.store_cell(node_id, label, neighbors)
+
+    # -- local access ------------------------------------------------------
+
+    def load(self, node_id: int) -> NodeCell:
+        """Return the locally stored cell for ``node_id``.
+
+        Raises:
+            NodeNotFoundError: if the node is not stored on this machine.
+        """
+        try:
+            return self._cells[node_id]
+        except KeyError:
+            raise NodeNotFoundError(node_id, f"machine {self.machine_id}") from None
+
+    def owns(self, node_id: int) -> bool:
+        """True if this machine stores ``node_id``."""
+        return node_id in self._cells
+
+    def get_ids(self, label: str) -> Tuple[int, ...]:
+        """Local Index.getID: IDs of local nodes with ``label``."""
+        return self.label_index.get_ids(label)
+
+    def has_label(self, node_id: int, label: str) -> bool:
+        """Local Index.hasLabel for a node stored on this machine."""
+        return self.label_index.has_label(node_id, label)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes stored on this machine."""
+        return len(self._cells)
+
+    def local_nodes(self) -> Tuple[int, ...]:
+        """Sorted IDs of the nodes stored on this machine."""
+        return tuple(sorted(self._cells))
+
+    def memory_footprint_entries(self) -> int:
+        """Approximate store size in entries (cells + adjacency + index)."""
+        adjacency_entries = sum(len(cell.neighbors) for cell in self._cells.values())
+        return len(self._cells) + adjacency_entries + self.label_index.size_in_entries()
+
+    def __repr__(self) -> str:
+        return f"Machine(id={self.machine_id}, nodes={self.node_count})"

@@ -1,0 +1,67 @@
+"""Query proxy: the client-facing coordinator of the cluster (Figure 2).
+
+The proxy receives a query plan from the client, broadcasts it to every
+machine, collects the per-machine result sets, and unions them.  Because the
+head-STwig mechanism guarantees per-machine results are disjoint, the union
+needs no deduplication — but the proxy can optionally verify that invariant,
+which the test suite uses to validate the disjointness guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.cloud.cluster import MemoryCloud
+from repro.errors import ExecutionError
+
+#: A per-machine worker: takes a machine ID and returns that machine's rows.
+MachineWorker = Callable[[int], List[Tuple[int, ...]]]
+
+
+class QueryProxy:
+    """Coordinates plan broadcast and result aggregation across machines."""
+
+    def __init__(self, cloud: MemoryCloud, verify_disjoint: bool = False) -> None:
+        self.cloud = cloud
+        self.verify_disjoint = verify_disjoint
+        self.last_per_machine_counts: Dict[int, int] = {}
+
+    def scatter_gather(self, worker: MachineWorker) -> List[Tuple[int, ...]]:
+        """Run ``worker`` on every machine and union the returned rows.
+
+        Simulates the broadcast/aggregate round trips in the communication
+        metrics (one small message out, the result rows back).
+        """
+        results: List[Tuple[int, ...]] = []
+        seen: set[Tuple[int, ...]] = set()
+        self.last_per_machine_counts = {}
+        for machine in self.cloud.machines:
+            machine_id = machine.machine_id
+            rows = worker(machine_id)
+            self.last_per_machine_counts[machine_id] = len(rows)
+            row_width = len(rows[0]) if rows else 0
+            self.cloud.metrics.record_result_transfer(
+                sender=machine_id, receiver=-1, rows=len(rows), row_width=row_width
+            )
+            if self.verify_disjoint:
+                duplicates = [row for row in rows if row in seen]
+                if duplicates:
+                    raise ExecutionError(
+                        f"machine {machine_id} produced {len(duplicates)} rows already "
+                        f"reported by another machine (disjointness violated)"
+                    )
+                seen.update(rows)
+            results.extend(rows)
+        return results
+
+    def broadcast(self, payload_size_bytes: int = 256) -> None:
+        """Charge the cost of broadcasting a query plan to every machine."""
+        for machine in self.cloud.machines:
+            self.cloud.metrics.record_result_transfer(
+                sender=-1, receiver=machine.machine_id, rows=1,
+                row_width=max(1, payload_size_bytes // 8),
+            )
+
+    def machine_result_counts(self) -> Dict[int, int]:
+        """Per-machine result counts from the last scatter_gather call."""
+        return dict(self.last_per_machine_counts)

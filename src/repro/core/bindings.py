@@ -1,0 +1,116 @@
+"""Binding information carried between STwig matching steps.
+
+After an STwig is processed, every query node it touches becomes *bound*:
+the set ``H_x`` of data nodes that matched query node ``x`` in some STwig
+result.  Later STwigs only consider candidates inside the binding sets,
+which is the exploration-side pruning at the heart of the paper's method
+(Section 4.2, step 2).  Unbound query nodes carry ``None`` — "the set of all
+nodes that match the label" — rather than a materialized set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.errors import QueryError
+from repro.query.query_graph import QueryGraph
+
+
+class BindingTable:
+    """Per-query-node candidate sets (``None`` = unbound)."""
+
+    def __init__(self, query: QueryGraph) -> None:
+        self._query = query
+        self._bindings: Dict[str, Optional[Set[int]]] = {
+            node: None for node in query.nodes()
+        }
+
+    def is_bound(self, node: str) -> bool:
+        """True if ``node`` has an explicit candidate set."""
+        self._check(node)
+        return self._bindings[node] is not None
+
+    def candidates(self, node: str) -> Optional[Set[int]]:
+        """The candidate set of ``node`` (None when unbound)."""
+        self._check(node)
+        return self._bindings[node]
+
+    def allows(self, node: str, data_node: int) -> bool:
+        """True if ``data_node`` is eligible for query node ``node``."""
+        candidates = self.candidates(node)
+        return candidates is None or data_node in candidates
+
+    def bind(self, node: str, data_nodes: Iterable[int]) -> None:
+        """Bind (or narrow) ``node`` to ``data_nodes``.
+
+        If the node is already bound, the new binding is the intersection —
+        a data node must survive every STwig that mentions the query node.
+        """
+        self._check(node)
+        new_set = set(data_nodes)
+        current = self._bindings[node]
+        if current is None:
+            self._bindings[node] = new_set
+        else:
+            self._bindings[node] = current & new_set
+
+    def merge_union(self, node: str, data_nodes: Iterable[int]) -> None:
+        """Accumulate ``data_nodes`` into a pending union for ``node``.
+
+        Used when aggregating per-machine contributions for the *same*
+        STwig: machine results for one STwig are unioned, and only then
+        intersected with previous bindings via :meth:`bind`.
+        """
+        self._check(node)
+        current = self._bindings[node]
+        if current is None:
+            self._bindings[node] = set(data_nodes)
+        else:
+            current.update(data_nodes)
+
+    def bound_nodes(self) -> Dict[str, Set[int]]:
+        """Mapping of currently-bound query nodes to their candidate sets."""
+        return {
+            node: set(candidates)
+            for node, candidates in self._bindings.items()
+            if candidates is not None
+        }
+
+    def all_bound(self) -> bool:
+        """True once every query node is bound."""
+        return all(candidates is not None for candidates in self._bindings.values())
+
+    def is_empty(self, node: str) -> bool:
+        """True if ``node`` is bound to the empty set (query has no results)."""
+        candidates = self.candidates(node)
+        return candidates is not None and not candidates
+
+    def any_empty(self) -> bool:
+        """True if any bound query node has an empty candidate set."""
+        return any(
+            candidates is not None and not candidates
+            for candidates in self._bindings.values()
+        )
+
+    def total_size(self) -> int:
+        """Total number of (query node, data node) binding entries."""
+        return sum(len(c) for c in self._bindings.values() if c is not None)
+
+    def copy(self) -> "BindingTable":
+        """Deep copy of the table."""
+        clone = BindingTable(self._query)
+        for node, candidates in self._bindings.items():
+            clone._bindings[node] = None if candidates is None else set(candidates)
+        return clone
+
+    def _check(self, node: str) -> None:
+        if node not in self._bindings:
+            raise QueryError(f"unknown query node {node!r} in binding table")
+
+    def __repr__(self) -> str:
+        bound = {
+            node: len(candidates)
+            for node, candidates in self._bindings.items()
+            if candidates is not None
+        }
+        return f"BindingTable(bound={bound})"

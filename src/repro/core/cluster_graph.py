@@ -1,0 +1,68 @@
+"""The query-specific cluster graph (Section 5.3).
+
+The cluster graph ``C`` has one vertex per machine and an edge ``i -- j``
+iff the query-relevant part of the data graph (``G_q``) has an edge whose
+endpoints live on machines ``i`` and ``j``.  It is built purely from the
+label-pair metadata the memory cloud records at load time — the data graph
+itself is never touched at query time.
+
+Shortest distances in ``C`` bound shortest distances in ``G_q`` between
+nodes on the corresponding machines (Theorem 3), which is what makes the
+load-set pruning of Theorem 4 sound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.cloud.cluster import MemoryCloud
+from repro.query.query_graph import QueryGraph
+
+#: Distance value used for unreachable machine pairs (effectively infinity).
+UNREACHABLE = 10**9
+
+
+def query_label_pairs(query: QueryGraph) -> Set[FrozenSet[str]]:
+    """The set of (unordered) label pairs appearing on query edges."""
+    return {
+        frozenset((query.label(u), query.label(v))) for u, v in query.edges()
+    }
+
+
+def build_cluster_graph(cloud: MemoryCloud, query: QueryGraph) -> Dict[int, Set[int]]:
+    """Build the cluster graph adjacency for ``query`` over ``cloud``.
+
+    Returns a mapping machine -> set of adjacent machines.  Machines with no
+    relevant cross edges map to an empty set.
+    """
+    relevant = query_label_pairs(query)
+    adjacency: Dict[int, Set[int]] = {m: set() for m in range(cloud.machine_count)}
+    for i in range(cloud.machine_count):
+        for j in range(i + 1, cloud.machine_count):
+            pairs = cloud.label_pairs_between(i, j)
+            if pairs & relevant:
+                adjacency[i].add(j)
+                adjacency[j].add(i)
+    return adjacency
+
+
+def cluster_distances(adjacency: Dict[int, Set[int]]) -> Dict[Tuple[int, int], int]:
+    """All-pairs shortest hop distances in the cluster graph (BFS per machine).
+
+    Unreachable pairs get :data:`UNREACHABLE`.
+    """
+    distances: Dict[Tuple[int, int], int] = {}
+    machines: List[int] = sorted(adjacency)
+    for source in machines:
+        level = {source: 0}
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbor in adjacency[current]:
+                if neighbor not in level:
+                    level[neighbor] = level[current] + 1
+                    queue.append(neighbor)
+        for target in machines:
+            distances[(source, target)] = level.get(target, UNREACHABLE)
+    return distances

@@ -1,0 +1,242 @@
+"""Query decomposition into STwigs and STwig processing-order selection.
+
+Two strategies are provided:
+
+* :func:`naive_stwig_cover` — the plain 2-approximation derived from the
+  vertex-cover approximation (Section 5.1): repeatedly pick an arbitrary
+  remaining edge ``(u, v)``, emit the STwigs rooted at ``u`` and ``v`` over
+  their remaining incident edges, and delete those edges.  Ordering is
+  whatever the emission order happens to be.  Kept as the ablation baseline.
+
+* :func:`stwig_order_selection` — the paper's Algorithm 2, which interleaves
+  decomposition and ordering: edges are selected by the selectivity score
+  ``f(v) = deg(v) / freq(label(v))`` (degree in the *residual* query graph,
+  label frequency in the data graph), preferring edges incident to nodes
+  already adjacent to processed STwigs so that, except for the first STwig,
+  every STwig root is bound by earlier results.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.core.stwig import STwig
+from repro.errors import DecompositionError
+from repro.query.query_graph import QueryGraph
+from repro.utils.rng import ensure_rng
+
+
+def naive_stwig_cover(
+    query: QueryGraph,
+    seed: int | random.Random | None = None,
+    max_leaves: Optional[int] = None,
+) -> List[STwig]:
+    """2-approximate STwig cover with arbitrary (random) edge selection.
+
+    ``max_leaves`` optionally splits oversized STwigs into several STwigs
+    sharing the same root (see :func:`split_stwig`); the cover stays valid.
+    """
+    rng = ensure_rng(seed)
+    if query.edge_count == 0:
+        return [STwig(root=query.nodes()[0], leaves=())]
+
+    residual = _ResidualQuery(query)
+    stwigs: List[STwig] = []
+    while residual.has_edges():
+        edges = residual.edges()
+        u, v = edges[rng.randrange(len(edges))]
+        for root in (u, v):
+            leaves = residual.neighbors(root)
+            if leaves:
+                stwigs.extend(
+                    split_stwig(STwig(root=root, leaves=tuple(sorted(leaves))), max_leaves)
+                )
+                residual.remove_star(root)
+    return stwigs
+
+
+def split_stwig(stwig: STwig, max_leaves: Optional[int]) -> List[STwig]:
+    """Split an STwig into several same-root STwigs of at most ``max_leaves`` leaves.
+
+    Splitting keeps the STwig cover valid (each covered edge still appears in
+    exactly one STwig) and the matching results identical — the sub-STwigs
+    re-join on their shared root column.  It trades a larger STwig count for
+    much smaller per-STwig result tables, which matters on data graphs with
+    very few labels where a single wide STwig would otherwise enumerate every
+    combination of same-label neighbors during exploration.
+
+    With ``max_leaves`` of ``None`` (the paper's behaviour) the STwig is
+    returned unchanged.
+    """
+    if max_leaves is None or len(stwig.leaves) <= max_leaves:
+        return [stwig]
+    if max_leaves < 1:
+        raise DecompositionError(f"max_leaves must be >= 1, got {max_leaves}")
+    return [
+        STwig(root=stwig.root, leaves=stwig.leaves[start : start + max_leaves])
+        for start in range(0, len(stwig.leaves), max_leaves)
+    ]
+
+
+def stwig_order_selection(
+    query: QueryGraph,
+    label_frequencies: Mapping[str, int],
+    seed: int | random.Random | None = None,
+    max_leaves: Optional[int] = None,
+    edge_statistics=None,
+) -> List[STwig]:
+    """Algorithm 2: combined STwig decomposition and order selection.
+
+    Args:
+        query: the query graph.
+        label_frequencies: global data-graph label frequencies (``freq`` in
+            the paper's ``f``-value).  Labels absent from the mapping are
+            treated as frequency 1 (maximally selective).
+        seed: RNG used only to break exact ties, keeping runs deterministic
+            when seeded.
+        max_leaves: optional cap on leaves per STwig; wider STwigs are split
+            into same-root STwigs (see :func:`split_stwig`).
+        edge_statistics: optional
+            :class:`~repro.core.statistics.EdgeStatistics`.  When provided,
+            edges are chosen by ascending label-pair frequency (most
+            selective data edge first), with the paper's ``f``-value as the
+            tie-breaker — the statistics-aware extension the paper mentions
+            in Section 1.3.
+
+    Returns:
+        The ordered list of STwigs to process.
+    """
+    rng = ensure_rng(seed)
+    if query.edge_count == 0:
+        return [STwig(root=query.nodes()[0], leaves=())]
+
+    residual = _ResidualQuery(query)
+    bound_frontier: Set[str] = set()
+    ordered: List[STwig] = []
+
+    def f_value(node: str) -> float:
+        frequency = max(1, label_frequencies.get(query.label(node), 1))
+        return residual.degree(node) / frequency
+
+    def edge_score(root: str, other: str) -> float:
+        """Higher is better; statistics invert pair frequency when available."""
+        base = f_value(root) + f_value(other)
+        if edge_statistics is None:
+            return base
+        pair = edge_statistics.pair_frequency(query.label(root), query.label(other))
+        # Most selective (rarest) label pair first; f-value breaks ties.
+        return -float(pair) + base * 1e-9
+
+    while residual.has_edges():
+        edge = _select_edge(residual, bound_frontier, f_value, rng, edge_score)
+        if edge is None:
+            # Residual component disconnected from the processed frontier:
+            # fall back to a global best edge (keeps the algorithm total).
+            bound_frontier.clear()
+            edge = _select_edge(residual, bound_frontier, f_value, rng, edge_score)
+            if edge is None:  # pragma: no cover - has_edges() guarantees an edge
+                raise DecompositionError("no edge available despite non-empty residual query")
+        v, u = edge  # v is the preferred root (bound when the frontier is non-empty)
+
+        leaves_v = residual.neighbors(v)
+        stwig_v = STwig(root=v, leaves=tuple(sorted(leaves_v)))
+        ordered.extend(split_stwig(stwig_v, max_leaves))
+        bound_frontier.update(leaves_v)
+        bound_frontier.add(v)
+        residual.remove_star(v)
+
+        if residual.degree(u) > 0:
+            leaves_u = residual.neighbors(u)
+            stwig_u = STwig(root=u, leaves=tuple(sorted(leaves_u)))
+            ordered.extend(split_stwig(stwig_u, max_leaves))
+            bound_frontier.update(leaves_u)
+            bound_frontier.add(u)
+            residual.remove_star(u)
+
+        # Drop exhausted nodes from the frontier (paper: "remove u, v and all
+        # nodes with degree 0 from S") — they can no longer root a new STwig,
+        # but their neighbors stay eligible.
+        bound_frontier.difference_update(
+            node for node in set(bound_frontier) if residual.degree(node) == 0
+        )
+
+    return ordered
+
+
+def _select_edge(
+    residual: "_ResidualQuery",
+    frontier: Set[str],
+    f_value,
+    rng: random.Random,
+    edge_score=None,
+) -> Optional[Tuple[str, str]]:
+    """Pick the next edge per Algorithm 2, returned as (root_candidate, other).
+
+    When the frontier is non-empty, only edges with at least one endpoint in
+    the frontier are considered, and the frontier endpoint is returned first
+    (it becomes the next STwig root, hence bound by earlier STwigs).
+    ``edge_score`` overrides the default ``f(u) + f(v)`` scoring (used by the
+    statistics-aware extension).
+    """
+    best: Optional[Tuple[str, str]] = None
+    best_score = float("-inf")
+    candidates: List[Tuple[str, str]] = []
+    for u, v in residual.edges():
+        if frontier:
+            if u in frontier:
+                oriented = (u, v)
+            elif v in frontier:
+                oriented = (v, u)
+            else:
+                continue
+        else:
+            # Root the STwig at the endpoint with the larger f-value.
+            oriented = (u, v) if f_value(u) >= f_value(v) else (v, u)
+        if edge_score is None:
+            score = f_value(oriented[0]) + f_value(oriented[1])
+        else:
+            score = edge_score(oriented[0], oriented[1])
+        if score > best_score + 1e-12:
+            best_score = score
+            candidates = [oriented]
+        elif abs(score - best_score) <= 1e-12:
+            candidates.append(oriented)
+    if candidates:
+        # Ties on the f-score are broken randomly (deterministically under a
+        # seeded RNG), matching the paper's arbitrary choice among maxima.
+        candidates.sort()
+        best = candidates[0] if len(candidates) == 1 else candidates[rng.randrange(len(candidates))]
+    return best
+
+
+class _ResidualQuery:
+    """Mutable residual copy of the query's adjacency, used during decomposition."""
+
+    def __init__(self, query: QueryGraph) -> None:
+        self._adjacency: Dict[str, Set[str]] = {
+            node: set(query.neighbors(node)) for node in query.nodes()
+        }
+
+    def has_edges(self) -> bool:
+        return any(self._adjacency.values())
+
+    def edges(self) -> List[Tuple[str, str]]:
+        seen: List[Tuple[str, str]] = []
+        for u, neighbors in sorted(self._adjacency.items()):
+            for v in sorted(neighbors):
+                if u < v:
+                    seen.append((u, v))
+        return seen
+
+    def neighbors(self, node: str) -> List[str]:
+        return sorted(self._adjacency.get(node, ()))
+
+    def degree(self, node: str) -> int:
+        return len(self._adjacency.get(node, ()))
+
+    def remove_star(self, node: str) -> None:
+        """Remove all edges incident to ``node``."""
+        for neighbor in list(self._adjacency.get(node, ())):
+            self._adjacency[neighbor].discard(node)
+        self._adjacency[node] = set()

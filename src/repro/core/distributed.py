@@ -1,0 +1,141 @@
+"""Distributed join and result assembly (Section 4.3).
+
+After exploration, machine ``k`` holds ``G_k(q_i)`` for every STwig.  Each
+machine then assembles its share of the answer:
+
+* its head-STwig table stays local (``R_k(q_s) = G_k(q_s)``), which is what
+  makes per-machine answers disjoint;
+* for every other STwig ``q_t`` it fetches ``G_j(q_t)`` from the machines in
+  its load set ``F_k,t`` (pruned via the cluster graph) and unions them with
+  its own table;
+* it joins the resulting tables with a cost-based join order and a
+  block-pipelined multi-way join.
+
+The final answer is the union of all machines' joined results — without
+deduplication, because disjointness is guaranteed by construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cloud.cluster import MemoryCloud
+from repro.core.exploration import ExplorationOutcome
+from repro.core.join import multiway_join
+from repro.core.planner import QueryPlan
+from repro.core.result import MatchTable
+
+
+def assemble_results(
+    cloud: MemoryCloud,
+    plan: QueryPlan,
+    exploration: ExplorationOutcome,
+    result_limit: Optional[int] = None,
+) -> MatchTable:
+    """Run the distributed join phase and return the global result table.
+
+    Args:
+        cloud: the memory cloud (used for communication accounting).
+        plan: the query plan being executed.
+        exploration: per-machine STwig tables from the exploration phase.
+        result_limit: stop once this many global matches are assembled.
+
+    Returns:
+        A :class:`MatchTable` whose columns are the query nodes in sorted
+        order and whose rows are complete matches.
+    """
+    query = plan.query
+    final_columns = query.nodes()
+    final = MatchTable(final_columns)
+    if exploration.empty:
+        return final
+
+    config = plan.config
+    machine_count = cloud.machine_count
+    for machine_id in range(machine_count):
+        remaining = None if result_limit is None else result_limit - final.row_count
+        if remaining is not None and remaining <= 0:
+            break
+        machine_tables = _gather_machine_tables(cloud, plan, exploration, machine_id)
+        if config.use_final_binding_filter:
+            machine_tables = [
+                _filter_by_bindings(table, exploration.bindings)
+                for table in machine_tables
+            ]
+        if any(table.row_count == 0 for table in machine_tables):
+            # An empty R_k(q_t) (in particular an empty local head table)
+            # makes the whole join empty: this machine contributes nothing.
+            continue
+        joined = multiway_join(
+            machine_tables,
+            row_limit=remaining,
+            block_size=config.block_size,
+            sample_size=config.sample_size,
+            rng=config.seed,
+        )
+        if joined.row_count == 0:
+            continue
+        normalized = joined.project(final_columns)
+        for row in normalized.rows:
+            final.add_row(row)
+            if result_limit is not None and final.row_count >= result_limit:
+                return final
+    return final
+
+
+def _filter_by_bindings(table: MatchTable, bindings) -> MatchTable:
+    """Drop rows whose values fell out of the final binding sets.
+
+    Every full match assigns each query node a value that survived *all*
+    STwigs mentioning it, i.e. a value in the final binding set; rows
+    violating that for any column can therefore never contribute to an
+    answer.  Earlier-explored STwig tables were built against weaker binding
+    information, so this backward pass can shrink them substantially before
+    the join.
+    """
+    candidate_sets = [
+        (index, bindings.candidates(column))
+        for index, column in enumerate(table.columns)
+        if bindings.candidates(column) is not None
+    ]
+    if not candidate_sets or table.row_count == 0:
+        return table
+    kept = [
+        row
+        for row in table.rows
+        if all(row[index] in candidates for index, candidates in candidate_sets)
+    ]
+    if len(kept) == table.row_count:
+        return table
+    return MatchTable(table.columns, kept)
+
+
+def _gather_machine_tables(
+    cloud: MemoryCloud,
+    plan: QueryPlan,
+    exploration: ExplorationOutcome,
+    machine_id: int,
+) -> List[MatchTable]:
+    """Build ``R_k(q_t)`` for every STwig ``t`` on machine ``machine_id``.
+
+    Remote fetches are charged to the cloud metrics as result transfers.
+    """
+    tables: List[MatchTable] = []
+    for stwig_index in range(len(plan.stwigs)):
+        local = exploration.tables[machine_id][stwig_index]
+        if stwig_index == plan.head_index:
+            tables.append(local)
+            continue
+        combined = local.copy()
+        for remote_machine in sorted(plan.load_set(machine_id, stwig_index)):
+            remote = exploration.tables[remote_machine][stwig_index]
+            if remote.row_count:
+                cloud.metrics.record_result_transfer(
+                    sender=remote_machine,
+                    receiver=machine_id,
+                    rows=remote.row_count,
+                    row_width=remote.width,
+                )
+                combined = combined.union(remote)
+        tables.append(combined)
+    return tables

@@ -1,0 +1,129 @@
+"""The top-level subgraph matching engine.
+
+:class:`SubgraphMatcher` wires together the planner, the exploration phase,
+and the distributed join into the three-step pipeline of Section 4.2:
+
+1. query decomposition and STwig ordering (on the proxy),
+2. binding-aware STwig exploration (in parallel on every machine),
+3. per-machine joins of partial results and a deduplication-free union.
+
+Typical usage::
+
+    cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=4))
+    matcher = SubgraphMatcher(cloud)
+    result = matcher.match(query, limit=1024)
+    for assignment in result.as_dicts():
+        ...
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.cloud.cluster import MemoryCloud
+from repro.cloud.metrics import CloudMetrics
+from repro.core.distributed import assemble_results
+from repro.core.exploration import explore
+from repro.core.planner import MatcherConfig, QueryPlan, QueryPlanner
+from repro.core.result import MatchResult, StageStats
+from repro.query.query_graph import QueryGraph
+
+
+class SubgraphMatcher:
+    """Distributed, index-free subgraph matcher over a memory cloud."""
+
+    def __init__(
+        self,
+        cloud: MemoryCloud,
+        config: MatcherConfig | None = None,
+        statistics=None,
+    ) -> None:
+        """Create a matcher.
+
+        Args:
+            cloud: the memory cloud holding the (already loaded) data graph.
+            config: engine knobs; defaults follow the paper.
+            statistics: optional
+                :class:`~repro.core.statistics.EdgeStatistics` enabling the
+                statistics-aware edge selection when
+                ``config.use_edge_statistics`` is set.
+        """
+        self.cloud = cloud
+        self.config = config or MatcherConfig()
+        self._planner = QueryPlanner(cloud, self.config, statistics=statistics)
+
+    def explain(self, query: QueryGraph) -> QueryPlan:
+        """Return the plan (decomposition, order, head, load sets) without executing."""
+        return self._planner.plan(query)
+
+    def match(self, query: QueryGraph, limit: Optional[int] = None) -> MatchResult:
+        """Find subgraphs of the loaded data graph isomorphic to ``query``.
+
+        Args:
+            query: the query pattern.
+            limit: maximum number of matches to return; ``None`` uses the
+                config's ``result_limit`` (which may also be ``None`` =
+                enumerate everything).
+
+        Returns:
+            A :class:`MatchResult` with the matches and execution metadata
+            (wall-clock time, simulated cluster time, communication counters).
+        """
+        result_limit = limit if limit is not None else self.config.result_limit
+        metrics_before = self.cloud.metrics.snapshot()
+        stats = StageStats()
+        started = time.perf_counter()
+
+        plan_started = time.perf_counter()
+        plan = self._planner.plan(query)
+        stats.decomposition_seconds = time.perf_counter() - plan_started
+        stats.stwig_count = len(plan.stwigs)
+        stats.head_stwig_root = plan.head_stwig.root
+
+        explore_started = time.perf_counter()
+        exploration = explore(self.cloud, plan)
+        stats.exploration_seconds = time.perf_counter() - explore_started
+        stats.stwig_result_rows = exploration.total_rows()
+
+        join_started = time.perf_counter()
+        matches = assemble_results(self.cloud, plan, exploration, result_limit)
+        stats.join_seconds = time.perf_counter() - join_started
+        stats.truncated = result_limit is not None and matches.row_count >= result_limit
+
+        wall_seconds = time.perf_counter() - started
+        metrics_delta = _metrics_delta(metrics_before, self.cloud.metrics.snapshot())
+        simulated = _simulated_seconds(metrics_delta, self.cloud) + wall_seconds
+
+        return MatchResult(
+            query_nodes=query.nodes(),
+            matches=matches,
+            wall_seconds=wall_seconds,
+            simulated_seconds=simulated,
+            metrics=metrics_delta,
+            stats=stats,
+        )
+
+    def match_count(self, query: QueryGraph, limit: Optional[int] = None) -> int:
+        """Convenience wrapper returning only the number of matches."""
+        return self.match(query, limit=limit).match_count
+
+
+def _metrics_delta(before: dict, after: dict) -> dict:
+    """Per-query communication counters (difference of snapshots)."""
+    return {key: after[key] - before.get(key, 0) for key in after}
+
+
+def _simulated_seconds(delta: dict, cloud: MemoryCloud) -> float:
+    """Convert a metrics delta into simulated cluster seconds."""
+    scratch = CloudMetrics(
+        local_loads=delta.get("local_loads", 0),
+        remote_loads=delta.get("remote_loads", 0),
+        local_label_probes=delta.get("local_label_probes", 0),
+        remote_label_probes=delta.get("remote_label_probes", 0),
+        index_lookups=delta.get("index_lookups", 0),
+        messages=delta.get("messages", 0),
+        bytes_transferred=delta.get("bytes_transferred", 0),
+        result_rows_shipped=delta.get("result_rows_shipped", 0),
+    )
+    return scratch.simulated_total_seconds(cloud.config.network)

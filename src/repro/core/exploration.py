@@ -1,0 +1,121 @@
+"""The exploration phase: process STwigs in order, carrying bindings forward.
+
+For every STwig (in plan order) each machine runs
+:func:`~repro.core.matcher.match_stwig` over its local root candidates.  The
+query proxy then merges the binding contributions of all machines and the
+merged binding table is used for the next STwig, so later STwigs explore
+only nodes that can still participate in a full match (Section 4.2, step 2).
+
+The per-machine, per-STwig result tables ``G_k(q_i)`` are kept on their
+machines; only the (much smaller) binding sets travel through the proxy, and
+that traffic is charged to the cloud metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cloud.cluster import MemoryCloud
+from repro.core.bindings import BindingTable
+from repro.core.matcher import match_stwig
+from repro.core.planner import QueryPlan
+from repro.core.result import MatchTable
+
+#: Per-machine tables: explored[machine_id][stwig_index] -> MatchTable.
+ExplorationTables = List[List[MatchTable]]
+
+
+class ExplorationOutcome:
+    """Result of the exploration phase."""
+
+    def __init__(self, tables: ExplorationTables, bindings: BindingTable) -> None:
+        self.tables = tables
+        self.bindings = bindings
+
+    @property
+    def empty(self) -> bool:
+        """True if some STwig matched nothing anywhere (the query has no answers)."""
+        machine_count = len(self.tables)
+        if machine_count == 0:
+            return True
+        stwig_count = len(self.tables[0])
+        for stwig_index in range(stwig_count):
+            if all(
+                self.tables[machine][stwig_index].row_count == 0
+                for machine in range(machine_count)
+            ):
+                return True
+        return False
+
+    def total_rows(self) -> int:
+        """Total intermediate rows produced across machines and STwigs."""
+        return sum(table.row_count for machine in self.tables for table in machine)
+
+    def rows_for_stwig(self, stwig_index: int) -> int:
+        """Total rows produced for one STwig across all machines."""
+        return sum(machine[stwig_index].row_count for machine in self.tables)
+
+
+def explore(cloud: MemoryCloud, plan: QueryPlan) -> ExplorationOutcome:
+    """Run the exploration phase of ``plan`` over ``cloud``."""
+    query = plan.query
+    config = plan.config
+    machine_count = cloud.machine_count
+    bindings = BindingTable(query)
+    tables: ExplorationTables = [[] for _ in range(machine_count)]
+
+    for stwig in plan.stwigs:
+        stage_filter = bindings if config.use_binding_filter else None
+        per_machine: List[MatchTable] = []
+        for machine_id in range(machine_count):
+            table = match_stwig(
+                cloud,
+                machine_id,
+                stwig,
+                query,
+                bindings=stage_filter,
+            )
+            per_machine.append(table)
+            tables[machine_id].append(table)
+
+        _update_bindings(cloud, bindings, stwig.nodes, per_machine)
+        if config.use_binding_filter and bindings.any_empty():
+            # Some query node has no surviving candidate: fill the remaining
+            # STwigs with empty tables so downstream code sees a uniform
+            # structure, then stop exploring.
+            for machine_id in range(machine_count):
+                for skipped in plan.stwigs[len(tables[machine_id]):]:
+                    tables[machine_id].append(MatchTable(skipped.nodes))
+            break
+
+    return ExplorationOutcome(tables, bindings)
+
+
+def _update_bindings(
+    cloud: MemoryCloud,
+    bindings: BindingTable,
+    stwig_nodes: tuple,
+    per_machine: List[MatchTable],
+) -> None:
+    """Merge the machines' contributions for one STwig into the binding table.
+
+    The union of each machine's column values is computed first, then
+    intersected with any previous binding of the same query node.  The
+    binding deltas are charged as (small) proxy messages.
+    """
+    union_per_node: Dict[str, set] = {node: set() for node in stwig_nodes}
+    for machine_id, table in enumerate(per_machine):
+        if table.row_count == 0:
+            continue
+        # Binding synchronisation traffic: each machine ships its distinct
+        # column values to the proxy once per STwig.
+        distinct_total = 0
+        for node in stwig_nodes:
+            values = table.column_values(node)
+            union_per_node[node].update(values)
+            distinct_total += len(values)
+        cloud.metrics.record_result_transfer(
+            sender=machine_id, receiver=-1, rows=distinct_total, row_width=1
+        )
+    for node, values in union_per_node.items():
+        bindings.bind(node, values)

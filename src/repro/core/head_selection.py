@@ -1,0 +1,123 @@
+"""Head STwig selection and load-set computation (Section 5.3).
+
+* The **head STwig** ``q_s`` is the one STwig whose results are never
+  fetched from other machines (``F_k,s = ∅``), which makes per-machine
+  answers disjoint.  Theorem 5 shows total communication is minimized by the
+  STwig whose root minimizes ``d(s) = max_i d(r_s, r_i)`` — the eccentricity
+  of its root among STwig roots within the query graph.
+
+* The **load set** ``F_k,t`` of machine ``k`` for a non-head STwig ``q_t``
+  is the set of other machines whose partial results ``G_j(q_t)`` machine
+  ``k`` must fetch.  Theorem 4 bounds it using the cluster graph:
+  ``F_k,t = { j : D_C(k, j) <= d(r_s, r_t) }``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.core.stwig import STwig
+from repro.errors import PlanningError
+from repro.query.query_graph import QueryGraph
+
+
+def head_stwig_index(query: QueryGraph, stwigs: Sequence[STwig]) -> int:
+    """Choose the head STwig (Theorem 5): minimize the root's max distance to other roots.
+
+    Ties are broken toward the earliest STwig in processing order, which
+    also tends to be the most selective one.
+    """
+    if not stwigs:
+        raise PlanningError("cannot select a head STwig from an empty decomposition")
+    distances = query.shortest_path_lengths()
+    roots = [stwig.root for stwig in stwigs]
+    best_index = 0
+    best_eccentricity = None
+    for index, root in enumerate(roots):
+        eccentricity = max(distances[(root, other)] for other in roots)
+        if best_eccentricity is None or eccentricity < best_eccentricity:
+            best_eccentricity = eccentricity
+            best_index = index
+    return best_index
+
+
+def root_distances_from_head(
+    query: QueryGraph, stwigs: Sequence[STwig], head_index: int
+) -> List[int]:
+    """Query-graph distance from the head STwig's root to every STwig's root."""
+    distances = query.shortest_path_lengths()
+    head_root = stwigs[head_index].root
+    return [distances[(head_root, stwig.root)] for stwig in stwigs]
+
+
+def compute_load_sets(
+    query: QueryGraph,
+    stwigs: Sequence[STwig],
+    head_index: int,
+    cluster_dist: Dict[Tuple[int, int], int],
+    machine_count: int,
+) -> Dict[Tuple[int, int], FrozenSet[int]]:
+    """Compute ``F_k,t`` for every machine ``k`` and STwig index ``t``.
+
+    The head STwig's load set is always empty.  The returned sets exclude
+    ``k`` itself (a machine always uses its own local results).
+    """
+    head_distances = root_distances_from_head(query, stwigs, head_index)
+    load_sets: Dict[Tuple[int, int], FrozenSet[int]] = {}
+    for k in range(machine_count):
+        for t in range(len(stwigs)):
+            if t == head_index:
+                load_sets[(k, t)] = frozenset()
+                continue
+            bound = head_distances[t]
+            allowed = frozenset(
+                j
+                for j in range(machine_count)
+                if j != k and cluster_dist.get((k, j), 0) <= bound
+            )
+            load_sets[(k, t)] = allowed
+    return load_sets
+
+
+def full_load_sets(
+    stwig_count: int, head_index: int, machine_count: int
+) -> Dict[Tuple[int, int], FrozenSet[int]]:
+    """Unpruned load sets: every machine fetches from every other machine.
+
+    Used when load-set pruning is disabled (ablation) or when the cloud does
+    not track label-pair metadata.
+    """
+    load_sets: Dict[Tuple[int, int], FrozenSet[int]] = {}
+    everyone = frozenset(range(machine_count))
+    for k in range(machine_count):
+        for t in range(stwig_count):
+            if t == head_index:
+                load_sets[(k, t)] = frozenset()
+            else:
+                load_sets[(k, t)] = frozenset(everyone - {k})
+    return load_sets
+
+
+def communication_cost(
+    query: QueryGraph,
+    stwigs: Sequence[STwig],
+    head_index: int,
+    cluster_dist: Dict[Tuple[int, int], int],
+    machine_count: int,
+) -> int:
+    """The paper's T(s) communication objective (Eq. 2) for a head choice.
+
+    For each machine, the number of machines it must communicate with is the
+    size of its largest load set, which Theorem 5 shows is governed by
+    ``d(s) = max_i d(r_s, r_i)``.
+    """
+    head_distances = root_distances_from_head(query, stwigs, head_index)
+    d_s = max(head_distances) if head_distances else 0
+    total = 0
+    for k in range(machine_count):
+        total += sum(
+            1
+            for j in range(machine_count)
+            if j != k and cluster_dist.get((k, j), 0) <= d_s
+        )
+    return total

@@ -1,0 +1,246 @@
+"""Joining STwig result tables (the paper's step 3).
+
+The exploration phase leaves each machine with one result table per STwig;
+this module assembles them into full matches:
+
+* :func:`hash_join` — equi-join of two :class:`MatchTable`s on their shared
+  query-node columns, enforcing the subgraph-isomorphism injectivity
+  constraint (distinct query nodes map to distinct data nodes).
+* :func:`select_join_order` — sample-based cost estimation and greedy join
+  order selection (the paper cites the classic textbook approach; we
+  estimate per-join fan-out from a row sample and greedily pick the next
+  table minimizing the estimated intermediate size).
+* :func:`multiway_join` — block-based pipelined multi-way join: the leading
+  table is processed in blocks so partial results stream out before the full
+  join completes, and execution can stop early at a result limit (the paper
+  stops at 1024 matches).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.result import MatchTable
+from repro.errors import ExecutionError
+from repro.utils.rng import ensure_rng
+
+#: Default number of rows sampled when estimating join cardinalities.
+DEFAULT_SAMPLE_SIZE = 64
+
+#: Default block size for the pipelined join.
+DEFAULT_BLOCK_SIZE = 1024
+
+
+def hash_join(
+    left: MatchTable,
+    right: MatchTable,
+    enforce_injective: bool = True,
+    row_limit: Optional[int] = None,
+) -> MatchTable:
+    """Equi-join two tables on their shared columns.
+
+    When the tables share no column the result is the (injectivity-filtered)
+    cartesian product; the engine only hits that case for queries whose STwig
+    covers touch disjoint node sets, which cannot happen for connected
+    queries but is supported for completeness.
+    """
+    shared = [column for column in left.columns if column in right.columns]
+    right_extra = [column for column in right.columns if column not in shared]
+    out_columns = (*left.columns, *right_extra)
+    result = MatchTable(out_columns)
+
+    # Build the hash table on the smaller input.
+    build, probe, build_is_left = (
+        (left, right, True) if left.row_count <= right.row_count else (right, left, False)
+    )
+    build_key_idx = [build.column_index(c) for c in shared]
+    probe_key_idx = [probe.column_index(c) for c in shared]
+    buckets: Dict[Tuple[int, ...], List[Tuple[int, ...]]] = {}
+    for row in build.rows:
+        key = tuple(row[i] for i in build_key_idx)
+        buckets.setdefault(key, []).append(row)
+
+    left_extra_idx = [left.column_index(c) for c in left.columns]
+    right_extra_idx = [right.column_index(c) for c in right_extra]
+
+    for probe_row in probe.rows:
+        key = tuple(probe_row[i] for i in probe_key_idx)
+        for build_row in buckets.get(key, ()):
+            left_row = build_row if build_is_left else probe_row
+            right_row = probe_row if build_is_left else build_row
+            combined = tuple(left_row[i] for i in left_extra_idx) + tuple(
+                right_row[i] for i in right_extra_idx
+            )
+            if enforce_injective and len(set(combined)) != len(combined):
+                continue
+            result.add_row(combined)
+            if row_limit is not None and result.row_count >= row_limit:
+                return result
+    return result
+
+
+def estimate_join_size(
+    left: MatchTable,
+    right: MatchTable,
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    rng: random.Random | int | None = None,
+) -> float:
+    """Estimate the output cardinality of ``left ⋈ right`` by sampling ``left``.
+
+    A uniform sample of left rows is probed against a hash of the right
+    table; the average fan-out scaled by the left cardinality is the
+    estimate.  Tables sharing no column are estimated as a full cross
+    product.
+    """
+    if left.row_count == 0 or right.row_count == 0:
+        return 0.0
+    shared = [column for column in left.columns if column in right.columns]
+    if not shared:
+        return float(left.row_count) * float(right.row_count)
+    rng = ensure_rng(rng)
+    sample_count = min(sample_size, left.row_count)
+    sample = (
+        left.rows if left.row_count <= sample_size else rng.sample(left.rows, sample_count)
+    )
+    right_key_idx = [right.column_index(c) for c in shared]
+    left_key_idx = [left.column_index(c) for c in shared]
+    bucket_sizes: Dict[Tuple[int, ...], int] = {}
+    for row in right.rows:
+        key = tuple(row[i] for i in right_key_idx)
+        bucket_sizes[key] = bucket_sizes.get(key, 0) + 1
+    fanout = sum(
+        bucket_sizes.get(tuple(row[i] for i in left_key_idx), 0) for row in sample
+    )
+    return left.row_count * (fanout / sample_count)
+
+
+def select_join_order(
+    tables: Sequence[MatchTable],
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    rng: random.Random | int | None = None,
+) -> List[int]:
+    """Choose a join order (as indices into ``tables``).
+
+    Greedy strategy: start from the smallest table; at every step join the
+    table (preferring ones connected to the current result via a shared
+    column) whose estimated intermediate result is smallest.
+    """
+    if not tables:
+        return []
+    rng = ensure_rng(rng)
+    remaining = list(range(len(tables)))
+    start = min(remaining, key=lambda i: tables[i].row_count)
+    order = [start]
+    remaining.remove(start)
+    current_columns = set(tables[start].columns)
+    current_size = float(tables[start].row_count)
+
+    while remaining:
+        connected = [i for i in remaining if current_columns & set(tables[i].columns)]
+        candidates = connected or remaining
+        best_index = None
+        best_estimate = float("inf")
+        for index in candidates:
+            # Cheap analytic estimate: treat the current intermediate as the
+            # left side with its running size, the candidate as the right.
+            estimate = _analytic_estimate(current_size, current_columns, tables[index])
+            if estimate < best_estimate:
+                best_estimate = estimate
+                best_index = index
+        assert best_index is not None
+        order.append(best_index)
+        remaining.remove(best_index)
+        current_columns.update(tables[best_index].columns)
+        current_size = max(1.0, best_estimate)
+    return order
+
+
+def _analytic_estimate(
+    current_size: float, current_columns: set, right: MatchTable
+) -> float:
+    """Textbook cardinality estimate for joining the running result with ``right``.
+
+    For each shared column the join selectivity is approximated as
+    ``1 / max(distinct values in right)``; without shared columns the
+    estimate is the cross product.
+    """
+    shared = [column for column in right.columns if column in current_columns]
+    if right.row_count == 0:
+        return 0.0
+    estimate = current_size * right.row_count
+    for column in shared:
+        distinct = max(1, len(right.column_values(column)))
+        estimate /= distinct
+    return estimate
+
+
+def multiway_join(
+    tables: Sequence[MatchTable],
+    order: Optional[Sequence[int]] = None,
+    row_limit: Optional[int] = None,
+    block_size: Optional[int] = DEFAULT_BLOCK_SIZE,
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    rng: random.Random | int | None = None,
+) -> MatchTable:
+    """Join all ``tables`` into one result, optionally pipelined in blocks.
+
+    Args:
+        tables: one result table per STwig.
+        order: explicit join order (indices); computed via
+            :func:`select_join_order` when omitted.
+        row_limit: stop once this many result rows have been produced.
+        block_size: size of the leading-table blocks for the pipelined join;
+            ``None`` disables pipelining and joins everything at once.
+        sample_size: sample size used if the join order must be computed.
+        rng: RNG for sampling.
+
+    Returns:
+        The joined :class:`MatchTable`.
+    """
+    if not tables:
+        raise ExecutionError("multiway_join requires at least one table")
+    if len(tables) == 1:
+        table = tables[0].copy()
+        if row_limit is not None and table.row_count > row_limit:
+            table.rows = table.rows[:row_limit]
+        return table
+
+    rng = ensure_rng(rng)
+    if order is None:
+        order = select_join_order(tables, sample_size=sample_size, rng=rng)
+    if sorted(order) != list(range(len(tables))):
+        raise ExecutionError(f"join order {order!r} is not a permutation of the table indices")
+
+    lead = tables[order[0]]
+    rest = [tables[i] for i in order[1:]]
+    final_columns: Tuple[str, ...] = lead.columns
+    for table in rest:
+        final_columns = (*final_columns, *(c for c in table.columns if c not in final_columns))
+    result = MatchTable(final_columns)
+
+    if block_size is None or lead.row_count <= block_size:
+        blocks = [lead]
+    else:
+        blocks = [
+            MatchTable(lead.columns, lead.rows[start : start + block_size])
+            for start in range(0, lead.row_count, block_size)
+        ]
+
+    for block in blocks:
+        partial: MatchTable = block
+        for table in rest:
+            remaining_limit = None
+            partial = hash_join(partial, table, row_limit=remaining_limit)
+            if partial.row_count == 0:
+                break
+        if partial.row_count and partial.columns != final_columns:
+            # Column order can differ from the precomputed final order when a
+            # block short-circuited; normalize before unioning.
+            partial = partial.project(final_columns)
+        if partial.row_count:
+            for row in partial.rows:
+                result.add_row(row)
+                if row_limit is not None and result.row_count >= row_limit:
+                    return result
+    return result

@@ -1,0 +1,129 @@
+"""STwig matching against the memory cloud (the paper's Algorithm 1).
+
+``MatchSTwig`` finds, on one machine, all embeddings of a two-level tree
+whose root resides on that machine:
+
+1. root candidates come from the machine's local label index
+   (``Index.getID``) — or, when the root query node is already bound by
+   earlier STwigs, from the binding set restricted to local nodes;
+2. each root's cell is loaded (``Cloud.Load``) to obtain its neighbors;
+3. each child slot is filled with neighbors that carry the required label
+   (``Index.hasLabel``) and survive the binding filter;
+4. the per-slot candidate lists are combined into rows, enforcing that
+   distinct query leaves map to distinct data nodes.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cloud.cluster import MemoryCloud
+from repro.core.bindings import BindingTable
+from repro.core.result import MatchTable
+from repro.core.stwig import STwig
+from repro.query.query_graph import QueryGraph
+
+
+def match_stwig(
+    cloud: MemoryCloud,
+    machine_id: int,
+    stwig: STwig,
+    query: QueryGraph,
+    bindings: Optional[BindingTable] = None,
+    row_limit: Optional[int] = None,
+) -> MatchTable:
+    """Find all matches of ``stwig`` rooted on ``machine_id``.
+
+    Args:
+        cloud: the memory cloud holding the data graph.
+        machine_id: the machine whose local nodes serve as STwig roots.
+        stwig: the STwig to match.
+        query: the query graph (provides label constraints).
+        bindings: optional binding table from previously processed STwigs.
+        row_limit: optional cap on produced rows (used by pipelined execution).
+
+    Returns:
+        A :class:`MatchTable` with columns ``(root, *leaves)`` whose rows are
+        data-node IDs.  Root nodes are always local to ``machine_id``; leaf
+        nodes may be remote.
+    """
+    columns = stwig.nodes
+    table = MatchTable(columns)
+    root_label = query.label(stwig.root)
+    root_candidates = _root_candidates(cloud, machine_id, stwig, root_label, bindings)
+
+    leaf_labels = [query.label(leaf) for leaf in stwig.leaves]
+    for root_node in root_candidates:
+        cell = cloud.load(root_node, requester=machine_id)
+        slot_candidates = _leaf_candidates(
+            cloud, machine_id, cell.neighbors, stwig.leaves, leaf_labels, bindings
+        )
+        if slot_candidates is None:
+            continue
+        for assignment in _injective_products(slot_candidates):
+            if root_node in assignment:
+                continue
+            table.add_row((root_node, *assignment))
+            if row_limit is not None and table.row_count >= row_limit:
+                return table
+    return table
+
+
+def _root_candidates(
+    cloud: MemoryCloud,
+    machine_id: int,
+    stwig: STwig,
+    root_label: str,
+    bindings: Optional[BindingTable],
+) -> Tuple[int, ...]:
+    """Local root candidates, using the binding set when the root is bound."""
+    if bindings is not None and bindings.is_bound(stwig.root):
+        bound = bindings.candidates(stwig.root) or set()
+        local = tuple(
+            sorted(node for node in bound if cloud.owner_of(node) == machine_id)
+        )
+        return local
+    return cloud.get_local_ids(machine_id, root_label)
+
+
+def _leaf_candidates(
+    cloud: MemoryCloud,
+    machine_id: int,
+    neighbors: Sequence[int],
+    leaves: Tuple[str, ...],
+    leaf_labels: Sequence[str],
+    bindings: Optional[BindingTable],
+) -> Optional[List[List[int]]]:
+    """Per-leaf candidate lists among ``neighbors``; None if any slot is empty."""
+    slots: List[List[int]] = []
+    for leaf, leaf_label in zip(leaves, leaf_labels):
+        bound = bindings.candidates(leaf) if bindings is not None else None
+        if bound is not None:
+            # Membership in the binding set already implies the right label,
+            # so no label probe (and no network traffic) is needed.
+            candidates = [n for n in neighbors if n in bound]
+        else:
+            candidates = [
+                n
+                for n in neighbors
+                if cloud.has_label(n, leaf_label, requester=machine_id)
+            ]
+        if not candidates:
+            return None
+        slots.append(candidates)
+    return slots
+
+
+def _injective_products(slots: List[List[int]]):
+    """Yield tuples drawing one value per slot with all values distinct.
+
+    STwig leaves are distinct query nodes, so the subgraph-isomorphism
+    bijection forbids assigning the same data node to two of them.
+    """
+    if not slots:
+        yield ()
+        return
+    for combination in product(*slots):
+        if len(set(combination)) == len(combination):
+            yield combination

@@ -1,0 +1,172 @@
+"""Query planning: decomposition, ordering, head STwig, and load sets.
+
+The :class:`QueryPlanner` runs on the query proxy (it never touches the data
+graph, only the cloud's load-time statistics) and produces a
+:class:`QueryPlan` that the distributed executor follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.cloud.cluster import MemoryCloud
+from repro.core.cluster_graph import build_cluster_graph, cluster_distances
+from repro.core.decomposition import naive_stwig_cover, stwig_order_selection
+from repro.core.head_selection import (
+    compute_load_sets,
+    full_load_sets,
+    head_stwig_index,
+)
+from repro.core.stwig import STwig, validate_cover
+from repro.query.query_graph import QueryGraph
+
+
+@dataclass(frozen=True)
+class MatcherConfig:
+    """Tunable knobs of the STwig matching engine.
+
+    The three ``use_*`` flags correspond to the paper's three optimizations
+    (Section 5) and exist so the ablation benchmarks can turn each off.
+
+    Attributes:
+        use_order_selection: use Algorithm 2 (f-value guided decomposition
+            and ordering); when False, the naive random 2-approximation is
+            used and STwigs are processed in emission order.
+        use_binding_filter: carry binding sets between STwigs during
+            exploration (the join-free pruning); when False every STwig is
+            matched independently, as a pure join plan would.
+        use_head_selection: pick the head STwig by Theorem 5; when False the
+            first STwig in processing order is the head.
+        use_load_set_pruning: restrict result fetching via the cluster-graph
+            bound of Theorem 4; when False every machine fetches from all
+            other machines.
+        use_final_binding_filter: before the join phase, drop STwig-result
+            rows whose values fell out of the final binding sets (a sound
+            semi-join-style reduction in the spirit of the exploration
+            pruning; see DESIGN.md).
+        use_edge_statistics: when True and the planner was given an
+            :class:`~repro.core.statistics.EdgeStatistics` object, query
+            edges are selected by data-edge selectivity instead of the pure
+            ``f``-value (the paper's Section 1.3 extension).
+        max_stwig_leaves: optional cap on leaves per STwig; wider STwigs are
+            split into same-root STwigs.  ``None`` reproduces the paper's
+            minimum-cover behaviour; a small cap (3-4) keeps exploration
+            tables tractable on graphs with very few distinct labels.
+        block_size: pipelined-join block size (None = no pipelining).
+        sample_size: row sample size for join-order cost estimation.
+        result_limit: stop after this many matches (the paper uses 1024 with
+            pipelined joins); None = enumerate all matches.
+        seed: seed for the tie-breaking / sampling RNG.
+    """
+
+    use_order_selection: bool = True
+    use_binding_filter: bool = True
+    use_head_selection: bool = True
+    use_load_set_pruning: bool = True
+    use_final_binding_filter: bool = True
+    use_edge_statistics: bool = False
+    max_stwig_leaves: Optional[int] = None
+    block_size: Optional[int] = 1024
+    sample_size: int = 64
+    result_limit: Optional[int] = None
+    seed: Optional[int] = 7
+
+
+@dataclass
+class QueryPlan:
+    """The executable plan for one query."""
+
+    query: QueryGraph
+    stwigs: List[STwig]
+    head_index: int
+    load_sets: Dict[Tuple[int, int], FrozenSet[int]]
+    machine_count: int
+    config: MatcherConfig = field(default_factory=MatcherConfig)
+
+    @property
+    def head_stwig(self) -> STwig:
+        """The head STwig (never fetched remotely)."""
+        return self.stwigs[self.head_index]
+
+    def load_set(self, machine_id: int, stwig_index: int) -> FrozenSet[int]:
+        """Machines from which ``machine_id`` fetches results of STwig ``stwig_index``."""
+        return self.load_sets.get((machine_id, stwig_index), frozenset())
+
+    def describe(self) -> str:
+        """Human-readable plan summary (for examples and debugging)."""
+        lines = [f"STwig plan ({len(self.stwigs)} STwigs, head = #{self.head_index}):"]
+        for index, stwig in enumerate(self.stwigs):
+            marker = " [head]" if index == self.head_index else ""
+            labels = ", ".join(
+                f"{leaf}:{self.query.label(leaf)}" for leaf in stwig.leaves
+            )
+            lines.append(
+                f"  q{index}: root {stwig.root}:{self.query.label(stwig.root)}"
+                f" -> [{labels}]{marker}"
+            )
+        return "\n".join(lines)
+
+
+class QueryPlanner:
+    """Builds :class:`QueryPlan` objects for a given memory cloud."""
+
+    def __init__(
+        self,
+        cloud: MemoryCloud,
+        config: MatcherConfig | None = None,
+        statistics=None,
+    ) -> None:
+        """Create a planner.
+
+        Args:
+            cloud: the memory cloud the plans will execute against.
+            config: engine configuration knobs.
+            statistics: optional
+                :class:`~repro.core.statistics.EdgeStatistics`; only used
+                when ``config.use_edge_statistics`` is enabled.
+        """
+        self.cloud = cloud
+        self.config = config or MatcherConfig()
+        self.statistics = statistics
+        self._label_frequencies = cloud.global_label_frequencies()
+
+    def plan(self, query: QueryGraph) -> QueryPlan:
+        """Produce the decomposition, ordering, head choice, and load sets."""
+        config = self.config
+        if config.use_order_selection:
+            stwigs = stwig_order_selection(
+                query,
+                self._label_frequencies,
+                seed=config.seed,
+                max_leaves=config.max_stwig_leaves,
+                edge_statistics=self.statistics if config.use_edge_statistics else None,
+            )
+        else:
+            stwigs = naive_stwig_cover(
+                query, seed=config.seed, max_leaves=config.max_stwig_leaves
+            )
+        validate_cover(query, stwigs)
+
+        head_index = (
+            head_stwig_index(query, stwigs) if config.use_head_selection else 0
+        )
+
+        machine_count = self.cloud.machine_count
+        if config.use_load_set_pruning and self.cloud.config.track_label_pairs:
+            adjacency = build_cluster_graph(self.cloud, query)
+            distances = cluster_distances(adjacency)
+            load_sets = compute_load_sets(
+                query, stwigs, head_index, distances, machine_count
+            )
+        else:
+            load_sets = full_load_sets(len(stwigs), head_index, machine_count)
+
+        return QueryPlan(
+            query=query,
+            stwigs=list(stwigs),
+            head_index=head_index,
+            load_sets=load_sets,
+            machine_count=machine_count,
+            config=config,
+        )

@@ -1,0 +1,135 @@
+"""Result containers: STwig result tables and final match results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.errors import ExecutionError
+
+
+class MatchTable:
+    """A relation over query nodes: columns are query-node names, rows are data-node IDs.
+
+    Used both for per-STwig intermediate results (``G_k(q_i)``) and for the
+    final answer relation.
+    """
+
+    __slots__ = ("columns", "rows")
+
+    def __init__(self, columns: Tuple[str, ...], rows: Iterable[Tuple[int, ...]] = ()) -> None:
+        self.columns: Tuple[str, ...] = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise ExecutionError(f"duplicate columns in match table: {self.columns}")
+        self.rows: List[Tuple[int, ...]] = list(rows)
+
+    @property
+    def row_count(self) -> int:
+        """Number of rows."""
+        return len(self.rows)
+
+    @property
+    def width(self) -> int:
+        """Number of columns."""
+        return len(self.columns)
+
+    def add_row(self, row: Tuple[int, ...]) -> None:
+        """Append one row (must match the column count)."""
+        if len(row) != len(self.columns):
+            raise ExecutionError(
+                f"row width {len(row)} does not match column count {len(self.columns)}"
+            )
+        self.rows.append(row)
+
+    def column_index(self, column: str) -> int:
+        """Index of ``column`` within the row tuples."""
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise ExecutionError(f"column {column!r} not in table {self.columns}") from None
+
+    def column_values(self, column: str) -> set:
+        """Distinct values appearing in ``column``."""
+        index = self.column_index(column)
+        return {row[index] for row in self.rows}
+
+    def as_dicts(self) -> List[Dict[str, int]]:
+        """Rows as dictionaries keyed by query-node name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def project(self, columns: Tuple[str, ...]) -> "MatchTable":
+        """Return a new table with only ``columns`` (duplicates dropped)."""
+        indices = [self.column_index(c) for c in columns]
+        seen = set()
+        projected: List[Tuple[int, ...]] = []
+        for row in self.rows:
+            key = tuple(row[i] for i in indices)
+            if key not in seen:
+                seen.add(key)
+                projected.append(key)
+        return MatchTable(columns, projected)
+
+    def union(self, other: "MatchTable") -> "MatchTable":
+        """Union of two tables with identical columns (bag union, no dedup)."""
+        if self.columns != other.columns:
+            raise ExecutionError(
+                f"cannot union tables with columns {self.columns} and {other.columns}"
+            )
+        return MatchTable(self.columns, [*self.rows, *other.rows])
+
+    def copy(self) -> "MatchTable":
+        """Shallow copy."""
+        return MatchTable(self.columns, list(self.rows))
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"MatchTable(columns={self.columns}, rows={self.row_count})"
+
+
+@dataclass
+class StageStats:
+    """Per-stage accounting of one query execution."""
+
+    decomposition_seconds: float = 0.0
+    exploration_seconds: float = 0.0
+    join_seconds: float = 0.0
+    stwig_count: int = 0
+    stwig_result_rows: int = 0
+    head_stwig_root: str | None = None
+    truncated: bool = False
+
+
+@dataclass
+class MatchResult:
+    """The answer to one subgraph matching query plus execution metadata."""
+
+    query_nodes: Tuple[str, ...]
+    matches: MatchTable
+    wall_seconds: float = 0.0
+    simulated_seconds: float = 0.0
+    metrics: Dict[str, int] = field(default_factory=dict)
+    stats: StageStats = field(default_factory=StageStats)
+
+    @property
+    def match_count(self) -> int:
+        """Number of matches found (possibly truncated by a result limit)."""
+        return self.matches.row_count
+
+    def as_dicts(self) -> List[Dict[str, int]]:
+        """Matches as dictionaries keyed by query-node name."""
+        return self.matches.as_dicts()
+
+    def assignments(self) -> List[Dict[str, int]]:
+        """Alias of :meth:`as_dicts` (query node -> data node)."""
+        return self.as_dicts()
+
+    def __repr__(self) -> str:
+        return (
+            f"MatchResult(matches={self.match_count}, wall={self.wall_seconds:.4f}s, "
+            f"simulated={self.simulated_seconds:.4f}s)"
+        )

@@ -1,0 +1,108 @@
+"""Optional data statistics for statistics-aware query optimization.
+
+The paper's optimization deliberately assumes *no* data statistics beyond
+global label frequencies, but notes that "such statistics can be used
+directly to further improve the optimization strategy" (Section 1.3).  This
+module implements that extension: :class:`EdgeStatistics` records how many
+data edges connect each unordered pair of labels, and the decomposition can
+use those counts to pick the most selective query edges first
+(``MatcherConfig.use_edge_statistics``).
+
+Statistics are collected once, either from the original
+:class:`~repro.graph.labeled_graph.LabeledGraph` (cheapest) or by scanning
+the loaded cloud; they are O(#labels²) in size — still tiny compared to any
+structural index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping
+
+from repro.cloud.cluster import MemoryCloud
+from repro.graph.labeled_graph import LabeledGraph
+
+
+class EdgeStatistics:
+    """Label frequencies plus label-pair edge counts of one data graph."""
+
+    def __init__(
+        self,
+        label_frequencies: Mapping[str, int],
+        pair_frequencies: Mapping[FrozenSet[str], int],
+        edge_count: int,
+    ) -> None:
+        self._label_frequencies = dict(label_frequencies)
+        self._pair_frequencies = dict(pair_frequencies)
+        self._edge_count = max(1, edge_count)
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_graph(cls, graph: LabeledGraph) -> "EdgeStatistics":
+        """Collect statistics with one pass over the graph's edges."""
+        pairs: Dict[FrozenSet[str], int] = {}
+        for u, v in graph.edges():
+            key = frozenset((graph.label(u), graph.label(v)))
+            pairs[key] = pairs.get(key, 0) + 1
+        return cls(graph.label_frequencies(), pairs, graph.edge_count)
+
+    @classmethod
+    def from_cloud(cls, cloud: MemoryCloud) -> "EdgeStatistics":
+        """Collect statistics by scanning every machine's local cells.
+
+        Each undirected edge is counted once (from its lower-ID endpoint);
+        neighbor labels are resolved through the cloud, so cross-machine
+        probes are charged to the metrics exactly as a real preprocessing
+        pass would be.
+        """
+        pairs: Dict[FrozenSet[str], int] = {}
+        edge_count = 0
+        for machine in cloud.machines:
+            for node_id in machine.local_nodes():
+                cell = machine.load(node_id)
+                for neighbor in cell.neighbors:
+                    if neighbor <= node_id:
+                        continue
+                    neighbor_label = cloud.label_of(neighbor, requester=machine.machine_id)
+                    key = frozenset((cell.label, neighbor_label))
+                    pairs[key] = pairs.get(key, 0) + 1
+                    edge_count += 1
+        return cls(cloud.global_label_frequencies(), pairs, edge_count)
+
+    # -- lookups -------------------------------------------------------------
+
+    def label_frequency(self, label: str) -> int:
+        """Number of nodes with ``label`` (0 if unseen)."""
+        return self._label_frequencies.get(label, 0)
+
+    def pair_frequency(self, label_a: str, label_b: str) -> int:
+        """Number of data edges whose endpoint labels are {label_a, label_b}."""
+        return self._pair_frequencies.get(frozenset((label_a, label_b)), 0)
+
+    def edge_selectivity(self, label_a: str, label_b: str) -> float:
+        """Fraction of data edges matching the label pair (lower = more selective)."""
+        return self.pair_frequency(label_a, label_b) / self._edge_count
+
+    def expected_stwig_matches(self, root_label: str, leaf_labels) -> float:
+        """Crude estimate of MatchSTwig result size for a (root, leaves) STwig.
+
+        Assumes independence between leaf slots: the expected number of
+        qualifying neighbors per root is ``pair_freq / root_freq`` for each
+        leaf, multiplied over leaves and scaled by the number of roots.
+        """
+        roots = self.label_frequency(root_label)
+        if roots == 0:
+            return 0.0
+        estimate = float(roots)
+        for leaf_label in leaf_labels:
+            estimate *= self.pair_frequency(root_label, leaf_label) / roots
+        return estimate
+
+    @property
+    def total_edges(self) -> int:
+        """Number of edges the statistics were collected from."""
+        return self._edge_count
+
+    def size_in_entries(self) -> int:
+        """Statistics footprint (labels + label pairs) — stays tiny."""
+        return len(self._label_frequencies) + len(self._pair_frequencies)

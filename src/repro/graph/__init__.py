@@ -1,0 +1,25 @@
+"""Labeled-graph substrate: containers, IO, statistics, partitioning."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.labeled_graph import LabeledGraph, NodeCell
+from repro.graph.partition import (
+    BlockPartitioner,
+    HashPartitioner,
+    PartitionAssignment,
+    Partitioner,
+    RoundRobinPartitioner,
+)
+from repro.graph.stats import GraphStats, compute_stats
+
+__all__ = [
+    "LabeledGraph",
+    "NodeCell",
+    "GraphBuilder",
+    "GraphStats",
+    "compute_stats",
+    "Partitioner",
+    "HashPartitioner",
+    "RoundRobinPartitioner",
+    "BlockPartitioner",
+    "PartitionAssignment",
+]

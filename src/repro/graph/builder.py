@@ -1,0 +1,89 @@
+"""Incremental construction of :class:`~repro.graph.labeled_graph.LabeledGraph`."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.errors import GraphError
+from repro.graph.labeled_graph import LabeledGraph
+
+
+class GraphBuilder:
+    """Mutable builder that accumulates nodes/edges and produces a graph.
+
+    Duplicate edges are collapsed and self-loops rejected.  Edges may be
+    added before both endpoints have labels as long as the labels arrive
+    before :meth:`build` is called.
+    """
+
+    def __init__(self) -> None:
+        self._labels: Dict[int, str] = {}
+        self._neighbors: Dict[int, Set[int]] = {}
+
+    def add_node(self, node_id: int, label: str) -> "GraphBuilder":
+        """Register ``node_id`` with ``label``; relabeling is an error."""
+        if not isinstance(node_id, int):
+            raise GraphError(f"node IDs must be ints, got {type(node_id).__name__}")
+        existing = self._labels.get(node_id)
+        if existing is not None and existing != label:
+            raise GraphError(
+                f"node {node_id} already has label {existing!r}, cannot relabel to {label!r}"
+            )
+        self._labels[node_id] = label
+        self._neighbors.setdefault(node_id, set())
+        return self
+
+    def add_nodes(self, labels: Dict[int, str]) -> "GraphBuilder":
+        """Register many nodes at once."""
+        for node_id, label in labels.items():
+            self.add_node(node_id, label)
+        return self
+
+    def add_edge(self, u: int, v: int) -> "GraphBuilder":
+        """Add an undirected edge between ``u`` and ``v`` (no self-loops)."""
+        if u == v:
+            raise GraphError(f"self-loop on node {u} is not allowed")
+        self._neighbors.setdefault(u, set()).add(v)
+        self._neighbors.setdefault(v, set()).add(u)
+        return self
+
+    def add_edges(self, edges: Iterable[Tuple[int, int]]) -> "GraphBuilder":
+        """Add many undirected edges."""
+        for u, v in edges:
+            self.add_edge(u, v)
+        return self
+
+    def has_node(self, node_id: int) -> bool:
+        """True if ``node_id`` has been registered with a label."""
+        return node_id in self._labels
+
+    @property
+    def node_count(self) -> int:
+        """Number of labeled nodes added so far."""
+        return len(self._labels)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of distinct undirected edges added so far."""
+        return sum(len(n) for n in self._neighbors.values()) // 2
+
+    def build(self) -> LabeledGraph:
+        """Finalize and return an immutable :class:`LabeledGraph`.
+
+        Raises:
+            GraphError: if any edge endpoint never received a label.
+        """
+        unlabeled = [n for n in self._neighbors if n not in self._labels]
+        if unlabeled:
+            raise GraphError(
+                f"{len(unlabeled)} edge endpoints have no label (e.g. {sorted(unlabeled)[:5]})"
+            )
+        adjacency = {
+            node: tuple(sorted(neighbors))
+            for node, neighbors in self._neighbors.items()
+        }
+        # Nodes with no edges still need adjacency entries.
+        for node in self._labels:
+            adjacency.setdefault(node, ())
+        edge_count = sum(len(n) for n in adjacency.values()) // 2
+        return LabeledGraph(self._labels, adjacency, edge_count)

@@ -1,0 +1,26 @@
+"""Synthetic graph generators used by tests, examples, and benchmarks."""
+
+from repro.graph.generators.erdos_renyi import generate_gnm, generate_gnp
+from repro.graph.generators.labels import (
+    assign_uniform_labels,
+    assign_zipf_labels,
+    label_count_for_density,
+    make_label_collection,
+)
+from repro.graph.generators.lookalike import patents_like, wordnet_like
+from repro.graph.generators.power_law import generate_power_law
+from repro.graph.generators.rmat import RmatParameters, generate_rmat
+
+__all__ = [
+    "generate_gnm",
+    "generate_gnp",
+    "generate_power_law",
+    "generate_rmat",
+    "RmatParameters",
+    "patents_like",
+    "wordnet_like",
+    "make_label_collection",
+    "label_count_for_density",
+    "assign_uniform_labels",
+    "assign_zipf_labels",
+]

@@ -1,0 +1,81 @@
+"""Label assignment policies for synthetic graphs.
+
+The paper's synthetic experiments (Section 6.3) control *label density*: the
+number of distinct labels relative to the number of nodes.  A density of
+``10**-3`` over a 64M-node graph means 64K distinct labels.  We reproduce
+the same knob: given a node count and a density, build a label collection
+and draw a label for every node, either uniformly or with a Zipfian skew
+(real datasets such as US Patents have highly skewed label frequencies).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Sequence
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require, require_positive
+
+
+def make_label_collection(label_count: int, prefix: str = "L") -> List[str]:
+    """Return ``label_count`` distinct label strings ``L0..L{n-1}``."""
+    require_positive(label_count, "label_count")
+    return [f"{prefix}{i}" for i in range(label_count)]
+
+
+def label_count_for_density(node_count: int, label_density: float) -> int:
+    """Translate the paper's *label density* knob into a label count.
+
+    ``label_density`` is the ratio of distinct labels to nodes; the result
+    is clamped to at least 1 and at most ``node_count``.
+    """
+    require_positive(node_count, "node_count")
+    require(0.0 < label_density <= 1.0, "label_density must be in (0, 1]")
+    return max(1, min(node_count, round(node_count * label_density)))
+
+
+def assign_uniform_labels(
+    node_ids: Sequence[int],
+    labels: Sequence[str],
+    seed: int | random.Random | None = None,
+) -> Dict[int, str]:
+    """Assign each node a label drawn uniformly from ``labels``."""
+    require(len(labels) > 0, "labels must be non-empty")
+    rng = ensure_rng(seed)
+    return {node: labels[rng.randrange(len(labels))] for node in node_ids}
+
+
+def assign_zipf_labels(
+    node_ids: Sequence[int],
+    labels: Sequence[str],
+    exponent: float = 1.0,
+    seed: int | random.Random | None = None,
+) -> Dict[int, str]:
+    """Assign labels with Zipfian frequencies (rank ``r`` has weight ``r**-exponent``).
+
+    The first label in ``labels`` is the most frequent.
+    """
+    require(len(labels) > 0, "labels must be non-empty")
+    require_positive(exponent, "exponent")
+    rng = ensure_rng(seed)
+    weights = [1.0 / math.pow(rank, exponent) for rank in range(1, len(labels) + 1)]
+    total = sum(weights)
+    cumulative: List[float] = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+
+    def draw() -> str:
+        x = rng.random()
+        lo, hi = 0, len(cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return labels[lo]
+
+    return {node: draw() for node in node_ids}

@@ -1,0 +1,124 @@
+"""R-MAT graph generator (Chakrabarti, Zhan, Faloutsos 2004).
+
+The paper's synthetic scalability experiments (Section 6.3, Figure 10 and
+Table 2) all use graphs generated with the R-MAT model.  R-MAT recursively
+drops each edge into one quadrant of the adjacency matrix with probabilities
+``(a, b, c, d)``, producing a skewed, power-law-like degree distribution.
+
+This implementation generates ``node_count * average_degree / 2`` undirected
+edges (duplicates and self-loops are re-drawn up to a retry budget, then
+skipped), and assigns labels according to a label density as in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators.labels import (
+    assign_uniform_labels,
+    label_count_for_density,
+    make_label_collection,
+)
+from repro.graph.labeled_graph import LabeledGraph
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class RmatParameters:
+    """Quadrant probabilities of the R-MAT recursion (must sum to 1)."""
+
+    a: float = 0.45
+    b: float = 0.15
+    c: float = 0.15
+    d: float = 0.25
+
+    def validate(self) -> None:
+        total = self.a + self.b + self.c + self.d
+        require(abs(total - 1.0) < 1e-9, f"R-MAT probabilities must sum to 1, got {total}")
+        for name, value in (("a", self.a), ("b", self.b), ("c", self.c), ("d", self.d)):
+            require(value >= 0, f"R-MAT probability {name} must be >= 0")
+
+
+def _rmat_edge(
+    scale: int, params: RmatParameters, rng: random.Random
+) -> Tuple[int, int]:
+    """Draw one directed edge using the R-MAT recursion on a 2^scale matrix."""
+    u = 0
+    v = 0
+    ab = params.a + params.b
+    abc = ab + params.c
+    for _ in range(scale):
+        u <<= 1
+        v <<= 1
+        r = rng.random()
+        if r < params.a:
+            pass
+        elif r < ab:
+            v |= 1
+        elif r < abc:
+            u |= 1
+        else:
+            u |= 1
+            v |= 1
+    return u, v
+
+
+def generate_rmat(
+    node_count: int,
+    average_degree: float,
+    label_density: float = 1e-3,
+    params: RmatParameters | None = None,
+    seed: int | random.Random | None = None,
+    label_prefix: str = "L",
+) -> LabeledGraph:
+    """Generate an R-MAT labeled graph.
+
+    Args:
+        node_count: number of nodes (rounded up to a power of two internally
+            for the recursion; surplus IDs that receive no edge are kept as
+            isolated nodes only if they fall below ``node_count``).
+        average_degree: target average (undirected) degree.
+        label_density: ratio of distinct labels to nodes (paper's knob).
+        params: R-MAT quadrant probabilities; defaults to (0.45, 0.15, 0.15, 0.25).
+        seed: RNG seed or instance.
+        label_prefix: prefix of generated label strings.
+
+    Returns:
+        A :class:`LabeledGraph` with approximately
+        ``node_count * average_degree / 2`` undirected edges.
+    """
+    require_positive(node_count, "node_count")
+    require_positive(average_degree, "average_degree")
+    params = params or RmatParameters()
+    params.validate()
+    rng = ensure_rng(seed)
+
+    scale = max(1, (node_count - 1).bit_length())
+    target_edges = max(1, round(node_count * average_degree / 2))
+
+    builder = GraphBuilder()
+    label_count = label_count_for_density(node_count, label_density)
+    labels = make_label_collection(label_count, prefix=label_prefix)
+    node_labels = assign_uniform_labels(range(node_count), labels, seed=rng)
+    builder.add_nodes(node_labels)
+
+    seen: set[Tuple[int, int]] = set()
+    attempts = 0
+    max_attempts = target_edges * 20
+    while len(seen) < target_edges and attempts < max_attempts:
+        attempts += 1
+        u, v = _rmat_edge(scale, params, rng)
+        u %= node_count
+        v %= node_count
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
+        builder.add_edge(*key)
+    return builder.build()

@@ -1,0 +1,92 @@
+"""Plain-text persistence for labeled graphs.
+
+Two simple formats are supported:
+
+* **label file** — one ``node_id<TAB>label`` pair per line.
+* **edge file** — one ``u<TAB>v`` pair per line (undirected).
+
+:func:`save_graph` / :func:`load_graph` combine both under a common path
+prefix (``<prefix>.labels`` / ``<prefix>.edges``), which is all the bench
+harness needs to cache generated datasets between runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def write_label_file(path: str | Path, labels: Dict[int, str]) -> None:
+    """Write a ``node_id<TAB>label`` file."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for node_id in sorted(labels):
+            handle.write(f"{node_id}\t{labels[node_id]}\n")
+
+
+def read_label_file(path: str | Path) -> Dict[int, str]:
+    """Read a ``node_id<TAB>label`` file."""
+    labels: Dict[int, str] = {}
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 2:
+                raise GraphError(f"{path}:{line_number}: expected 'id<TAB>label', got {line!r}")
+            labels[int(parts[0])] = parts[1]
+    return labels
+
+
+def write_edge_file(path: str | Path, edges: Iterator[Tuple[int, int]]) -> None:
+    """Write a ``u<TAB>v`` edge file."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for u, v in edges:
+            handle.write(f"{u}\t{v}\n")
+
+
+def read_edge_file(path: str | Path) -> List[Tuple[int, int]]:
+    """Read a ``u<TAB>v`` edge file."""
+    edges: List[Tuple[int, int]] = []
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 2:
+                raise GraphError(f"{path}:{line_number}: expected 'u<TAB>v', got {line!r}")
+            edges.append((int(parts[0]), int(parts[1])))
+    return edges
+
+
+def save_graph(prefix: str | Path, graph: LabeledGraph) -> Tuple[Path, Path]:
+    """Persist ``graph`` under ``<prefix>.labels`` and ``<prefix>.edges``.
+
+    Returns the two paths written.
+    """
+    prefix = Path(prefix)
+    label_path = prefix.with_suffix(".labels")
+    edge_path = prefix.with_suffix(".edges")
+    write_label_file(label_path, graph.labels())
+    write_edge_file(edge_path, graph.edges())
+    return label_path, edge_path
+
+
+def load_graph(prefix: str | Path) -> LabeledGraph:
+    """Load a graph previously written by :func:`save_graph`."""
+    prefix = Path(prefix)
+    labels = read_label_file(prefix.with_suffix(".labels"))
+    edges = read_edge_file(prefix.with_suffix(".edges"))
+    builder = GraphBuilder()
+    builder.add_nodes(labels)
+    builder.add_edges(edges)
+    return builder.build()

@@ -1,0 +1,224 @@
+"""In-memory labeled graph container.
+
+:class:`LabeledGraph` is the single-machine substrate that everything else
+builds on: generators produce one, the partitioner splits one across the
+simulated memory cloud, and the baselines run directly against one.
+
+The representation mirrors the access pattern of Trinity's cell store as
+described in the paper: looking up a node is an O(1) dictionary access that
+returns the node's label and the IDs of its neighbors (the "cell").  Graphs
+are treated as undirected vertex-labeled graphs, matching the paper's
+examples (Figure 1) and its definition of subgraph matching (Definition 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+
+from repro.errors import GraphError, NodeNotFoundError
+
+
+@dataclass(frozen=True)
+class NodeCell:
+    """A node "cell": the unit returned by a single store lookup.
+
+    Attributes:
+        node_id: the node's integer ID.
+        label: the node's label.
+        neighbors: IDs of adjacent nodes (sorted, duplicate-free).
+    """
+
+    node_id: int
+    label: str
+    neighbors: Tuple[int, ...]
+
+    @property
+    def degree(self) -> int:
+        """Number of neighbors of the node."""
+        return len(self.neighbors)
+
+
+class LabeledGraph:
+    """An undirected, vertex-labeled graph with integer node IDs.
+
+    The graph is immutable once constructed via :class:`GraphBuilder` or the
+    :meth:`from_edges` convenience constructor; all query-time structures
+    (the memory cloud, the baselines) only read from it.
+    """
+
+    def __init__(
+        self,
+        labels: Mapping[int, str],
+        adjacency: Mapping[int, Tuple[int, ...]],
+        edge_count: int,
+    ) -> None:
+        """Build a graph from pre-validated internal structures.
+
+        Most callers should use :class:`repro.graph.builder.GraphBuilder`
+        or :meth:`from_edges` instead of this constructor.
+        """
+        self._labels: Dict[int, str] = dict(labels)
+        self._adjacency: Dict[int, Tuple[int, ...]] = dict(adjacency)
+        self._edge_count = edge_count
+        missing = set(self._adjacency) - set(self._labels)
+        if missing:
+            raise GraphError(
+                f"adjacency refers to {len(missing)} nodes without labels "
+                f"(e.g. {sorted(missing)[:5]})"
+            )
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        labels: Mapping[int, str],
+        edges: Iterable[Tuple[int, int]],
+    ) -> "LabeledGraph":
+        """Build a graph from a label mapping and an edge iterable.
+
+        Self-loops are rejected; duplicate edges are collapsed.
+        """
+        from repro.graph.builder import GraphBuilder
+
+        builder = GraphBuilder()
+        for node_id, label in labels.items():
+            builder.add_node(node_id, label)
+        for u, v in edges:
+            builder.add_edge(u, v)
+        return builder.build()
+
+    # -- basic accessors --------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the graph."""
+        return len(self._labels)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of (undirected) edges in the graph."""
+        return self._edge_count
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over node IDs."""
+        return iter(self._labels)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over undirected edges as (u, v) with u < v."""
+        for u, neighbors in self._adjacency.items():
+            for v in neighbors:
+                if u < v:
+                    yield (u, v)
+
+    def has_node(self, node_id: int) -> bool:
+        """True if ``node_id`` is a node of the graph."""
+        return node_id in self._labels
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if there is an edge between ``u`` and ``v``."""
+        neighbors = self._adjacency.get(u)
+        if neighbors is None:
+            return False
+        return v in self._neighbor_sets().get(u, frozenset())
+
+    def label(self, node_id: int) -> str:
+        """Return the label of ``node_id``.
+
+        Raises:
+            NodeNotFoundError: if the node does not exist.
+        """
+        try:
+            return self._labels[node_id]
+        except KeyError:
+            raise NodeNotFoundError(node_id) from None
+
+    def neighbors(self, node_id: int) -> Tuple[int, ...]:
+        """Return the sorted tuple of neighbors of ``node_id``."""
+        if node_id not in self._labels:
+            raise NodeNotFoundError(node_id)
+        return self._adjacency.get(node_id, ())
+
+    def degree(self, node_id: int) -> int:
+        """Return the degree of ``node_id``."""
+        return len(self.neighbors(node_id))
+
+    def cell(self, node_id: int) -> NodeCell:
+        """Return the :class:`NodeCell` for ``node_id`` (label + neighbors)."""
+        return NodeCell(node_id, self.label(node_id), self.neighbors(node_id))
+
+    # -- label helpers ----------------------------------------------------
+
+    def labels(self) -> Dict[int, str]:
+        """Return a copy of the node-ID -> label mapping."""
+        return dict(self._labels)
+
+    def distinct_labels(self) -> Tuple[str, ...]:
+        """Return the sorted tuple of distinct labels used in the graph."""
+        return tuple(sorted(set(self._labels.values())))
+
+    def nodes_with_label(self, label: str) -> Tuple[int, ...]:
+        """Return the sorted tuple of node IDs carrying ``label``.
+
+        This is an O(n) scan; the memory cloud keeps a proper inverted
+        index (the paper's "string index") for query processing.
+        """
+        return tuple(sorted(n for n, l in self._labels.items() if l == label))
+
+    def label_frequencies(self) -> Dict[str, int]:
+        """Return a mapping label -> number of nodes with that label."""
+        freq: Dict[str, int] = {}
+        for label in self._labels.values():
+            freq[label] = freq.get(label, 0) + 1
+        return freq
+
+    # -- misc ---------------------------------------------------------------
+
+    def subgraph(self, node_ids: Sequence[int]) -> "LabeledGraph":
+        """Return the induced subgraph on ``node_ids`` (IDs preserved)."""
+        keep = set(node_ids)
+        unknown = keep - set(self._labels)
+        if unknown:
+            raise NodeNotFoundError(sorted(unknown)[0])
+        labels = {n: self._labels[n] for n in keep}
+        edges = [
+            (u, v)
+            for u in keep
+            for v in self._adjacency.get(u, ())
+            if u < v and v in keep
+        ]
+        return LabeledGraph.from_edges(labels, edges)
+
+    def to_networkx(self):  # pragma: no cover - convenience for notebooks
+        """Return a ``networkx.Graph`` view (labels stored as 'label' attr)."""
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        for node_id, label in self._labels.items():
+            nx_graph.add_node(node_id, label=label)
+        nx_graph.add_edges_from(self.edges())
+        return nx_graph
+
+    def _neighbor_sets(self) -> Dict[int, frozenset]:
+        """Lazily build and cache per-node neighbor sets for has_edge()."""
+        cached = getattr(self, "_neighbor_set_cache", None)
+        if cached is None:
+            cached = {
+                node: frozenset(neighbors)
+                for node, neighbors in self._adjacency.items()
+            }
+            object.__setattr__(self, "_neighbor_set_cache", cached)
+        return cached
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._labels
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __repr__(self) -> str:
+        return (
+            f"LabeledGraph(nodes={self.node_count}, edges={self.edge_count}, "
+            f"labels={len(set(self._labels.values()))})"
+        )

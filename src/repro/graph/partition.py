@@ -1,0 +1,106 @@
+"""Graph partitioning across the machines of the simulated memory cloud.
+
+The paper explicitly does *not* rely on a sophisticated partitioner: "our
+performance results are obtained in the setting where the graph is randomly
+partitioned (each node in the data graph is assigned to a machine by a
+hashing function)".  :class:`HashPartitioner` reproduces that policy;
+:class:`RoundRobinPartitioner` and :class:`BlockPartitioner` are provided so
+ablation benchmarks can check that the engine's results are partition
+invariant.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import PartitionError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class PartitionAssignment:
+    """The result of partitioning: node -> machine, plus per-machine lists."""
+
+    machine_count: int
+    node_to_machine: Dict[int, int]
+
+    def nodes_of(self, machine_id: int) -> List[int]:
+        """Return the sorted node IDs assigned to ``machine_id``."""
+        if not 0 <= machine_id < self.machine_count:
+            raise PartitionError(
+                f"machine {machine_id} out of range [0, {self.machine_count})"
+            )
+        return sorted(
+            node for node, machine in self.node_to_machine.items() if machine == machine_id
+        )
+
+    def machine_of(self, node_id: int) -> int:
+        """Return the machine that owns ``node_id``."""
+        try:
+            return self.node_to_machine[node_id]
+        except KeyError:
+            raise PartitionError(f"node {node_id} has no machine assignment") from None
+
+    def sizes(self) -> List[int]:
+        """Return the number of nodes on each machine, indexed by machine ID."""
+        sizes = [0] * self.machine_count
+        for machine in self.node_to_machine.values():
+            sizes[machine] += 1
+        return sizes
+
+
+class Partitioner(ABC):
+    """Strategy interface mapping every node of a graph to a machine."""
+
+    @abstractmethod
+    def assign(self, graph: LabeledGraph, machine_count: int) -> PartitionAssignment:
+        """Assign every node of ``graph`` to one of ``machine_count`` machines."""
+
+
+class HashPartitioner(Partitioner):
+    """The paper's default: assign each node by hashing its ID.
+
+    A small multiplicative hash is used instead of Python's identity hash on
+    ints so nodes with consecutive IDs spread across machines.
+    """
+
+    _MULTIPLIER = 2654435761  # Knuth's multiplicative hash constant.
+
+    def assign(self, graph: LabeledGraph, machine_count: int) -> PartitionAssignment:
+        require_positive(machine_count, "machine_count")
+        node_to_machine = {
+            node: ((node * self._MULTIPLIER) >> 16) % machine_count
+            for node in graph.nodes()
+        }
+        return PartitionAssignment(machine_count, node_to_machine)
+
+
+class RoundRobinPartitioner(Partitioner):
+    """Assign nodes to machines cyclically in sorted-ID order."""
+
+    def assign(self, graph: LabeledGraph, machine_count: int) -> PartitionAssignment:
+        require_positive(machine_count, "machine_count")
+        node_to_machine = {
+            node: index % machine_count
+            for index, node in enumerate(sorted(graph.nodes()))
+        }
+        return PartitionAssignment(machine_count, node_to_machine)
+
+
+class BlockPartitioner(Partitioner):
+    """Assign contiguous ID ranges to machines (worst-case locality skew)."""
+
+    def assign(self, graph: LabeledGraph, machine_count: int) -> PartitionAssignment:
+        require_positive(machine_count, "machine_count")
+        ordered = sorted(graph.nodes())
+        if not ordered:
+            return PartitionAssignment(machine_count, {})
+        block = max(1, (len(ordered) + machine_count - 1) // machine_count)
+        node_to_machine = {
+            node: min(index // block, machine_count - 1)
+            for index, node in enumerate(ordered)
+        }
+        return PartitionAssignment(machine_count, node_to_machine)

@@ -1,0 +1,91 @@
+"""Descriptive statistics over labeled graphs.
+
+Used by the bench harness to report workload characteristics (Table 1 data
+columns, degree distributions of the look-alike datasets) and by the query
+planner, which needs global label frequencies to compute the paper's
+``f(v) = deg(v) / freq(label(v))`` selectivity ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.graph.labeled_graph import LabeledGraph
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a labeled graph."""
+
+    node_count: int
+    edge_count: int
+    label_count: int
+    min_degree: int
+    max_degree: int
+    average_degree: float
+    label_density: float
+
+    def as_row(self) -> Dict[str, float]:
+        """Return the statistics as a flat dict for table rendering."""
+        return {
+            "nodes": self.node_count,
+            "edges": self.edge_count,
+            "labels": self.label_count,
+            "min_degree": self.min_degree,
+            "max_degree": self.max_degree,
+            "avg_degree": round(self.average_degree, 3),
+            "label_density": self.label_density,
+        }
+
+
+def compute_stats(graph: LabeledGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    degrees = [graph.degree(n) for n in graph.nodes()]
+    label_count = len(graph.distinct_labels())
+    node_count = graph.node_count
+    return GraphStats(
+        node_count=node_count,
+        edge_count=graph.edge_count,
+        label_count=label_count,
+        min_degree=min(degrees) if degrees else 0,
+        max_degree=max(degrees) if degrees else 0,
+        average_degree=(2.0 * graph.edge_count / node_count) if node_count else 0.0,
+        label_density=(label_count / node_count) if node_count else 0.0,
+    )
+
+
+def degree_histogram(graph: LabeledGraph) -> Dict[int, int]:
+    """Return a mapping degree -> number of nodes with that degree."""
+    histogram: Dict[int, int] = {}
+    for node in graph.nodes():
+        degree = graph.degree(node)
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram
+
+
+def label_frequency_table(graph: LabeledGraph) -> Dict[str, int]:
+    """Return label -> node count, sorted by decreasing count."""
+    freq = graph.label_frequencies()
+    return dict(sorted(freq.items(), key=lambda item: (-item[1], item[0])))
+
+
+def top_labels(graph: LabeledGraph, k: int) -> Tuple[str, ...]:
+    """Return the ``k`` most frequent labels (ties broken alphabetically)."""
+    return tuple(list(label_frequency_table(graph))[:k])
+
+
+def is_connected(graph: LabeledGraph) -> bool:
+    """True if the graph is connected (empty graphs count as connected)."""
+    nodes = list(graph.nodes())
+    if not nodes:
+        return True
+    seen = {nodes[0]}
+    frontier = [nodes[0]]
+    while frontier:
+        current = frontier.pop()
+        for neighbor in graph.neighbors(current):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return len(seen) == len(nodes)

@@ -1,0 +1,20 @@
+"""Query model, parsing, and workload generation."""
+
+from repro.query.generators import (
+    dfs_query,
+    query_workload,
+    random_query,
+    random_query_from_graph,
+)
+from repro.query.parser import format_query, parse_query
+from repro.query.query_graph import QueryGraph
+
+__all__ = [
+    "QueryGraph",
+    "parse_query",
+    "format_query",
+    "dfs_query",
+    "random_query",
+    "random_query_from_graph",
+    "query_workload",
+]

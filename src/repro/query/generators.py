@@ -1,0 +1,162 @@
+"""Query workload generators reproducing the paper's protocol (Section 6.1).
+
+Two query families are used throughout the evaluation:
+
+* **DFS queries** — start a DFS from a random data-graph node, keep the
+  first ``N`` visited nodes, and take the induced subgraph (with the data
+  nodes' labels) as the pattern.  These queries always have at least one
+  match and tend to be label-dense.
+* **Random queries** — ``N`` nodes, a random spanning tree to guarantee
+  connectivity, plus random extra edges until ``E`` edges in total; labels
+  drawn from a given label collection.  These may have zero matches.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.query.query_graph import QueryGraph
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require, require_positive
+
+
+def dfs_query(
+    graph: LabeledGraph,
+    node_count: int,
+    seed: int | random.Random | None = None,
+) -> QueryGraph:
+    """Generate one DFS query of ``node_count`` nodes from ``graph``.
+
+    Raises:
+        QueryError: if no DFS from any sampled start node reaches
+            ``node_count`` nodes (graph too small or too disconnected).
+    """
+    require_positive(node_count, "node_count")
+    rng = ensure_rng(seed)
+    nodes = list(graph.nodes())
+    if len(nodes) < node_count:
+        raise QueryError(
+            f"cannot extract a {node_count}-node query from a {len(nodes)}-node graph"
+        )
+    for _ in range(64):
+        start = nodes[rng.randrange(len(nodes))]
+        visited = _dfs_prefix(graph, start, node_count, rng)
+        if len(visited) == node_count:
+            return _induced_query(graph, visited)
+    raise QueryError(
+        f"failed to find a connected {node_count}-node DFS pattern after 64 attempts"
+    )
+
+
+def _dfs_prefix(
+    graph: LabeledGraph, start: int, limit: int, rng: random.Random
+) -> List[int]:
+    """Return the first ``limit`` nodes visited by a randomized DFS from ``start``."""
+    visited: List[int] = []
+    seen = set()
+    stack = [start]
+    while stack and len(visited) < limit:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        visited.append(current)
+        neighbors = list(graph.neighbors(current))
+        rng.shuffle(neighbors)
+        stack.extend(n for n in neighbors if n not in seen)
+    return visited
+
+
+def _induced_query(graph: LabeledGraph, data_nodes: Sequence[int]) -> QueryGraph:
+    """Build the query induced by ``data_nodes`` (query node names u0, u1, ...)."""
+    name_of = {node: f"u{i}" for i, node in enumerate(data_nodes)}
+    labels = {name_of[node]: graph.label(node) for node in data_nodes}
+    keep = set(data_nodes)
+    edges = [
+        (name_of[u], name_of[v])
+        for u in data_nodes
+        for v in graph.neighbors(u)
+        if v in keep and u < v
+    ]
+    return QueryGraph(labels, edges)
+
+
+def random_query(
+    node_count: int,
+    edge_count: int,
+    label_collection: Sequence[str],
+    seed: int | random.Random | None = None,
+) -> QueryGraph:
+    """Generate one random connected query (paper defaults: N=10, E=20).
+
+    A random spanning tree over the ``node_count`` nodes guarantees
+    connectivity; extra edges are added uniformly at random until the
+    pattern has ``edge_count`` edges (clamped to the complete-graph bound).
+    """
+    require_positive(node_count, "node_count")
+    require(edge_count >= node_count - 1, "edge_count must be at least node_count - 1")
+    require(len(label_collection) > 0, "label_collection must be non-empty")
+    rng = ensure_rng(seed)
+
+    names = [f"u{i}" for i in range(node_count)]
+    labels: Dict[str, str] = {
+        name: label_collection[rng.randrange(len(label_collection))] for name in names
+    }
+
+    edges: set[Tuple[str, str]] = set()
+    # Random spanning tree: attach each node to a random earlier node.
+    order = names[:]
+    rng.shuffle(order)
+    for index in range(1, len(order)):
+        parent = order[rng.randrange(index)]
+        child = order[index]
+        edges.add((parent, child) if parent < child else (child, parent))
+
+    max_edges = node_count * (node_count - 1) // 2
+    target = min(edge_count, max_edges)
+    while len(edges) < target:
+        u = names[rng.randrange(node_count)]
+        v = names[rng.randrange(node_count)]
+        if u == v:
+            continue
+        edges.add((u, v) if u < v else (v, u))
+
+    return QueryGraph(labels, edges)
+
+
+def random_query_from_graph(
+    graph: LabeledGraph,
+    node_count: int,
+    edge_count: int,
+    seed: int | random.Random | None = None,
+) -> QueryGraph:
+    """Random query whose label collection is drawn from ``graph``'s labels."""
+    labels = graph.distinct_labels()
+    if not labels:
+        raise QueryError("data graph has no labels to draw from")
+    return random_query(node_count, edge_count, labels, seed=seed)
+
+
+def query_workload(
+    graph: LabeledGraph,
+    count: int,
+    kind: str = "dfs",
+    node_count: int = 10,
+    edge_count: int = 20,
+    seed: int | random.Random | None = None,
+) -> List[QueryGraph]:
+    """Generate a batch of queries of the given ``kind`` ("dfs" or "random")."""
+    require_positive(count, "count")
+    rng = ensure_rng(seed)
+    queries: List[QueryGraph] = []
+    for _ in range(count):
+        if kind == "dfs":
+            queries.append(dfs_query(graph, node_count, seed=rng))
+        elif kind == "random":
+            queries.append(random_query_from_graph(graph, node_count, edge_count, seed=rng))
+        else:
+            raise QueryError(f"unknown query kind {kind!r} (expected 'dfs' or 'random')")
+    return queries

@@ -1,0 +1,7 @@
+"""Small shared utilities: RNG handling, timers, validation helpers."""
+
+from repro.utils.rng import ensure_rng
+from repro.utils.timer import Timer, timed
+from repro.utils.validation import require
+
+__all__ = ["ensure_rng", "Timer", "timed", "require"]

@@ -1,0 +1,38 @@
+"""Random number generator helpers.
+
+All stochastic components of the library (graph generators, query
+generators, sampling joins) accept either a seed, an existing
+:class:`random.Random` instance, or ``None``.  :func:`ensure_rng`
+normalizes those three cases into a ``random.Random`` so call sites stay
+deterministic when a seed is provided and remain easy to test.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def ensure_rng(seed_or_rng: int | random.Random | None) -> random.Random:
+    """Return a ``random.Random`` for the given seed, RNG, or ``None``.
+
+    Args:
+        seed_or_rng: an integer seed, an existing ``random.Random``
+            (returned unchanged), or ``None`` for an unseeded generator.
+
+    Returns:
+        A ``random.Random`` instance.
+    """
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    if seed_or_rng is None:
+        return random.Random()
+    return random.Random(seed_or_rng)
+
+
+def derive_rng(rng: random.Random, salt: str) -> random.Random:
+    """Derive an independent child RNG from ``rng`` using a string salt.
+
+    Useful when one seeded generator must drive several independent
+    stochastic stages without the stages perturbing each other's streams.
+    """
+    return random.Random((rng.random(), salt).__hash__())

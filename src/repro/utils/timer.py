@@ -1,0 +1,65 @@
+"""Wall-clock timing helpers used by the bench harness and the engine."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    A ``Timer`` can be started and stopped repeatedly; ``elapsed`` holds the
+    total accumulated seconds.  It is also usable as a context manager::
+
+        timer = Timer()
+        with timer:
+            do_work()
+        print(timer.elapsed)
+    """
+
+    elapsed: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Timer":
+        """Start (or restart) the timer; returns self for chaining."""
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the timer and return the total elapsed seconds."""
+        if self._started_at is None:
+            return self.elapsed
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        """Zero the accumulated time and clear any running measurement."""
+        self.elapsed = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        """True while the timer is between start() and stop()."""
+        return self._started_at is not None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+@contextmanager
+def timed() -> Iterator[Timer]:
+    """Context manager yielding a one-shot :class:`Timer`."""
+    timer = Timer()
+    timer.start()
+    try:
+        yield timer
+    finally:
+        timer.stop()

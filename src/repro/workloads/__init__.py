@@ -1,0 +1,31 @@
+"""Canned datasets and query suites for examples and benchmarks."""
+
+from repro.workloads.datasets import (
+    DEFAULT_SEED,
+    paper_figure5_graph,
+    patents_small,
+    rmat_graph,
+    tiny_example_graph,
+    wordnet_small,
+)
+from repro.workloads.suites import (
+    DEFAULT_BATCH_SIZE,
+    PAPER_RESULT_LIMIT,
+    QuerySuite,
+    dfs_suite,
+    random_suite,
+)
+
+__all__ = [
+    "DEFAULT_SEED",
+    "tiny_example_graph",
+    "paper_figure5_graph",
+    "patents_small",
+    "wordnet_small",
+    "rmat_graph",
+    "QuerySuite",
+    "dfs_suite",
+    "random_suite",
+    "PAPER_RESULT_LIMIT",
+    "DEFAULT_BATCH_SIZE",
+]

@@ -1,0 +1,82 @@
+"""Query suites reproducing the paper's workload protocol.
+
+The paper generates 100 queries per configuration and reports the average
+execution time; the pipelined join stops at 1024 matches.  The functions
+here generate equivalent (smaller, configurable) batches so the benchmark
+files stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.query.generators import query_workload
+from repro.query.query_graph import QueryGraph
+
+#: The paper stops pipelined query execution after this many matches.
+PAPER_RESULT_LIMIT = 1024
+
+#: Default number of queries per configuration (the paper uses 100).
+DEFAULT_BATCH_SIZE = 10
+
+
+@dataclass(frozen=True)
+class QuerySuite:
+    """A named batch of queries over one data graph."""
+
+    name: str
+    kind: str
+    node_count: int
+    edge_count: int
+    queries: List[QueryGraph]
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+def dfs_suite(
+    graph: LabeledGraph,
+    node_count: int,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    seed: int = 1,
+    name: str = "dfs",
+) -> QuerySuite:
+    """A batch of DFS queries of ``node_count`` nodes each."""
+    queries = query_workload(
+        graph, batch_size, kind="dfs", node_count=node_count, seed=seed
+    )
+    return QuerySuite(
+        name=name,
+        kind="dfs",
+        node_count=node_count,
+        edge_count=-1,
+        queries=queries,
+    )
+
+
+def random_suite(
+    graph: LabeledGraph,
+    node_count: int,
+    edge_count: int,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    seed: int = 1,
+    name: str = "random",
+) -> QuerySuite:
+    """A batch of random connected queries with the given size."""
+    queries = query_workload(
+        graph,
+        batch_size,
+        kind="random",
+        node_count=node_count,
+        edge_count=edge_count,
+        seed=seed,
+    )
+    return QuerySuite(
+        name=name,
+        kind="random",
+        node_count=node_count,
+        edge_count=edge_count,
+        queries=queries,
+    )

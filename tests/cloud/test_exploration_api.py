@@ -1,0 +1,55 @@
+"""Unit tests for the k-hop neighborhood exploration API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.cluster import MemoryCloud
+from repro.cloud.config import ClusterConfig
+from repro.errors import CloudError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.partition import RoundRobinPartitioner
+
+
+@pytest.fixture
+def path_cloud() -> MemoryCloud:
+    """A 6-node path graph 0-1-2-3-4-5 striped over 3 machines round-robin."""
+    labels = {i: "n" for i in range(6)}
+    edges = [(i, i + 1) for i in range(5)]
+    config = ClusterConfig(machine_count=3, partitioner=RoundRobinPartitioner())
+    return MemoryCloud.from_graph(LabeledGraph.from_edges(labels, edges), config)
+
+
+class TestExploreNeighborhood:
+    def test_zero_hops_returns_start(self, path_cloud):
+        assert path_cloud.explore_neighborhood(2, 0) == {2: 0}
+
+    def test_one_hop(self, path_cloud):
+        assert path_cloud.explore_neighborhood(2, 1) == {2: 0, 1: 1, 3: 1}
+
+    def test_distances_are_hop_counts(self, path_cloud):
+        distances = path_cloud.explore_neighborhood(0, 3)
+        assert distances == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_full_graph_reached_with_enough_hops(self, path_cloud):
+        distances = path_cloud.explore_neighborhood(0, 10)
+        assert set(distances) == set(range(6))
+        assert distances[5] == 5
+
+    def test_negative_hops_rejected(self, path_cloud):
+        with pytest.raises(CloudError):
+            path_cloud.explore_neighborhood(0, -1)
+
+    def test_exploration_charges_loads(self, path_cloud):
+        path_cloud.reset_metrics()
+        path_cloud.explore_neighborhood(0, 3)
+        snapshot = path_cloud.metrics.snapshot()
+        # Nodes 0, 1, 2 are loaded to expand three hops.
+        assert snapshot["local_loads"] + snapshot["remote_loads"] == 3
+
+    def test_remote_loads_charged_when_crossing_machines(self, path_cloud):
+        path_cloud.reset_metrics()
+        path_cloud.explore_neighborhood(0, 5)
+        snapshot = path_cloud.metrics.snapshot()
+        # The path is spread over 3 machines, so some expansions are remote.
+        assert snapshot["remote_loads"] > 0

@@ -1,0 +1,54 @@
+"""Unit tests for the QueryProxy scatter/gather coordinator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.cluster import MemoryCloud
+from repro.cloud.config import ClusterConfig
+from repro.cloud.proxy import QueryProxy
+from repro.errors import ExecutionError
+from repro.graph.labeled_graph import LabeledGraph
+
+
+@pytest.fixture
+def cloud() -> MemoryCloud:
+    labels = {i: "x" for i in range(8)}
+    edges = [(i, i + 1) for i in range(7)]
+    return MemoryCloud.from_graph(
+        LabeledGraph.from_edges(labels, edges), ClusterConfig(machine_count=4)
+    )
+
+
+class TestScatterGather:
+    def test_union_of_per_machine_rows(self, cloud):
+        proxy = QueryProxy(cloud)
+        rows = proxy.scatter_gather(lambda m: [(m,)])
+        assert sorted(rows) == [(0,), (1,), (2,), (3,)]
+
+    def test_per_machine_counts_recorded(self, cloud):
+        proxy = QueryProxy(cloud)
+        proxy.scatter_gather(lambda m: [(m,)] * (m + 1))
+        assert proxy.machine_result_counts() == {0: 1, 1: 2, 2: 3, 3: 4}
+
+    def test_transfer_charged_to_metrics(self, cloud):
+        proxy = QueryProxy(cloud)
+        before = cloud.metrics.messages
+        proxy.scatter_gather(lambda m: [(m, m)])
+        assert cloud.metrics.messages > before
+
+    def test_disjointness_verification_passes(self, cloud):
+        proxy = QueryProxy(cloud, verify_disjoint=True)
+        rows = proxy.scatter_gather(lambda m: [(m,)])
+        assert len(rows) == 4
+
+    def test_disjointness_verification_catches_duplicates(self, cloud):
+        proxy = QueryProxy(cloud, verify_disjoint=True)
+        with pytest.raises(ExecutionError):
+            proxy.scatter_gather(lambda m: [(0,)])
+
+    def test_broadcast_charges_messages(self, cloud):
+        proxy = QueryProxy(cloud)
+        before = cloud.metrics.messages
+        proxy.broadcast()
+        assert cloud.metrics.messages == before + cloud.machine_count

@@ -1,0 +1,99 @@
+"""Unit tests for the BindingTable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bindings import BindingTable
+from repro.errors import QueryError
+from repro.query.query_graph import QueryGraph
+
+
+@pytest.fixture
+def query() -> QueryGraph:
+    return QueryGraph({"a": "x", "b": "y", "c": "z"}, [("a", "b"), ("b", "c")])
+
+
+class TestBasicBinding:
+    def test_initially_unbound(self, query):
+        bindings = BindingTable(query)
+        assert not bindings.is_bound("a")
+        assert bindings.candidates("a") is None
+        assert not bindings.all_bound()
+
+    def test_bind_sets_candidates(self, query):
+        bindings = BindingTable(query)
+        bindings.bind("a", [1, 2, 3])
+        assert bindings.is_bound("a")
+        assert bindings.candidates("a") == {1, 2, 3}
+
+    def test_rebind_intersects(self, query):
+        bindings = BindingTable(query)
+        bindings.bind("a", [1, 2, 3])
+        bindings.bind("a", [2, 3, 4])
+        assert bindings.candidates("a") == {2, 3}
+
+    def test_allows_unbound_accepts_everything(self, query):
+        bindings = BindingTable(query)
+        assert bindings.allows("a", 12345)
+
+    def test_allows_bound_filters(self, query):
+        bindings = BindingTable(query)
+        bindings.bind("a", [1])
+        assert bindings.allows("a", 1)
+        assert not bindings.allows("a", 2)
+
+    def test_unknown_node_rejected(self, query):
+        bindings = BindingTable(query)
+        with pytest.raises(QueryError):
+            bindings.bind("nope", [1])
+        with pytest.raises(QueryError):
+            bindings.candidates("nope")
+
+
+class TestUnionAndState:
+    def test_merge_union_accumulates(self, query):
+        bindings = BindingTable(query)
+        bindings.merge_union("a", [1, 2])
+        bindings.merge_union("a", [2, 3])
+        assert bindings.candidates("a") == {1, 2, 3}
+
+    def test_all_bound(self, query):
+        bindings = BindingTable(query)
+        for node in query.nodes():
+            bindings.bind(node, [1])
+        assert bindings.all_bound()
+
+    def test_empty_binding_detected(self, query):
+        bindings = BindingTable(query)
+        bindings.bind("a", [1, 2])
+        bindings.bind("a", [3])
+        assert bindings.is_empty("a")
+        assert bindings.any_empty()
+
+    def test_bound_nodes_view(self, query):
+        bindings = BindingTable(query)
+        bindings.bind("b", [7, 8])
+        view = bindings.bound_nodes()
+        assert view == {"b": {7, 8}}
+        view["b"].add(999)
+        assert bindings.candidates("b") == {7, 8}
+
+    def test_total_size(self, query):
+        bindings = BindingTable(query)
+        bindings.bind("a", [1, 2])
+        bindings.bind("b", [3])
+        assert bindings.total_size() == 3
+
+    def test_copy_is_independent(self, query):
+        bindings = BindingTable(query)
+        bindings.bind("a", [1])
+        clone = bindings.copy()
+        clone.bind("a", [2])
+        assert bindings.candidates("a") == {1}
+        assert clone.candidates("a") == set()
+
+    def test_repr_shows_bound_counts(self, query):
+        bindings = BindingTable(query)
+        bindings.bind("a", [1, 2])
+        assert "a" in repr(bindings)

@@ -1,0 +1,159 @@
+"""Unit tests for STwig decomposition and order selection (Algorithm 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decomposition import (
+    naive_stwig_cover,
+    split_stwig,
+    stwig_order_selection,
+)
+from repro.core.stwig import STwig, validate_cover
+from repro.query.query_graph import QueryGraph
+
+
+@pytest.fixture
+def figure6_query() -> QueryGraph:
+    """The query of Figure 6(a): d is the high-degree center."""
+    return QueryGraph(
+        {"a": "a", "b": "b", "c": "c", "d": "d", "e": "e", "f": "f"},
+        [
+            ("d", "b"), ("d", "c"), ("d", "e"), ("d", "f"),
+            ("c", "a"), ("c", "f"),
+            ("b", "a"), ("b", "e"),
+        ],
+    )
+
+
+UNIFORM_FREQUENCIES = {label: 10 for label in "abcdef"}
+
+
+class TestNaiveCover:
+    def test_cover_is_valid(self, figure6_query):
+        cover = naive_stwig_cover(figure6_query, seed=1)
+        validate_cover(figure6_query, cover)
+
+    def test_cover_within_2_approximation(self, figure6_query):
+        # The optimal cover of this query has 3 STwigs (Figure 6(b)).
+        for seed in range(10):
+            cover = naive_stwig_cover(figure6_query, seed=seed)
+            assert len(cover) <= 6
+
+    def test_single_node_query(self):
+        query = QueryGraph({"x": "lx"}, [])
+        cover = naive_stwig_cover(query)
+        assert cover == [STwig("x", ())]
+
+    def test_single_edge_query(self):
+        query = QueryGraph({"x": "lx", "y": "ly"}, [("x", "y")])
+        cover = naive_stwig_cover(query, seed=0)
+        validate_cover(query, cover)
+        assert len(cover) == 1
+
+    def test_max_leaves_respected(self, figure6_query):
+        cover = naive_stwig_cover(figure6_query, seed=1, max_leaves=2)
+        validate_cover(figure6_query, cover)
+        assert all(len(stwig.leaves) <= 2 for stwig in cover)
+
+
+class TestOrderSelection:
+    def test_cover_is_valid(self, figure6_query):
+        ordered = stwig_order_selection(figure6_query, UNIFORM_FREQUENCIES, seed=1)
+        validate_cover(figure6_query, ordered)
+
+    def test_first_stwig_rooted_at_highest_f_value(self, figure6_query):
+        # With uniform label frequencies, f(v) is proportional to degree, so
+        # the first STwig must be rooted at d (degree 4), as in the paper's
+        # walk-through of Algorithm 2.
+        ordered = stwig_order_selection(figure6_query, UNIFORM_FREQUENCIES, seed=1)
+        assert ordered[0].root == "d"
+        assert set(ordered[0].leaves) == {"b", "c", "e", "f"}
+
+    def test_roots_bound_by_previous_stwigs(self, figure6_query):
+        # Except for the first STwig, each root must appear in an earlier STwig.
+        ordered = stwig_order_selection(figure6_query, UNIFORM_FREQUENCIES, seed=1)
+        seen = set(ordered[0].nodes)
+        for stwig in ordered[1:]:
+            assert stwig.root in seen
+            seen.update(stwig.nodes)
+
+    def test_roots_bound_property_holds_on_many_queries(self):
+        from repro.graph.generators.erdos_renyi import generate_gnm
+        from repro.query.generators import dfs_query
+
+        graph = generate_gnm(80, 200, label_count=5, seed=3)
+        frequencies = graph.label_frequencies()
+        for seed in range(15):
+            query = dfs_query(graph, 7, seed=seed)
+            ordered = stwig_order_selection(query, frequencies, seed=seed)
+            validate_cover(query, ordered)
+            seen = set(ordered[0].nodes)
+            for stwig in ordered[1:]:
+                assert stwig.root in seen
+                seen.update(stwig.nodes)
+
+    def test_2_approximation_bound(self, figure6_query):
+        # Optimal cover size is 3 (Figure 6(b)); Algorithm 2 must stay <= 6.
+        ordered = stwig_order_selection(figure6_query, UNIFORM_FREQUENCIES, seed=1)
+        assert len(ordered) <= 6
+
+    def test_selectivity_prefers_rare_labels(self):
+        # Two candidate roots with equal degree: the rarer label has the
+        # higher f-value and must be chosen as the first STwig root.
+        query = QueryGraph(
+            {"r": "rare", "p": "popular", "x": "mid", "y": "mid2"},
+            [("r", "x"), ("r", "y"), ("p", "x"), ("p", "y")],
+        )
+        frequencies = {"rare": 2, "popular": 1000, "mid": 50, "mid2": 50}
+        ordered = stwig_order_selection(query, frequencies, seed=1)
+        assert ordered[0].root == "r"
+
+    def test_missing_frequency_treated_as_selective(self):
+        query = QueryGraph({"a": "unknown", "b": "known"}, [("a", "b")])
+        ordered = stwig_order_selection(query, {"known": 100}, seed=1)
+        validate_cover(query, ordered)
+
+    def test_single_node_query(self):
+        query = QueryGraph({"x": "lx"}, [])
+        assert stwig_order_selection(query, {}) == [STwig("x", ())]
+
+    def test_max_leaves_split_preserves_cover(self, figure6_query):
+        ordered = stwig_order_selection(
+            figure6_query, UNIFORM_FREQUENCIES, seed=1, max_leaves=2
+        )
+        validate_cover(figure6_query, ordered)
+        assert all(len(stwig.leaves) <= 2 for stwig in ordered)
+
+    def test_deterministic_with_seed(self, figure6_query):
+        first = stwig_order_selection(figure6_query, UNIFORM_FREQUENCIES, seed=5)
+        second = stwig_order_selection(figure6_query, UNIFORM_FREQUENCIES, seed=5)
+        assert first == second
+
+
+class TestSplitStwig:
+    def test_no_split_when_under_cap(self):
+        stwig = STwig("r", ("a", "b"))
+        assert split_stwig(stwig, 3) == [stwig]
+
+    def test_no_split_when_cap_is_none(self):
+        stwig = STwig("r", tuple(f"l{i}" for i in range(10)))
+        assert split_stwig(stwig, None) == [stwig]
+
+    def test_split_chunks(self):
+        stwig = STwig("r", ("a", "b", "c", "d", "e"))
+        parts = split_stwig(stwig, 2)
+        assert [p.leaves for p in parts] == [("a", "b"), ("c", "d"), ("e",)]
+        assert all(p.root == "r" for p in parts)
+
+    def test_split_preserves_edges(self):
+        stwig = STwig("r", ("a", "b", "c"))
+        parts = split_stwig(stwig, 1)
+        covered = [edge for part in parts for edge in part.covered_edges()]
+        assert sorted(covered) == sorted(stwig.covered_edges())
+
+    def test_invalid_cap(self):
+        from repro.errors import DecompositionError
+
+        with pytest.raises(DecompositionError):
+            split_stwig(STwig("r", ("a", "b")), 0)

@@ -1,0 +1,136 @@
+"""Unit tests for the top-level SubgraphMatcher engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.cluster import MemoryCloud
+from repro.cloud.config import ClusterConfig
+from repro.core.engine import SubgraphMatcher
+from repro.core.planner import MatcherConfig
+from repro.query.query_graph import QueryGraph
+from repro.workloads.datasets import paper_figure5_graph, tiny_example_graph
+
+
+@pytest.fixture
+def matcher() -> SubgraphMatcher:
+    cloud = MemoryCloud.from_graph(tiny_example_graph(), ClusterConfig(machine_count=3))
+    return SubgraphMatcher(cloud)
+
+
+@pytest.fixture
+def query() -> QueryGraph:
+    return QueryGraph(
+        {"qa": "a", "qb": "b", "qc": "c", "qd": "d"},
+        [("qa", "qb"), ("qa", "qc"), ("qb", "qc"), ("qc", "qd")],
+    )
+
+
+class TestMatch:
+    def test_finds_expected_matches(self, matcher, query):
+        result = matcher.match(query)
+        assert result.match_count == 2
+        assignments = sorted(result.as_dicts(), key=lambda d: d["qa"])
+        assert assignments[0] == {"qa": 1, "qb": 3, "qc": 4, "qd": 5}
+        assert assignments[1] == {"qa": 2, "qb": 3, "qc": 4, "qd": 5}
+
+    def test_match_count_helper(self, matcher, query):
+        assert matcher.match_count(query) == 2
+
+    def test_limit_truncates(self, matcher, query):
+        result = matcher.match(query, limit=1)
+        assert result.match_count == 1
+        assert result.stats.truncated
+
+    def test_limit_from_config(self, query):
+        cloud = MemoryCloud.from_graph(tiny_example_graph(), ClusterConfig(machine_count=2))
+        matcher = SubgraphMatcher(cloud, MatcherConfig(result_limit=1))
+        assert matcher.match(query).match_count == 1
+
+    def test_single_node_query(self, matcher):
+        result = matcher.match(QueryGraph({"only": "b"}, []))
+        assert sorted(d["only"] for d in result.as_dicts()) == [3, 6]
+
+    def test_single_edge_query(self, matcher):
+        result = matcher.match(QueryGraph({"x": "c", "y": "d"}, [("x", "y")]))
+        assert result.as_dicts() == [{"x": 4, "y": 5}]
+
+    def test_no_match_for_absent_label(self, matcher):
+        result = matcher.match(QueryGraph({"x": "missing"}, []))
+        assert result.match_count == 0
+
+    def test_unsatisfiable_structure(self, matcher):
+        # There is no triangle of three 'b' nodes in the tiny graph.
+        query = QueryGraph(
+            {"x": "b", "y": "b", "z": "b"}, [("x", "y"), ("y", "z"), ("z", "x")]
+        )
+        assert matcher.match(query).match_count == 0
+
+    def test_cycle_query_requires_join(self, matcher):
+        # The square query of Figure 3(d): a - b - c(b2) - d back to a is absent,
+        # but the triangle a-b-c exists twice (via a1 and a2).
+        query = QueryGraph(
+            {"x": "a", "y": "b", "z": "c"}, [("x", "y"), ("y", "z"), ("z", "x")]
+        )
+        result = matcher.match(query)
+        assert result.match_count == 2
+
+
+class TestResultMetadata:
+    def test_timings_populated(self, matcher, query):
+        result = matcher.match(query)
+        assert result.wall_seconds > 0
+        assert result.simulated_seconds > 0
+        assert result.stats.stwig_count >= 1
+        assert result.stats.head_stwig_root is not None
+
+    def test_metrics_are_per_query_deltas(self, matcher, query):
+        first = matcher.match(query)
+        second = matcher.match(query)
+        # Metrics accumulate on the cloud but each result reports its own delta.
+        assert first.metrics["index_lookups"] >= 0
+        assert second.metrics["local_loads"] == first.metrics["local_loads"]
+
+    def test_explain_does_not_execute(self, matcher, query):
+        plan = matcher.explain(query)
+        assert len(plan.stwigs) >= 1
+        assert "STwig plan" in plan.describe()
+
+
+class TestConfigurationVariants:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            MatcherConfig(),
+            MatcherConfig(use_order_selection=False),
+            MatcherConfig(use_binding_filter=False),
+            MatcherConfig(use_head_selection=False),
+            MatcherConfig(use_load_set_pruning=False),
+            MatcherConfig(use_final_binding_filter=False),
+            MatcherConfig(max_stwig_leaves=1),
+            MatcherConfig(max_stwig_leaves=2),
+            MatcherConfig(block_size=None),
+            MatcherConfig(block_size=2),
+        ],
+        ids=lambda c: str(c)[:40],
+    )
+    def test_all_variants_agree(self, query, config):
+        cloud = MemoryCloud.from_graph(tiny_example_graph(), ClusterConfig(machine_count=3))
+        result = SubgraphMatcher(cloud, config).match(query)
+        assignments = sorted(result.as_dicts(), key=lambda d: d["qa"])
+        assert [a["qa"] for a in assignments] == [1, 2]
+
+    def test_figure5_graph_multiple_machine_counts(self):
+        from repro.baselines.vf2 import vf2_match
+        from repro.query.generators import dfs_query
+
+        graph = paper_figure5_graph()
+        query = dfs_query(graph, 6, seed=4)
+        expected = sorted(
+            tuple(sorted(m.items())) for m in vf2_match(graph, query)
+        )
+        for machine_count in (1, 2, 5):
+            cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=machine_count))
+            result = SubgraphMatcher(cloud).match(query)
+            got = sorted(tuple(sorted(m.items())) for m in result.as_dicts())
+            assert got == expected

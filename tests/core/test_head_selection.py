@@ -1,0 +1,117 @@
+"""Unit tests for head STwig selection and load sets (Theorems 4 and 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.head_selection import (
+    communication_cost,
+    compute_load_sets,
+    full_load_sets,
+    head_stwig_index,
+    root_distances_from_head,
+)
+from repro.core.stwig import STwig
+from repro.errors import PlanningError
+from repro.query.query_graph import QueryGraph
+
+
+@pytest.fixture
+def path_query() -> QueryGraph:
+    """Path query a - b - c - d - e."""
+    return QueryGraph(
+        {"a": "la", "b": "lb", "c": "lc", "d": "ld", "e": "le"},
+        [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")],
+    )
+
+
+@pytest.fixture
+def path_stwigs() -> list:
+    """A valid cover of the path query rooted at a, c, e... (roots a, c, d)."""
+    return [
+        STwig("b", ("a", "c")),
+        STwig("d", ("c", "e")),
+    ]
+
+
+class TestHeadSelection:
+    def test_center_root_minimizes_eccentricity(self, path_query):
+        stwigs = [STwig("a", ("b",)), STwig("c", ("b", "d")), STwig("e", ("d",))]
+        # Root eccentricities among roots {a, c, e}: a -> 4, c -> 2, e -> 4.
+        assert head_stwig_index(path_query, stwigs) == 1
+
+    def test_tie_breaks_to_first(self, path_query, path_stwigs):
+        # Roots b and d have equal eccentricity (2); the earlier wins.
+        assert head_stwig_index(path_query, path_stwigs) == 0
+
+    def test_empty_decomposition_rejected(self, path_query):
+        with pytest.raises(PlanningError):
+            head_stwig_index(path_query, [])
+
+    def test_distances_from_head(self, path_query, path_stwigs):
+        distances = root_distances_from_head(path_query, path_stwigs, head_index=0)
+        assert distances == [0, 2]
+
+
+class TestLoadSets:
+    def make_cluster_distances(self):
+        # 4 machines in a path: 0 - 1 - 2 - 3.
+        adjacency = {0: {1}, 1: {0, 2}, 2: {1, 3}, 3: {2}}
+        from repro.core.cluster_graph import cluster_distances
+
+        return cluster_distances(adjacency)
+
+    def test_head_load_set_empty(self, path_query, path_stwigs):
+        load_sets = compute_load_sets(
+            path_query, path_stwigs, 0, self.make_cluster_distances(), 4
+        )
+        for machine in range(4):
+            assert load_sets[(machine, 0)] == frozenset()
+
+    def test_load_set_respects_distance_bound(self, path_query, path_stwigs):
+        load_sets = compute_load_sets(
+            path_query, path_stwigs, 0, self.make_cluster_distances(), 4
+        )
+        # d(r_head=b, r_1=d) = 2, so machine 0 may need machines within
+        # cluster distance 2: {1, 2} but not 3.
+        assert load_sets[(0, 1)] == frozenset({1, 2})
+
+    def test_load_set_excludes_self(self, path_query, path_stwigs):
+        load_sets = compute_load_sets(
+            path_query, path_stwigs, 0, self.make_cluster_distances(), 4
+        )
+        for (machine, _), machines in load_sets.items():
+            assert machine not in machines
+
+    def test_full_load_sets(self):
+        load_sets = full_load_sets(stwig_count=2, head_index=1, machine_count=3)
+        assert load_sets[(0, 1)] == frozenset()
+        assert load_sets[(0, 0)] == frozenset({1, 2})
+        assert load_sets[(2, 0)] == frozenset({0, 1})
+
+    def test_pruned_never_larger_than_full(self, path_query, path_stwigs):
+        pruned = compute_load_sets(
+            path_query, path_stwigs, 0, self.make_cluster_distances(), 4
+        )
+        full = full_load_sets(len(path_stwigs), 0, 4)
+        for key, machines in pruned.items():
+            assert machines <= full[key]
+
+
+class TestCommunicationCost:
+    def test_cost_monotone_in_head_distance(self, path_query):
+        stwigs = [STwig("a", ("b",)), STwig("c", ("b", "d")), STwig("e", ("d",))]
+        from repro.core.cluster_graph import cluster_distances
+
+        distances = cluster_distances({0: {1}, 1: {0, 2}, 2: {1}})
+        # The center root (c) has eccentricity 2; the ends have 4, so the
+        # communication objective must be no larger for the center choice.
+        center_cost = communication_cost(path_query, stwigs, 1, distances, 3)
+        end_cost = communication_cost(path_query, stwigs, 0, distances, 3)
+        assert center_cost <= end_cost
+
+    def test_cost_zero_for_disconnected_cluster(self, path_query, path_stwigs):
+        from repro.core.cluster_graph import cluster_distances
+
+        distances = cluster_distances({0: set(), 1: set()})
+        assert communication_cost(path_query, path_stwigs, 0, distances, 2) == 0

@@ -1,0 +1,169 @@
+"""Unit tests for hash join, join-order selection, and the pipelined multi-way join."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.join import (
+    estimate_join_size,
+    hash_join,
+    multiway_join,
+    select_join_order,
+)
+from repro.core.result import MatchTable
+from repro.errors import ExecutionError
+
+
+class TestHashJoin:
+    def test_join_on_shared_column(self):
+        left = MatchTable(("a", "b"), [(1, 10), (2, 20)])
+        right = MatchTable(("b", "c"), [(10, 100), (10, 101), (30, 300)])
+        joined = hash_join(left, right)
+        assert joined.columns == ("a", "b", "c")
+        assert sorted(joined.rows) == [(1, 10, 100), (1, 10, 101)]
+
+    def test_join_multiple_shared_columns(self):
+        left = MatchTable(("a", "b"), [(1, 2), (1, 3)])
+        right = MatchTable(("a", "b", "c"), [(1, 2, 9), (1, 4, 8)])
+        joined = hash_join(left, right)
+        assert joined.rows == [(1, 2, 9)]
+
+    def test_cartesian_product_when_no_shared_column(self):
+        left = MatchTable(("a",), [(1,), (2,)])
+        right = MatchTable(("b",), [(3,), (4,)])
+        joined = hash_join(left, right)
+        assert len(joined.rows) == 4
+
+    def test_injectivity_enforced(self):
+        # Same data node bound to two different query nodes must be dropped.
+        left = MatchTable(("a", "b"), [(1, 2)])
+        right = MatchTable(("b", "c"), [(2, 1), (2, 3)])
+        joined = hash_join(left, right)
+        assert joined.rows == [(1, 2, 3)]
+
+    def test_injectivity_can_be_disabled(self):
+        left = MatchTable(("a", "b"), [(1, 2)])
+        right = MatchTable(("b", "c"), [(2, 1)])
+        joined = hash_join(left, right, enforce_injective=False)
+        assert joined.rows == [(1, 2, 1)]
+
+    def test_row_limit(self):
+        left = MatchTable(("a",), [(i,) for i in range(10)])
+        right = MatchTable(("b",), [(100 + i,) for i in range(10)])
+        joined = hash_join(left, right, row_limit=5)
+        assert joined.row_count == 5
+
+    def test_empty_inputs(self):
+        left = MatchTable(("a", "b"))
+        right = MatchTable(("b", "c"), [(1, 2)])
+        assert hash_join(left, right).row_count == 0
+        assert hash_join(right, left).row_count == 0
+
+    def test_join_is_symmetric_in_content(self):
+        left = MatchTable(("a", "b"), [(1, 10), (2, 20)])
+        right = MatchTable(("b", "c"), [(10, 100), (20, 200)])
+        lr = {tuple(sorted(d.items())) for d in hash_join(left, right).as_dicts()}
+        rl = {tuple(sorted(d.items())) for d in hash_join(right, left).as_dicts()}
+        assert lr == rl
+
+
+class TestEstimates:
+    def test_estimate_zero_for_empty(self):
+        left = MatchTable(("a",), [])
+        right = MatchTable(("a",), [(1,)])
+        assert estimate_join_size(left, right) == 0.0
+
+    def test_estimate_cross_product_when_disjoint(self):
+        left = MatchTable(("a",), [(1,)] * 3)
+        right = MatchTable(("b",), [(2,)] * 4)
+        assert estimate_join_size(left, right) == 12.0
+
+    def test_estimate_exact_on_small_tables(self):
+        left = MatchTable(("a", "b"), [(1, 10), (2, 20)])
+        right = MatchTable(("b", "c"), [(10, 1), (10, 2), (20, 3)])
+        estimate = estimate_join_size(left, right, sample_size=100, rng=1)
+        assert estimate == pytest.approx(3.0)
+
+
+class TestJoinOrder:
+    def test_order_is_permutation(self):
+        tables = [
+            MatchTable(("a", "b"), [(1, 2)] ),
+            MatchTable(("b", "c"), [(2, 3), (2, 4)]),
+            MatchTable(("c", "d"), [(3, 4)] * 3),
+        ]
+        order = select_join_order(tables)
+        assert sorted(order) == [0, 1, 2]
+
+    def test_starts_from_smallest_table(self):
+        tables = [
+            MatchTable(("a", "b"), [(1, 2)] * 5),
+            MatchTable(("b", "c"), [(2, 3)]),
+        ]
+        assert select_join_order(tables)[0] == 1
+
+    def test_prefers_connected_tables(self):
+        tables = [
+            MatchTable(("a", "b"), [(1, 2)]),
+            MatchTable(("x", "y"), [(8, 9)] * 2),
+            MatchTable(("b", "c"), [(2, 3)] * 3),
+        ]
+        order = select_join_order(tables)
+        # After table 0, the connected table 2 should come before the disjoint table 1.
+        assert order.index(2) < order.index(1)
+
+    def test_empty_input(self):
+        assert select_join_order([]) == []
+
+
+class TestMultiwayJoin:
+    def make_chain_tables(self):
+        return [
+            MatchTable(("a", "b"), [(1, 10), (2, 20)]),
+            MatchTable(("b", "c"), [(10, 100), (20, 200)]),
+            MatchTable(("c", "d"), [(100, 1000)]),
+        ]
+
+    def test_chain_join(self):
+        joined = multiway_join(self.make_chain_tables())
+        assert set(joined.columns) == {"a", "b", "c", "d"}
+        assert joined.row_count == 1
+        assert joined.as_dicts()[0] == {"a": 1, "b": 10, "c": 100, "d": 1000}
+
+    def test_explicit_order(self):
+        joined = multiway_join(self.make_chain_tables(), order=[2, 1, 0])
+        assert joined.row_count == 1
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ExecutionError):
+            multiway_join(self.make_chain_tables(), order=[0, 0, 1])
+
+    def test_single_table(self):
+        table = MatchTable(("a",), [(1,), (2,)])
+        joined = multiway_join([table], row_limit=1)
+        assert joined.row_count == 1
+
+    def test_no_tables_rejected(self):
+        with pytest.raises(ExecutionError):
+            multiway_join([])
+
+    def test_row_limit_respected(self):
+        tables = [
+            MatchTable(("a",), [(i,) for i in range(20)]),
+            MatchTable(("b",), [(100 + i,) for i in range(20)]),
+        ]
+        joined = multiway_join(tables, row_limit=7, block_size=None)
+        assert joined.row_count == 7
+
+    def test_block_pipelining_matches_unpipelined(self):
+        tables = self.make_chain_tables()
+        unpipelined = multiway_join(tables, block_size=None)
+        pipelined = multiway_join(tables, block_size=1)
+        assert sorted(unpipelined.rows) == sorted(
+            pipelined.project(unpipelined.columns).rows
+        )
+
+    def test_empty_table_short_circuits(self):
+        tables = self.make_chain_tables() + [MatchTable(("d", "e"))]
+        joined = multiway_join(tables)
+        assert joined.row_count == 0

@@ -1,0 +1,97 @@
+"""Unit tests for the query planner and MatcherConfig knobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.cluster import MemoryCloud
+from repro.cloud.config import ClusterConfig
+from repro.core.planner import MatcherConfig, QueryPlanner
+from repro.core.stwig import validate_cover
+from repro.query.generators import dfs_query
+from repro.workloads.datasets import paper_figure5_graph
+
+
+@pytest.fixture(scope="module")
+def cloud() -> MemoryCloud:
+    return MemoryCloud.from_graph(paper_figure5_graph(), ClusterConfig(machine_count=4))
+
+
+@pytest.fixture(scope="module")
+def query(cloud):
+    return dfs_query(paper_figure5_graph(), 6, seed=3)
+
+
+class TestPlanning:
+    def test_plan_is_valid_cover(self, cloud, query):
+        plan = QueryPlanner(cloud).plan(query)
+        validate_cover(query, plan.stwigs)
+
+    def test_head_index_in_range(self, cloud, query):
+        plan = QueryPlanner(cloud).plan(query)
+        assert 0 <= plan.head_index < len(plan.stwigs)
+        assert plan.head_stwig is plan.stwigs[plan.head_index]
+
+    def test_head_load_sets_empty(self, cloud, query):
+        plan = QueryPlanner(cloud).plan(query)
+        for machine in range(cloud.machine_count):
+            assert plan.load_set(machine, plan.head_index) == frozenset()
+
+    def test_load_sets_exclude_self(self, cloud, query):
+        plan = QueryPlanner(cloud).plan(query)
+        for machine in range(cloud.machine_count):
+            for index in range(len(plan.stwigs)):
+                assert machine not in plan.load_set(machine, index)
+
+    def test_unknown_load_set_defaults_empty(self, cloud, query):
+        plan = QueryPlanner(cloud).plan(query)
+        assert plan.load_set(99, 99) == frozenset()
+
+    def test_describe_mentions_every_stwig(self, cloud, query):
+        plan = QueryPlanner(cloud).plan(query)
+        description = plan.describe()
+        for index in range(len(plan.stwigs)):
+            assert f"q{index}:" in description
+        assert "[head]" in description
+
+
+class TestConfigKnobs:
+    def test_naive_decomposition_still_valid(self, cloud, query):
+        plan = QueryPlanner(cloud, MatcherConfig(use_order_selection=False)).plan(query)
+        validate_cover(query, plan.stwigs)
+
+    def test_head_selection_disabled_uses_first(self, cloud, query):
+        plan = QueryPlanner(cloud, MatcherConfig(use_head_selection=False)).plan(query)
+        assert plan.head_index == 0
+
+    def test_load_set_pruning_disabled_gives_full_sets(self, cloud, query):
+        plan = QueryPlanner(cloud, MatcherConfig(use_load_set_pruning=False)).plan(query)
+        everyone = set(range(cloud.machine_count))
+        for machine in range(cloud.machine_count):
+            for index in range(len(plan.stwigs)):
+                if index == plan.head_index:
+                    continue
+                assert plan.load_set(machine, index) == frozenset(everyone - {machine})
+
+    def test_pruned_load_sets_subset_of_full(self, cloud, query):
+        pruned = QueryPlanner(cloud, MatcherConfig()).plan(query)
+        full = QueryPlanner(cloud, MatcherConfig(use_load_set_pruning=False)).plan(query)
+        if pruned.stwigs == full.stwigs and pruned.head_index == full.head_index:
+            for key, machines in pruned.load_sets.items():
+                assert machines <= full.load_sets[key]
+
+    def test_max_stwig_leaves_respected(self, cloud, query):
+        plan = QueryPlanner(cloud, MatcherConfig(max_stwig_leaves=2)).plan(query)
+        validate_cover(query, plan.stwigs)
+        assert all(len(stwig.leaves) <= 2 for stwig in plan.stwigs)
+
+    def test_label_pair_tracking_disabled_falls_back_to_full_sets(self, query):
+        config = ClusterConfig(machine_count=3, track_label_pairs=False)
+        cloud = MemoryCloud.from_graph(paper_figure5_graph(), config)
+        plan = QueryPlanner(cloud).plan(query)
+        for machine in range(3):
+            for index in range(len(plan.stwigs)):
+                if index != plan.head_index:
+                    assert plan.load_set(machine, index) == frozenset(
+                        set(range(3)) - {machine}
+                    )

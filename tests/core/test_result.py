@@ -1,0 +1,84 @@
+"""Unit tests for MatchTable and MatchResult containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.result import MatchResult, MatchTable, StageStats
+from repro.errors import ExecutionError
+
+
+class TestMatchTable:
+    def test_add_row_and_counts(self):
+        table = MatchTable(("a", "b"))
+        table.add_row((1, 2))
+        table.add_row((3, 4))
+        assert table.row_count == 2
+        assert table.width == 2
+        assert len(table) == 2
+
+    def test_add_row_wrong_width(self):
+        table = MatchTable(("a", "b"))
+        with pytest.raises(ExecutionError):
+            table.add_row((1,))
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ExecutionError):
+            MatchTable(("a", "a"))
+
+    def test_column_index_and_values(self):
+        table = MatchTable(("a", "b"), [(1, 2), (1, 4)])
+        assert table.column_index("b") == 1
+        assert table.column_values("a") == {1}
+        assert table.column_values("b") == {2, 4}
+
+    def test_column_index_missing(self):
+        with pytest.raises(ExecutionError):
+            MatchTable(("a",)).column_index("zzz")
+
+    def test_as_dicts(self):
+        table = MatchTable(("a", "b"), [(1, 2)])
+        assert table.as_dicts() == [{"a": 1, "b": 2}]
+
+    def test_project_reorders_and_dedups(self):
+        table = MatchTable(("a", "b", "c"), [(1, 2, 3), (1, 2, 4)])
+        projected = table.project(("b", "a"))
+        assert projected.columns == ("b", "a")
+        assert projected.rows == [(2, 1)]
+
+    def test_union_same_columns(self):
+        left = MatchTable(("a",), [(1,)])
+        right = MatchTable(("a",), [(2,)])
+        assert left.union(right).rows == [(1,), (2,)]
+
+    def test_union_mismatched_columns(self):
+        with pytest.raises(ExecutionError):
+            MatchTable(("a",)).union(MatchTable(("b",)))
+
+    def test_copy_is_independent(self):
+        table = MatchTable(("a",), [(1,)])
+        clone = table.copy()
+        clone.add_row((2,))
+        assert table.row_count == 1
+
+    def test_iteration(self):
+        table = MatchTable(("a",), [(1,), (2,)])
+        assert list(table) == [(1,), (2,)]
+
+
+class TestMatchResult:
+    def test_counts_and_dicts(self):
+        table = MatchTable(("a", "b"), [(1, 2)])
+        result = MatchResult(query_nodes=("a", "b"), matches=table)
+        assert result.match_count == 1
+        assert result.as_dicts() == [{"a": 1, "b": 2}]
+        assert result.assignments() == result.as_dicts()
+
+    def test_default_stats(self):
+        result = MatchResult(query_nodes=("a",), matches=MatchTable(("a",)))
+        assert isinstance(result.stats, StageStats)
+        assert result.stats.truncated is False
+
+    def test_repr(self):
+        result = MatchResult(query_nodes=("a",), matches=MatchTable(("a",)))
+        assert "matches=0" in repr(result)

@@ -1,0 +1,116 @@
+"""Unit tests for EdgeStatistics and statistics-aware ordering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.vf2 import vf2_match
+from repro.cloud.cluster import MemoryCloud
+from repro.cloud.config import ClusterConfig
+from repro.core.decomposition import stwig_order_selection
+from repro.core.engine import SubgraphMatcher
+from repro.core.planner import MatcherConfig
+from repro.core.statistics import EdgeStatistics
+from repro.core.stwig import validate_cover
+from repro.graph.labeled_graph import LabeledGraph
+from repro.query.query_graph import QueryGraph
+from repro.workloads.datasets import paper_figure5_graph, tiny_example_graph
+
+
+@pytest.fixture
+def stats() -> EdgeStatistics:
+    return EdgeStatistics.from_graph(tiny_example_graph())
+
+
+class TestCollection:
+    def test_label_frequencies(self, stats):
+        assert stats.label_frequency("a") == 2
+        assert stats.label_frequency("b") == 2
+        assert stats.label_frequency("zzz") == 0
+
+    def test_pair_frequencies(self, stats):
+        # tiny graph edges: a-b x2, a-c x2, b-c x1, c-d x1, d-b x1.
+        assert stats.pair_frequency("a", "b") == 2
+        assert stats.pair_frequency("b", "a") == 2
+        assert stats.pair_frequency("c", "d") == 1
+        assert stats.pair_frequency("a", "d") == 0
+
+    def test_edge_selectivity(self, stats):
+        assert stats.edge_selectivity("c", "d") == pytest.approx(1 / 7)
+        assert stats.total_edges == 7
+
+    def test_expected_stwig_matches(self, stats):
+        # STwig rooted at 'c' (1 node) with leaves a and d:
+        # 1 root * (2 a-edges / 1) * (1 d-edge / 1) = 2.
+        assert stats.expected_stwig_matches("c", ("a", "d")) == pytest.approx(2.0)
+        assert stats.expected_stwig_matches("zzz", ("a",)) == 0.0
+
+    def test_size_in_entries_is_small(self, stats):
+        assert stats.size_in_entries() <= 4 + 5
+
+    def test_from_cloud_matches_from_graph(self):
+        graph = paper_figure5_graph()
+        from_graph = EdgeStatistics.from_graph(graph)
+        cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=3))
+        from_cloud = EdgeStatistics.from_cloud(cloud)
+        assert from_cloud.total_edges == from_graph.total_edges
+        for label_a in graph.distinct_labels():
+            for label_b in graph.distinct_labels():
+                assert from_cloud.pair_frequency(label_a, label_b) == from_graph.pair_frequency(
+                    label_a, label_b
+                )
+
+
+class TestStatisticsAwareOrdering:
+    def test_cover_still_valid(self, stats):
+        query = QueryGraph(
+            {"qa": "a", "qb": "b", "qc": "c", "qd": "d"},
+            [("qa", "qb"), ("qa", "qc"), ("qb", "qc"), ("qc", "qd")],
+        )
+        graph = tiny_example_graph()
+        ordered = stwig_order_selection(
+            query, graph.label_frequencies(), seed=1, edge_statistics=stats
+        )
+        validate_cover(query, ordered)
+
+    def test_most_selective_edge_chosen_first(self):
+        # Data graph: the x-y pair appears once, the x-z pair 50 times.
+        labels = {0: "x", 1: "y"}
+        edges = [(0, 1)]
+        next_id = 2
+        for _ in range(50):
+            labels[next_id] = "x"
+            labels[next_id + 1] = "z"
+            edges.append((next_id, next_id + 1))
+            next_id += 2
+        graph = LabeledGraph.from_edges(labels, edges)
+        stats = EdgeStatistics.from_graph(graph)
+        query = QueryGraph(
+            {"qx": "x", "qy": "y", "qz": "z"}, [("qx", "qy"), ("qx", "qz")]
+        )
+        ordered = stwig_order_selection(
+            query, graph.label_frequencies(), seed=1, edge_statistics=stats
+        )
+        # The first STwig must cover the rare x-y edge (not only the common x-z one).
+        assert ("qx", "qy") in ordered[0].covered_edges()
+
+    def test_engine_results_unchanged_with_statistics(self):
+        graph = paper_figure5_graph()
+        stats = EdgeStatistics.from_graph(graph)
+        query = QueryGraph(
+            {"q1": "a", "q2": "b", "q3": "c"}, [("q1", "q2"), ("q2", "q3"), ("q1", "q3")]
+        )
+        expected = sorted(tuple(sorted(m.items())) for m in vf2_match(graph, query))
+        cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=3))
+        matcher = SubgraphMatcher(
+            cloud, MatcherConfig(use_edge_statistics=True), statistics=stats
+        )
+        got = sorted(tuple(sorted(m.items())) for m in matcher.match(query).as_dicts())
+        assert got == expected
+
+    def test_statistics_flag_without_statistics_object_is_harmless(self):
+        graph = tiny_example_graph()
+        cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=2))
+        matcher = SubgraphMatcher(cloud, MatcherConfig(use_edge_statistics=True))
+        query = QueryGraph({"x": "c", "y": "d"}, [("x", "y")])
+        assert matcher.match(query).match_count == 1

@@ -1,0 +1,81 @@
+"""Unit tests for GraphBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+
+
+class TestAddNode:
+    def test_add_and_count(self):
+        builder = GraphBuilder()
+        builder.add_node(1, "a").add_node(2, "b")
+        assert builder.node_count == 2
+
+    def test_relabel_same_label_is_noop(self):
+        builder = GraphBuilder().add_node(1, "a").add_node(1, "a")
+        assert builder.node_count == 1
+
+    def test_relabel_different_label_rejected(self):
+        builder = GraphBuilder().add_node(1, "a")
+        with pytest.raises(GraphError):
+            builder.add_node(1, "b")
+
+    def test_non_int_id_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().add_node("x", "a")  # type: ignore[arg-type]
+
+    def test_add_nodes_bulk(self):
+        builder = GraphBuilder().add_nodes({1: "a", 2: "b", 3: "c"})
+        assert builder.node_count == 3
+        assert builder.has_node(2)
+
+
+class TestAddEdge:
+    def test_edge_count_deduplicates(self):
+        builder = GraphBuilder().add_nodes({1: "a", 2: "b"})
+        builder.add_edge(1, 2).add_edge(2, 1)
+        assert builder.edge_count == 1
+
+    def test_self_loop_rejected(self):
+        builder = GraphBuilder().add_node(1, "a")
+        with pytest.raises(GraphError):
+            builder.add_edge(1, 1)
+
+    def test_add_edges_bulk(self):
+        builder = GraphBuilder().add_nodes({1: "a", 2: "b", 3: "c"})
+        builder.add_edges([(1, 2), (2, 3)])
+        assert builder.edge_count == 2
+
+    def test_edge_before_labels_allowed(self):
+        builder = GraphBuilder()
+        builder.add_edge(1, 2)
+        builder.add_nodes({1: "a", 2: "b"})
+        graph = builder.build()
+        assert graph.has_edge(1, 2)
+
+
+class TestBuild:
+    def test_build_roundtrip(self):
+        graph = (
+            GraphBuilder()
+            .add_nodes({1: "a", 2: "b", 3: "c"})
+            .add_edges([(1, 2), (2, 3)])
+            .build()
+        )
+        assert graph.node_count == 3
+        assert graph.edge_count == 2
+        assert graph.neighbors(2) == (1, 3)
+
+    def test_build_rejects_unlabeled_endpoints(self):
+        builder = GraphBuilder().add_node(1, "a")
+        builder.add_edge(1, 2)
+        with pytest.raises(GraphError):
+            builder.build()
+
+    def test_isolated_labeled_node_kept(self):
+        graph = GraphBuilder().add_nodes({1: "a", 2: "b"}).add_edge(1, 2).add_node(3, "c").build()
+        assert graph.node_count == 3
+        assert graph.neighbors(3) == ()

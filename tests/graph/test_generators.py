@@ -1,0 +1,170 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.generators.erdos_renyi import generate_gnm, generate_gnp
+from repro.graph.generators.labels import (
+    assign_uniform_labels,
+    assign_zipf_labels,
+    label_count_for_density,
+    make_label_collection,
+)
+from repro.graph.generators.lookalike import (
+    PATENTS_FULL,
+    WORDNET_FULL,
+    patents_like,
+    wordnet_like,
+)
+from repro.graph.generators.power_law import generate_power_law, power_law_weights
+from repro.graph.generators.rmat import RmatParameters, generate_rmat
+from repro.graph.stats import compute_stats
+
+
+class TestLabelHelpers:
+    def test_make_label_collection(self):
+        labels = make_label_collection(3, prefix="T")
+        assert labels == ["T0", "T1", "T2"]
+
+    def test_make_label_collection_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            make_label_collection(0)
+
+    def test_label_count_for_density(self):
+        assert label_count_for_density(1000, 0.01) == 10
+        assert label_count_for_density(1000, 1.0) == 1000
+
+    def test_label_count_clamped_to_one(self):
+        assert label_count_for_density(100, 1e-9) == 1
+
+    def test_density_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            label_count_for_density(100, 0.0)
+        with pytest.raises(ConfigurationError):
+            label_count_for_density(100, 1.5)
+
+    def test_uniform_assignment_covers_all_nodes(self):
+        labels = assign_uniform_labels(range(50), ["x", "y"], seed=1)
+        assert set(labels) == set(range(50))
+        assert set(labels.values()) <= {"x", "y"}
+
+    def test_uniform_assignment_deterministic(self):
+        first = assign_uniform_labels(range(20), ["x", "y", "z"], seed=5)
+        second = assign_uniform_labels(range(20), ["x", "y", "z"], seed=5)
+        assert first == second
+
+    def test_zipf_assignment_skews_to_first_label(self):
+        labels = assign_zipf_labels(range(2000), ["top", "mid", "rare"], exponent=1.5, seed=3)
+        counts = {label: 0 for label in ["top", "mid", "rare"]}
+        for label in labels.values():
+            counts[label] += 1
+        assert counts["top"] > counts["mid"] > counts["rare"]
+
+
+class TestErdosRenyi:
+    def test_gnm_exact_edge_count(self):
+        graph = generate_gnm(50, 100, label_count=3, seed=2)
+        assert graph.node_count == 50
+        assert graph.edge_count == 100
+
+    def test_gnm_edge_count_clamped(self):
+        graph = generate_gnm(5, 100, label_count=2, seed=2)
+        assert graph.edge_count == 10  # complete graph on 5 nodes
+
+    def test_gnm_deterministic(self):
+        first = generate_gnm(30, 60, seed=9)
+        second = generate_gnm(30, 60, seed=9)
+        assert sorted(first.edges()) == sorted(second.edges())
+        assert first.labels() == second.labels()
+
+    def test_gnp_expected_edges(self):
+        graph = generate_gnp(40, 0.1, label_count=2, seed=4)
+        expected = round(0.1 * 40 * 39 / 2)
+        assert graph.edge_count == expected
+
+    def test_gnm_zero_edges(self):
+        graph = generate_gnm(10, 0, seed=1)
+        assert graph.edge_count == 0
+
+
+class TestRmat:
+    def test_node_and_edge_counts(self):
+        graph = generate_rmat(500, 8.0, label_density=0.02, seed=3)
+        assert graph.node_count == 500
+        # Duplicate collisions may lose a few edges, but we should be close.
+        assert graph.edge_count >= 0.8 * 500 * 8 / 2
+
+    def test_labels_respect_density(self):
+        graph = generate_rmat(1000, 4.0, label_density=0.01, seed=3)
+        assert len(graph.distinct_labels()) <= 10
+
+    def test_deterministic(self):
+        first = generate_rmat(200, 4.0, seed=11)
+        second = generate_rmat(200, 4.0, seed=11)
+        assert sorted(first.edges()) == sorted(second.edges())
+
+    def test_skewed_degree_distribution(self):
+        graph = generate_rmat(2000, 8.0, seed=5)
+        stats = compute_stats(graph)
+        # R-MAT should produce hubs well above the average degree.
+        assert stats.max_degree > 3 * stats.average_degree
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RmatParameters(a=0.5, b=0.5, c=0.5, d=0.5).validate()
+
+    def test_no_self_loops(self):
+        graph = generate_rmat(300, 6.0, seed=7)
+        assert all(u != v for u, v in graph.edges())
+
+
+class TestPowerLaw:
+    def test_weights_scaled_to_average_degree(self):
+        weights = power_law_weights(100, 2.5, 10.0)
+        assert sum(weights) / 100 == pytest.approx(10.0)
+
+    def test_exponent_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            power_law_weights(10, 1.0, 5.0)
+
+    def test_generate_power_law_counts(self):
+        graph = generate_power_law(800, 6.0, seed=2)
+        assert graph.node_count == 800
+        assert graph.edge_count >= 0.7 * 800 * 6 / 2
+
+    def test_generate_power_law_has_hubs(self):
+        graph = generate_power_law(2000, 6.0, exponent=2.2, seed=2)
+        stats = compute_stats(graph)
+        assert stats.max_degree > 4 * stats.average_degree
+
+
+class TestLookalikes:
+    def test_patents_like_label_count(self):
+        graph = patents_like(scale=0.002, seed=1)
+        # Label count stays near the original 418 regardless of scale.
+        assert 200 <= len(graph.distinct_labels()) <= PATENTS_FULL[2]
+
+    def test_patents_like_average_degree(self):
+        graph = patents_like(scale=0.002, seed=1)
+        stats = compute_stats(graph)
+        original_degree = 2 * PATENTS_FULL[1] / PATENTS_FULL[0]
+        assert stats.average_degree == pytest.approx(original_degree, rel=0.35)
+
+    def test_wordnet_like_label_count(self):
+        graph = wordnet_like(scale=0.05, seed=1)
+        assert len(graph.distinct_labels()) <= WORDNET_FULL[2]
+
+    def test_wordnet_like_sparser_than_patents(self):
+        wordnet = wordnet_like(scale=0.05, seed=1)
+        patents = patents_like(scale=0.002, seed=1)
+        assert (
+            compute_stats(wordnet).average_degree < compute_stats(patents).average_degree
+        )
+
+    def test_scale_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            patents_like(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            wordnet_like(scale=1.5)

@@ -1,0 +1,66 @@
+"""Unit tests for graph IO (label/edge files)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.io import (
+    load_graph,
+    read_edge_file,
+    read_label_file,
+    save_graph,
+    write_edge_file,
+    write_label_file,
+)
+from repro.graph.labeled_graph import LabeledGraph
+
+
+@pytest.fixture
+def sample_graph() -> LabeledGraph:
+    return LabeledGraph.from_edges(
+        {0: "alpha", 1: "beta", 2: "alpha"}, [(0, 1), (1, 2)]
+    )
+
+
+class TestLabelFile:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "nodes.labels"
+        write_label_file(path, {3: "x", 1: "y"})
+        assert read_label_file(path) == {1: "y", 3: "x"}
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "nodes.labels"
+        path.write_text("# comment\n\n1\tx\n")
+        assert read_label_file(path) == {1: "x"}
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "nodes.labels"
+        path.write_text("1 x y\n")
+        with pytest.raises(GraphError):
+            read_label_file(path)
+
+
+class TestEdgeFile:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "graph.edges"
+        write_edge_file(path, iter([(0, 1), (1, 2)]))
+        assert read_edge_file(path) == [(0, 1), (1, 2)]
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "graph.edges"
+        path.write_text("0\n")
+        with pytest.raises(GraphError):
+            read_edge_file(path)
+
+
+class TestGraphRoundtrip:
+    def test_save_and_load(self, tmp_path, sample_graph):
+        prefix = tmp_path / "g"
+        label_path, edge_path = save_graph(prefix, sample_graph)
+        assert label_path.exists() and edge_path.exists()
+        loaded = load_graph(prefix)
+        assert loaded.node_count == sample_graph.node_count
+        assert loaded.edge_count == sample_graph.edge_count
+        assert loaded.labels() == sample_graph.labels()
+        assert sorted(loaded.edges()) == sorted(sample_graph.edges())

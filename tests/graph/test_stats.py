@@ -1,0 +1,66 @@
+"""Unit tests for graph statistics helpers."""
+
+from __future__ import annotations
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.stats import (
+    compute_stats,
+    degree_histogram,
+    is_connected,
+    label_frequency_table,
+    top_labels,
+)
+
+
+def star_graph() -> LabeledGraph:
+    """A star: node 0 (hub, label h) connected to 4 leaves (label l)."""
+    labels = {0: "h", 1: "l", 2: "l", 3: "l", 4: "l"}
+    return LabeledGraph.from_edges(labels, [(0, i) for i in range(1, 5)])
+
+
+class TestComputeStats:
+    def test_counts(self):
+        stats = compute_stats(star_graph())
+        assert stats.node_count == 5
+        assert stats.edge_count == 4
+        assert stats.label_count == 2
+
+    def test_degrees(self):
+        stats = compute_stats(star_graph())
+        assert stats.min_degree == 1
+        assert stats.max_degree == 4
+        assert stats.average_degree == 2 * 4 / 5
+
+    def test_label_density(self):
+        stats = compute_stats(star_graph())
+        assert stats.label_density == 2 / 5
+
+    def test_as_row_keys(self):
+        row = compute_stats(star_graph()).as_row()
+        assert {"nodes", "edges", "labels", "avg_degree"}.issubset(row)
+
+
+class TestHistogramAndLabels:
+    def test_degree_histogram(self):
+        assert degree_histogram(star_graph()) == {4: 1, 1: 4}
+
+    def test_label_frequency_sorted_desc(self):
+        table = label_frequency_table(star_graph())
+        assert list(table.items()) == [("l", 4), ("h", 1)]
+
+    def test_top_labels(self):
+        assert top_labels(star_graph(), 1) == ("l",)
+        assert top_labels(star_graph(), 5) == ("l", "h")
+
+
+class TestConnectivity:
+    def test_connected_star(self):
+        assert is_connected(star_graph())
+
+    def test_disconnected(self):
+        graph = LabeledGraph.from_edges({0: "a", 1: "a", 2: "b"}, [(0, 1)])
+        assert not is_connected(graph)
+
+    def test_single_node_connected(self):
+        graph = LabeledGraph.from_edges({0: "a"}, [])
+        assert is_connected(graph)

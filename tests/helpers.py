@@ -1,0 +1,19 @@
+"""Test helpers shared across test modules."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+
+def normalize_matches(matches: Iterable[Dict[str, int]]) -> List[tuple]:
+    """Canonical, order-independent form of a list of assignments."""
+    return sorted(tuple(sorted(match.items())) for match in matches)
+
+
+def assert_same_matches(actual: Iterable[Dict[str, int]], expected: Iterable[Dict[str, int]]) -> None:
+    """Assert two match lists contain exactly the same assignments."""
+    actual_normalized = normalize_matches(actual)
+    expected_normalized = normalize_matches(expected)
+    assert actual_normalized == expected_normalized, (
+        f"match sets differ: {len(actual_normalized)} vs {len(expected_normalized)} rows"
+    )

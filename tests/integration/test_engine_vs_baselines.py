@@ -1,0 +1,122 @@
+"""Integration tests: the distributed STwig engine against the VF2 oracle.
+
+These are the core correctness checks of the reproduction — on a spread of
+random graphs, query shapes, machine counts, and engine configurations the
+STwig engine must return exactly the same set of matches as the
+single-machine VF2 baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.vf2 import vf2_match
+from repro.cloud.cluster import MemoryCloud
+from repro.cloud.config import ClusterConfig
+from repro.core.engine import SubgraphMatcher
+from repro.core.planner import MatcherConfig
+from repro.graph.generators.erdos_renyi import generate_gnm
+from repro.graph.generators.power_law import generate_power_law
+from repro.graph.partition import BlockPartitioner, RoundRobinPartitioner
+from repro.query.generators import dfs_query, random_query_from_graph
+from repro.workloads.datasets import paper_figure5_graph
+
+
+def normalize(matches):
+    return sorted(tuple(sorted(m.items())) for m in matches)
+
+
+def stwig_matches(graph, query, machine_count=4, config=None, **cluster_kwargs):
+    cloud = MemoryCloud.from_graph(
+        graph, ClusterConfig(machine_count=machine_count, **cluster_kwargs)
+    )
+    return SubgraphMatcher(cloud, config).match(query).as_dicts()
+
+
+class TestAgainstVf2OnRandomGraphs:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_dfs_queries(self, seed):
+        graph = generate_gnm(70, 180, label_count=4, seed=seed)
+        query = dfs_query(graph, 3 + (seed % 4), seed=seed)
+        expected = normalize(vf2_match(graph, query))
+        assert normalize(stwig_matches(graph, query)) == expected
+        assert len(expected) >= 1
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_queries(self, seed):
+        graph = generate_gnm(70, 180, label_count=4, seed=seed)
+        query = random_query_from_graph(graph, 4, 5, seed=seed)
+        expected = normalize(vf2_match(graph, query))
+        assert normalize(stwig_matches(graph, query)) == expected
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_power_law_graphs(self, seed):
+        graph = generate_power_law(150, 5.0, label_density=0.05, seed=seed)
+        query = dfs_query(graph, 4, seed=seed)
+        expected = normalize(vf2_match(graph, query))
+        assert normalize(stwig_matches(graph, query)) == expected
+
+
+class TestPartitionInvariance:
+    @pytest.mark.parametrize("machine_count", [1, 2, 3, 5, 8])
+    def test_machine_count_does_not_change_results(self, machine_count):
+        graph = paper_figure5_graph()
+        query = dfs_query(graph, 6, seed=11)
+        expected = normalize(vf2_match(graph, query))
+        got = normalize(stwig_matches(graph, query, machine_count=machine_count))
+        assert got == expected
+
+    @pytest.mark.parametrize(
+        "partitioner", [RoundRobinPartitioner(), BlockPartitioner()],
+        ids=["round-robin", "block"],
+    )
+    def test_partitioner_does_not_change_results(self, partitioner):
+        graph = generate_gnm(60, 150, label_count=4, seed=21)
+        query = dfs_query(graph, 5, seed=21)
+        expected = normalize(vf2_match(graph, query))
+        got = normalize(
+            stwig_matches(graph, query, machine_count=3, partitioner=partitioner)
+        )
+        assert got == expected
+
+
+class TestConfigInvariance:
+    CONFIGS = [
+        MatcherConfig(),
+        MatcherConfig(use_order_selection=False),
+        MatcherConfig(use_binding_filter=False),
+        MatcherConfig(use_head_selection=False),
+        MatcherConfig(use_load_set_pruning=False),
+        MatcherConfig(use_final_binding_filter=False),
+        MatcherConfig(max_stwig_leaves=1),
+        MatcherConfig(max_stwig_leaves=2),
+        MatcherConfig(block_size=None),
+        MatcherConfig(block_size=16),
+    ]
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=range(len(CONFIGS)))
+    def test_every_configuration_is_exact(self, config):
+        graph = generate_gnm(60, 160, label_count=4, seed=33)
+        query = dfs_query(graph, 5, seed=33)
+        expected = normalize(vf2_match(graph, query))
+        got = normalize(stwig_matches(graph, query, machine_count=3, config=config))
+        assert got == expected
+
+
+class TestResultLimits:
+    def test_limited_results_are_a_subset_of_full_results(self):
+        graph = generate_gnm(80, 250, label_count=3, seed=5)
+        query = dfs_query(graph, 4, seed=5)
+        full = set(normalize(stwig_matches(graph, query)))
+        cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=3))
+        limited = SubgraphMatcher(cloud).match(query, limit=5)
+        assert limited.match_count <= 5
+        assert set(normalize(limited.as_dicts())) <= full
+
+    def test_limit_larger_than_result_count_is_harmless(self):
+        graph = paper_figure5_graph()
+        query = dfs_query(graph, 5, seed=3)
+        full = normalize(stwig_matches(graph, query))
+        cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=3))
+        limited = SubgraphMatcher(cloud).match(query, limit=10_000)
+        assert normalize(limited.as_dicts()) == full

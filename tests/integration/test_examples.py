@@ -1,0 +1,79 @@
+"""Integration tests for the runnable examples.
+
+The full example scripts are sized for humans; these tests exercise their
+building blocks at reduced scale so a broken example fails in CI rather than
+when a user runs it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import ClusterConfig, MemoryCloud, SubgraphMatcher
+from repro.baselines.vf2 import vf2_match
+from repro.core.planner import MatcherConfig
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    """Import an example script as a module without running its main()."""
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExampleFilesExist:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart",
+            "knowledge_graph_search",
+            "protein_interaction_motifs",
+            "distributed_scaling",
+        ],
+    )
+    def test_example_present_with_main(self, name):
+        module = load_example(name)
+        assert callable(getattr(module, "main"))
+
+
+class TestKnowledgeGraphExample:
+    def test_small_knowledge_graph_queries(self):
+        module = load_example("knowledge_graph_search")
+        graph = module.build_knowledge_graph(
+            people=120, papers=150, venues=6, institutions=8, topics=10, seed=3
+        )
+        assert set(graph.distinct_labels()) == {
+            "person", "paper", "venue", "institution", "topic",
+        }
+        cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=3))
+        matcher = SubgraphMatcher(cloud, MatcherConfig(max_stwig_leaves=3))
+        for query in (
+            module.coauthors_same_institution_query(),
+            module.interdisciplinary_paper_query(),
+        ):
+            result = matcher.match(query, limit=200)
+            expected = vf2_match(graph, query, limit=None)
+            if result.stats.truncated:
+                assert result.match_count == 200
+            else:
+                assert result.match_count == len(expected)
+
+
+class TestPpiExample:
+    def test_motifs_agree_with_vf2(self):
+        module = load_example("protein_interaction_motifs")
+        network = module.build_ppi_network(proteins=600, seed=5)
+        cloud = MemoryCloud.from_graph(network, ClusterConfig(machine_count=3))
+        matcher = SubgraphMatcher(cloud, MatcherConfig(max_stwig_leaves=3))
+        for motif in (module.kinase_cascade_motif(), module.complex_motif()):
+            result = matcher.match(motif)
+            assert result.match_count == len(vf2_match(network, motif))

@@ -1,0 +1,48 @@
+"""Hypothesis strategies for labeled graphs and queries."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.query.query_graph import QueryGraph
+
+LABELS = ("red", "green", "blue")
+
+
+@st.composite
+def labeled_graphs(draw, min_nodes: int = 2, max_nodes: int = 14) -> LabeledGraph:
+    """Random small labeled graphs (possibly disconnected, no self loops)."""
+    node_count = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    labels = {
+        node: draw(st.sampled_from(LABELS)) for node in range(node_count)
+    }
+    possible_edges = [
+        (u, v) for u in range(node_count) for v in range(u + 1, node_count)
+    ]
+    edges = draw(
+        st.lists(st.sampled_from(possible_edges), unique=True, max_size=len(possible_edges))
+    ) if possible_edges else []
+    return LabeledGraph.from_edges(labels, edges)
+
+
+@st.composite
+def connected_queries(draw, min_nodes: int = 1, max_nodes: int = 5) -> QueryGraph:
+    """Random small connected query graphs over the shared label alphabet."""
+    node_count = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    names = [f"q{i}" for i in range(node_count)]
+    labels = {name: draw(st.sampled_from(LABELS)) for name in names}
+    edges = []
+    # Random spanning tree guarantees connectivity.
+    for index in range(1, node_count):
+        parent = draw(st.integers(min_value=0, max_value=index - 1))
+        edges.append((names[parent], names[index]))
+    if node_count >= 2:
+        possible = [
+            (names[u], names[v])
+            for u in range(node_count)
+            for v in range(u + 1, node_count)
+        ]
+        extra = draw(st.lists(st.sampled_from(possible), unique=True, max_size=len(possible)))
+        edges.extend(extra)
+    return QueryGraph(labels, edges)

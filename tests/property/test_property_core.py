@@ -1,0 +1,130 @@
+"""Property-based tests of the core invariants (hypothesis).
+
+The central property: for arbitrary small labeled graphs and arbitrary
+connected queries, the distributed STwig engine returns exactly the match
+set of the VF2 oracle, under every combination of engine options — and all
+returned assignments are valid embeddings (labels, edges, injectivity).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.ullmann import ullmann_match
+from repro.baselines.vf2 import vf2_match
+from repro.cloud.cluster import MemoryCloud
+from repro.cloud.config import ClusterConfig
+from repro.core.decomposition import stwig_order_selection
+from repro.core.engine import SubgraphMatcher
+from repro.core.planner import MatcherConfig
+from repro.core.stwig import validate_cover
+from tests.property.strategies import connected_queries, labeled_graphs
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def normalize(matches):
+    return sorted(tuple(sorted(m.items())) for m in matches)
+
+
+def assert_valid_embedding(graph, query, assignment):
+    values = list(assignment.values())
+    assert len(set(values)) == len(values), "assignment is not injective"
+    for qnode, data_node in assignment.items():
+        assert graph.label(data_node) == query.label(qnode)
+    for u, v in query.edges():
+        assert graph.has_edge(assignment[u], assignment[v])
+
+
+class TestEngineEquivalence:
+    @RELAXED
+    @given(
+        graph=labeled_graphs(),
+        query=connected_queries(),
+        machine_count=st.integers(min_value=1, max_value=4),
+    )
+    def test_engine_matches_vf2(self, graph, query, machine_count):
+        expected = normalize(vf2_match(graph, query))
+        cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=machine_count))
+        result = SubgraphMatcher(cloud).match(query)
+        assert normalize(result.as_dicts()) == expected
+
+    @RELAXED
+    @given(
+        graph=labeled_graphs(),
+        query=connected_queries(min_nodes=2, max_nodes=4),
+        use_order=st.booleans(),
+        use_bindings=st.booleans(),
+        max_leaves=st.sampled_from([None, 1, 2]),
+    )
+    def test_engine_matches_vf2_under_all_options(
+        self, graph, query, use_order, use_bindings, max_leaves
+    ):
+        config = MatcherConfig(
+            use_order_selection=use_order,
+            use_binding_filter=use_bindings,
+            max_stwig_leaves=max_leaves,
+        )
+        expected = normalize(vf2_match(graph, query))
+        cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=2))
+        result = SubgraphMatcher(cloud, config).match(query)
+        assert normalize(result.as_dicts()) == expected
+
+    @RELAXED
+    @given(graph=labeled_graphs(), query=connected_queries())
+    def test_every_returned_assignment_is_a_valid_embedding(self, graph, query):
+        cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=3))
+        result = SubgraphMatcher(cloud).match(query)
+        for assignment in result.as_dicts():
+            assert_valid_embedding(graph, query, assignment)
+
+    @RELAXED
+    @given(graph=labeled_graphs(), query=connected_queries())
+    def test_no_duplicate_assignments(self, graph, query):
+        cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=4))
+        result = SubgraphMatcher(cloud).match(query)
+        assert len(set(result.matches.rows)) == result.match_count
+
+
+class TestBaselineEquivalence:
+    @RELAXED
+    @given(graph=labeled_graphs(max_nodes=10), query=connected_queries(max_nodes=4))
+    def test_ullmann_matches_vf2(self, graph, query):
+        assert normalize(ullmann_match(graph, query)) == normalize(vf2_match(graph, query))
+
+
+class TestDecompositionProperties:
+    @RELAXED
+    @given(
+        query=connected_queries(min_nodes=2, max_nodes=6),
+        frequencies=st.dictionaries(
+            st.sampled_from(("red", "green", "blue")),
+            st.integers(min_value=1, max_value=1000),
+        ),
+    )
+    def test_order_selection_always_produces_valid_cover(self, query, frequencies):
+        stwigs = stwig_order_selection(query, frequencies, seed=1)
+        validate_cover(query, stwigs)
+
+    @RELAXED
+    @given(query=connected_queries(min_nodes=2, max_nodes=6))
+    def test_cover_size_within_2_approximation_of_vertex_cover_bound(self, query):
+        # |cover| <= 2 * |minimum vertex cover| <= 2 * (n - 1) for any connected
+        # query; the paper's Theorem 2 gives the tighter bound vs the optimum,
+        # which we can't compute here, so check the safe structural bound.
+        stwigs = stwig_order_selection(query, {}, seed=1)
+        assert len(stwigs) <= 2 * max(1, query.node_count - 1)
+
+    @RELAXED
+    @given(query=connected_queries(min_nodes=2, max_nodes=6))
+    def test_roots_bound_by_earlier_stwigs(self, query):
+        stwigs = stwig_order_selection(query, {}, seed=1)
+        seen = set(stwigs[0].nodes)
+        for stwig in stwigs[1:]:
+            assert stwig.root in seen
+            seen.update(stwig.nodes)

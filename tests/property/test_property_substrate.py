@@ -1,0 +1,106 @@
+"""Property-based tests for the substrate additions: blob store, statistics,
+naive exploration, and k-hop exploration."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.naive_exploration import naive_exploration_match
+from repro.baselines.vf2 import vf2_match
+from repro.cloud.blob_store import BlobCellStore
+from repro.cloud.cluster import MemoryCloud
+from repro.cloud.config import ClusterConfig
+from repro.core.statistics import EdgeStatistics
+from tests.property.strategies import connected_queries, labeled_graphs
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def normalize(matches):
+    return sorted(tuple(sorted(m.items())) for m in matches)
+
+
+class TestBlobStoreProperties:
+    @RELAXED
+    @given(graph=labeled_graphs())
+    def test_blob_roundtrip_preserves_every_cell(self, graph):
+        blob = BlobCellStore()
+        for node in graph.nodes():
+            cell = graph.cell(node)
+            blob.store_cell(node, cell.label, cell.neighbors)
+        assert blob.node_count == graph.node_count
+        for node in graph.nodes():
+            assert blob.load(node) == graph.cell(node)
+            assert blob.label_of(node) == graph.label(node)
+            assert blob.degree_of(node) == graph.degree(node)
+
+    @RELAXED
+    @given(graph=labeled_graphs())
+    def test_blob_payload_matches_formula(self, graph):
+        blob = BlobCellStore()
+        for node in graph.nodes():
+            cell = graph.cell(node)
+            blob.store_cell(node, cell.label, cell.neighbors)
+        expected = 8 * graph.node_count + 8 * 2 * graph.edge_count
+        assert blob.payload_bytes() == expected
+
+
+class TestStatisticsProperties:
+    @RELAXED
+    @given(graph=labeled_graphs())
+    def test_pair_frequencies_sum_to_edge_count(self, graph):
+        stats = EdgeStatistics.from_graph(graph)
+        labels = graph.distinct_labels()
+        total = 0
+        for i, label_a in enumerate(labels):
+            for label_b in labels[i:]:
+                total += stats.pair_frequency(label_a, label_b)
+        assert total == graph.edge_count
+
+    @RELAXED
+    @given(graph=labeled_graphs())
+    def test_from_cloud_agrees_with_from_graph(self, graph):
+        from_graph = EdgeStatistics.from_graph(graph)
+        cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=2))
+        from_cloud = EdgeStatistics.from_cloud(cloud)
+        for label_a in graph.distinct_labels():
+            for label_b in graph.distinct_labels():
+                assert from_cloud.pair_frequency(label_a, label_b) == from_graph.pair_frequency(
+                    label_a, label_b
+                )
+
+
+class TestNaiveExplorationProperties:
+    @RELAXED
+    @given(
+        graph=labeled_graphs(max_nodes=10),
+        query=connected_queries(max_nodes=4),
+        machine_count=st.integers(min_value=1, max_value=3),
+    )
+    def test_matches_vf2(self, graph, query, machine_count):
+        cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=machine_count))
+        got = normalize(naive_exploration_match(cloud, query))
+        assert got == normalize(vf2_match(graph, query))
+
+
+class TestNeighborhoodExplorationProperties:
+    @RELAXED
+    @given(graph=labeled_graphs(), hops=st.integers(min_value=0, max_value=3))
+    def test_distances_are_valid_bfs_levels(self, graph, hops):
+        cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=2))
+        start = next(iter(graph.nodes()))
+        distances = cloud.explore_neighborhood(start, hops)
+        assert distances[start] == 0
+        for node, distance in distances.items():
+            assert 0 <= distance <= hops
+            if distance > 0:
+                # Some neighbor sits exactly one hop closer to the start.
+                assert any(
+                    distances.get(neighbor) == distance - 1
+                    for neighbor in graph.neighbors(node)
+                )

@@ -1,0 +1,105 @@
+"""Unit tests for the DFS / random query generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.graph.generators.erdos_renyi import generate_gnm
+from repro.query.generators import (
+    dfs_query,
+    query_workload,
+    random_query,
+    random_query_from_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def data_graph():
+    return generate_gnm(200, 600, label_count=6, seed=13)
+
+
+class TestDfsQueries:
+    def test_size_and_connectivity(self, data_graph):
+        query = dfs_query(data_graph, 6, seed=1)
+        assert query.node_count == 6
+        # QueryGraph enforces connectivity at construction; explicit check:
+        assert query.edge_count >= query.node_count - 1
+
+    def test_labels_come_from_graph(self, data_graph):
+        query = dfs_query(data_graph, 5, seed=2)
+        assert set(query.distinct_labels()) <= set(data_graph.distinct_labels())
+
+    def test_dfs_query_always_has_a_match(self, data_graph):
+        from repro.baselines.vf2 import vf2_match
+
+        query = dfs_query(data_graph, 5, seed=3)
+        assert len(vf2_match(data_graph, query, limit=1)) == 1
+
+    def test_deterministic_with_seed(self, data_graph):
+        first = dfs_query(data_graph, 6, seed=9)
+        second = dfs_query(data_graph, 6, seed=9)
+        assert first.labels() == second.labels()
+        assert first.edges() == second.edges()
+
+    def test_too_large_query_rejected(self):
+        tiny = generate_gnm(4, 3, label_count=2, seed=1)
+        with pytest.raises(QueryError):
+            dfs_query(tiny, 10, seed=1)
+
+
+class TestRandomQueries:
+    def test_node_and_edge_counts(self):
+        query = random_query(8, 16, ["x", "y", "z"], seed=4)
+        assert query.node_count == 8
+        assert query.edge_count == 16
+
+    def test_connected_by_spanning_tree(self):
+        # Even with the minimum edge count the query must be connected.
+        query = random_query(10, 9, ["x"], seed=5)
+        assert query.edge_count == 9
+        assert query.node_count == 10
+
+    def test_edge_count_clamped_to_complete_graph(self):
+        query = random_query(4, 100, ["x", "y"], seed=6)
+        assert query.edge_count == 6
+
+    def test_requires_enough_edges(self):
+        with pytest.raises(Exception):
+            random_query(5, 2, ["x"], seed=1)
+
+    def test_labels_drawn_from_collection(self):
+        query = random_query(6, 8, ["only"], seed=7)
+        assert set(query.distinct_labels()) == {"only"}
+
+    def test_from_graph_uses_graph_labels(self, data_graph):
+        query = random_query_from_graph(data_graph, 6, 10, seed=8)
+        assert set(query.distinct_labels()) <= set(data_graph.distinct_labels())
+
+    def test_deterministic_with_seed(self):
+        first = random_query(7, 12, ["a", "b"], seed=10)
+        second = random_query(7, 12, ["a", "b"], seed=10)
+        assert first.edges() == second.edges()
+        assert first.labels() == second.labels()
+
+
+class TestWorkload:
+    def test_batch_size(self, data_graph):
+        queries = query_workload(data_graph, 5, kind="dfs", node_count=4, seed=1)
+        assert len(queries) == 5
+
+    def test_random_kind(self, data_graph):
+        queries = query_workload(
+            data_graph, 3, kind="random", node_count=5, edge_count=7, seed=1
+        )
+        assert all(q.node_count == 5 for q in queries)
+        assert all(q.edge_count == 7 for q in queries)
+
+    def test_unknown_kind_rejected(self, data_graph):
+        with pytest.raises(QueryError):
+            query_workload(data_graph, 2, kind="mystery")
+
+    def test_deterministic_batches(self, data_graph):
+        first = query_workload(data_graph, 4, kind="dfs", node_count=4, seed=2)
+        second = query_workload(data_graph, 4, kind="dfs", node_count=4, seed=2)
+        assert [q.edges() for q in first] == [q.edges() for q in second]

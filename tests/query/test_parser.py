@@ -1,0 +1,74 @@
+"""Unit tests for the textual query parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.parser import format_query, parse_query
+
+
+class TestParse:
+    def test_parse_simple_query(self):
+        query = parse_query(
+            """
+            node u person
+            node v company
+            edge u v
+            """
+        )
+        assert query.node_count == 2
+        assert query.label("u") == "person"
+        assert query.has_edge("u", "v")
+
+    def test_comments_and_blank_lines(self):
+        query = parse_query(
+            """
+            # a triangle
+            node a x
+            node b y
+
+            node c z
+            edge a b   # trailing comment
+            edge b c
+            edge c a
+            """
+        )
+        assert query.edge_count == 3
+
+    def test_unknown_keyword(self):
+        with pytest.raises(QueryError, match="unknown keyword"):
+            parse_query("vertex a x")
+
+    def test_malformed_node_line(self):
+        with pytest.raises(QueryError):
+            parse_query("node a")
+
+    def test_malformed_edge_line(self):
+        with pytest.raises(QueryError):
+            parse_query("node a x\nedge a")
+
+    def test_conflicting_redeclaration(self):
+        with pytest.raises(QueryError, match="redeclared"):
+            parse_query("node a x\nnode a y")
+
+    def test_consistent_redeclaration_ok(self):
+        query = parse_query("node a x\nnode a x\nnode b x\nedge a b")
+        assert query.node_count == 2
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("# only comments\n")
+
+
+class TestFormat:
+    def test_roundtrip(self):
+        text = "node a x\nnode b y\nedge a b\n"
+        query = parse_query(text)
+        assert parse_query(format_query(query)).edges() == query.edges()
+
+    def test_format_contains_all_nodes(self):
+        query = parse_query("node a x\nnode b y\nedge a b")
+        formatted = format_query(query)
+        assert "node a x" in formatted
+        assert "edge a b" in formatted

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.graph.io import load_graph
+
+
+class TestParser:
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "--out", "/tmp/x"])
+        assert args.command == "generate"
+        assert args.kind == "rmat"
+        assert args.nodes == 10_000
+
+    def test_query_arguments(self):
+        args = build_parser().parse_args(
+            ["query", "--graph", "g", "--query-file", "q", "--machines", "2"]
+        )
+        assert args.machines == 2
+        assert args.limit == 1024
+
+    def test_experiment_requires_known_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "not-an-experiment"])
+
+    def test_experiment_registry_covers_all_figures(self):
+        assert {"table1", "table2", "fig8a", "fig8b", "fig8c", "fig9a", "fig9b",
+                "fig10a", "fig10b", "fig10c", "fig10d"} <= set(EXPERIMENTS)
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_generate_then_query_roundtrip(self, tmp_path, capsys):
+        prefix = tmp_path / "graph"
+        exit_code = main(
+            [
+                "generate", "--kind", "gnm", "--nodes", "200", "--edges", "500",
+                "--seed", "3", "--out", str(prefix),
+            ]
+        )
+        assert exit_code == 0
+        graph = load_graph(prefix)
+        assert graph.node_count == 200
+
+        query_file = tmp_path / "pattern.q"
+        query_file.write_text("node u L0\nnode v L1\nedge u v\n", encoding="utf-8")
+        exit_code = main(
+            [
+                "query", "--graph", str(prefix), "--query-file", str(query_file),
+                "--machines", "2", "--limit", "10", "--explain",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "STwig plan" in output
+        assert "matches in" in output
+
+    def test_generate_powerlaw(self, tmp_path, capsys):
+        prefix = tmp_path / "pl"
+        assert main(
+            [
+                "generate", "--kind", "power-law", "--nodes", "300",
+                "--degree", "4", "--seed", "2", "--out", str(prefix),
+            ]
+        ) == 0
+        assert "generated 300 nodes" in capsys.readouterr().out
+
+    def test_experiment_table2_prints_table(self, capsys, monkeypatch):
+        monkeypatch.setitem(
+            EXPERIMENTS, "table2", lambda: [{"nodes": 10, "load_time_s": 0.1}]
+        )
+        assert main(["experiment", "table2"]) == 0
+        output = capsys.readouterr().out
+        assert "experiment: table2" in output
+        assert "nodes" in output

@@ -1,0 +1,96 @@
+"""Unit tests for the utility helpers (RNG, timer, validation)."""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import derive_rng, ensure_rng
+from repro.utils.timer import Timer, timed
+from repro.utils.validation import (
+    require,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+)
+
+
+class TestEnsureRng:
+    def test_seed_gives_deterministic_stream(self):
+        assert ensure_rng(42).random() == ensure_rng(42).random()
+
+    def test_existing_rng_returned_unchanged(self):
+        rng = random.Random(1)
+        assert ensure_rng(rng) is rng
+
+    def test_none_gives_rng(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_derive_rng_independent_streams(self):
+        base = random.Random(3)
+        child_a = derive_rng(base, "a")
+        base2 = random.Random(3)
+        child_b = derive_rng(base2, "b")
+        assert child_a.random() != child_b.random()
+
+
+class TestTimer:
+    def test_accumulates_elapsed(self):
+        timer = Timer()
+        timer.start()
+        time.sleep(0.01)
+        elapsed = timer.stop()
+        assert elapsed >= 0.01
+        assert timer.elapsed == elapsed
+
+    def test_context_manager(self):
+        with timed() as timer:
+            time.sleep(0.005)
+        assert timer.elapsed >= 0.005
+        assert not timer.running
+
+    def test_stop_without_start_is_safe(self):
+        timer = Timer()
+        assert timer.stop() == 0.0
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.002)
+        timer.reset()
+        assert timer.elapsed == 0.0
+
+    def test_running_flag(self):
+        timer = Timer()
+        assert not timer.running
+        timer.start()
+        assert timer.running
+        timer.stop()
+        assert not timer.running
+
+
+class TestValidation:
+    def test_require_passes(self):
+        require(True, "never raised")
+
+    def test_require_raises(self):
+        with pytest.raises(ConfigurationError, match="broken"):
+            require(False, "broken")
+
+    def test_require_positive(self):
+        require_positive(1, "x")
+        with pytest.raises(ConfigurationError):
+            require_positive(0, "x")
+
+    def test_require_non_negative(self):
+        require_non_negative(0, "x")
+        with pytest.raises(ConfigurationError):
+            require_non_negative(-1, "x")
+
+    def test_require_in_range(self):
+        require_in_range(0.5, 0.0, 1.0, "x")
+        with pytest.raises(ConfigurationError):
+            require_in_range(2.0, 0.0, 1.0, "x")
