@@ -1,0 +1,365 @@
+"""CSR substrate vs. the seed dict representation, head to head.
+
+The repository originally stored each machine's partition as a Python dict
+of per-node ``NodeCell`` objects and answered ``Index.hasLabel`` with one
+Python call per neighbor.  The CSR refactor replaced that with interned
+label IDs, offset+neighbor arrays, and batched vectorized label filtering.
+This benchmark quantifies the difference on the paper's workload shape:
+
+* **STwig matching speed** — the exploration phase of the same query plans
+  is executed twice through the identical driver
+  (:func:`repro.core.exploration.explore`): once against a faithful
+  re-implementation of the seed dict store with the seed's per-neighbor
+  probe matcher, once against the CSR memory cloud with the batched
+  matcher.  Result tables are checked row-for-row equal.
+* **Per-machine memory** — the bytes held by the seed-style dict store vs.
+  the CSR arrays, measured with ``tracemalloc`` (allocation truth) and
+  ``sys.getsizeof`` / ``ndarray.nbytes`` (structure size).
+
+Run ``python benchmarks/bench_csr_substrate.py`` for the paper-scale
+100k-node power-law comparison (writes ``benchmarks/results/csr_substrate.json``),
+or ``--quick`` for a CI-sized smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+import tracemalloc
+from itertools import product
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cloud.cluster import MemoryCloud
+from repro.cloud.config import ClusterConfig
+from repro.cloud.metrics import CloudMetrics
+from repro.core.engine import SubgraphMatcher
+from repro.core.exploration import explore
+from repro.core.planner import MatcherConfig
+from repro.core.result import MatchTable
+from repro.graph.generators.power_law import generate_power_law
+from repro.graph.labeled_graph import LabeledGraph, NodeCell
+from repro.query.generators import dfs_query
+
+
+# --------------------------------------------------------------------------
+# Faithful re-implementation of the seed (pre-CSR) representation: dict of
+# NodeCell objects per machine, dict label index, one hasLabel per neighbor.
+# --------------------------------------------------------------------------
+
+
+class SeedLabelIndex:
+    """The seed's dict-based per-machine label index."""
+
+    def __init__(self) -> None:
+        self._label_to_nodes: Dict[str, List[int]] = {}
+        self._node_to_label: Dict[int, str] = {}
+
+    def add(self, node_id: int, label: str) -> None:
+        self._label_to_nodes.setdefault(label, []).append(node_id)
+        self._node_to_label[node_id] = label
+
+    def sort(self) -> None:
+        for nodes in self._label_to_nodes.values():
+            nodes.sort()
+
+    def get_ids(self, label: str) -> Tuple[int, ...]:
+        return tuple(self._label_to_nodes.get(label, ()))
+
+    def has_label(self, node_id: int, label: str) -> bool:
+        return self._node_to_label.get(node_id) == label
+
+
+class SeedMachine:
+    """The seed's dict-of-NodeCell partition store."""
+
+    def __init__(self, machine_id: int) -> None:
+        self.machine_id = machine_id
+        self.cells: Dict[int, NodeCell] = {}
+        self.label_index = SeedLabelIndex()
+
+    def store_cell(self, node_id: int, label: str, neighbors: Tuple[int, ...]) -> None:
+        self.cells[node_id] = NodeCell(node_id, label, neighbors)
+        self.label_index.add(node_id, label)
+
+
+class SeedCloud:
+    """Enough of the seed MemoryCloud surface to drive the exploration phase."""
+
+    def __init__(self, graph: LabeledGraph, reference: MemoryCloud) -> None:
+        self.machine_count = reference.machine_count
+        self.metrics = CloudMetrics()
+        self._owner: Dict[int, int] = {}
+        self.machines = [SeedMachine(m) for m in range(self.machine_count)]
+        for machine in reference.machines:
+            for node_id in machine.local_nodes():
+                self._owner[node_id] = machine.machine_id
+        for node_id in graph.nodes():
+            cell = graph.cell(node_id)
+            self.machines[self._owner[node_id]].store_cell(
+                node_id, cell.label, cell.neighbors
+            )
+        for machine in self.machines:
+            machine.label_index.sort()
+
+    def owner_of(self, node_id: int) -> int:
+        return self._owner[node_id]
+
+    def load(self, node_id: int, requester: Optional[int] = None) -> NodeCell:
+        owner = self._owner[node_id]
+        cell = self.machines[owner].cells[node_id]
+        self.metrics.record_load(
+            -1 if requester is None else requester, owner, len(cell.neighbors)
+        )
+        return cell
+
+    def get_local_ids(self, machine_id: int, label: str) -> Tuple[int, ...]:
+        ids = self.machines[machine_id].label_index.get_ids(label)
+        self.metrics.record_index_lookup(machine_id, len(ids))
+        return ids
+
+    def has_label(self, node_id: int, label: str, requester: Optional[int] = None) -> bool:
+        owner = self._owner[node_id]
+        self.metrics.record_label_probe(
+            owner if requester is None else requester, owner
+        )
+        return self.machines[owner].label_index.has_label(node_id, label)
+
+
+def seed_match_stwig(cloud, machine_id, stwig, query, bindings=None, row_limit=None):
+    """The seed repository's match_stwig: per-root cell loads, one Python
+    ``hasLabel`` call per neighbor per unbound leaf."""
+    table = MatchTable(stwig.nodes)
+    root_label = query.label(stwig.root)
+    if bindings is not None and bindings.is_bound(stwig.root):
+        bound = bindings.candidates(stwig.root) or set()
+        root_candidates = tuple(
+            sorted(n for n in bound if cloud.owner_of(n) == machine_id)
+        )
+    else:
+        root_candidates = cloud.get_local_ids(machine_id, root_label)
+
+    leaf_labels = [query.label(leaf) for leaf in stwig.leaves]
+    for root_node in root_candidates:
+        cell = cloud.load(root_node, requester=machine_id)
+        slots: Optional[List[List[int]]] = []
+        for leaf, leaf_label in zip(stwig.leaves, leaf_labels):
+            bound = bindings.candidates(leaf) if bindings is not None else None
+            if bound is not None:
+                candidates = [n for n in cell.neighbors if n in bound]
+            else:
+                candidates = [
+                    n
+                    for n in cell.neighbors
+                    if cloud.has_label(n, leaf_label, requester=machine_id)
+                ]
+            if not candidates:
+                slots = None
+                break
+            slots.append(candidates)
+        if slots is None:
+            continue
+        for combination in product(*slots):
+            if len(set(combination)) != len(combination) or root_node in combination:
+                continue
+            table.add_row((root_node, *combination))
+            if row_limit is not None and table.row_count >= row_limit:
+                return table
+    return table
+
+
+# --------------------------------------------------------------------------
+# Measurement
+# --------------------------------------------------------------------------
+
+
+def seed_store_nbytes(cloud: SeedCloud) -> int:
+    """sys.getsizeof-based footprint of the seed dict representation."""
+    total = 0
+    for machine in cloud.machines:
+        total += sys.getsizeof(machine.cells)
+        for cell in machine.cells.values():
+            total += sys.getsizeof(cell)
+            total += sys.getsizeof(cell.neighbors)
+            total += 28 * len(cell.neighbors)  # one small int object per entry
+        index = machine.label_index
+        total += sys.getsizeof(index._label_to_nodes)
+        total += sys.getsizeof(index._node_to_label)
+        for nodes in index._label_to_nodes.values():
+            total += sys.getsizeof(nodes)
+    return total
+
+
+def traced(build):
+    """Run ``build()`` under tracemalloc; return (result, allocated_bytes)."""
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    before, _ = tracemalloc.get_traced_memory()
+    result = build()
+    after, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, max(after - before, 0)
+
+
+def exploration_outcome_signature(outcome) -> List[Tuple[int, ...]]:
+    """Sorted row multiset of every per-machine table, for parity checks."""
+    signature = []
+    for per_machine in outcome.tables:
+        for table in per_machine:
+            signature.append(tuple(sorted(table.rows)))
+    return signature
+
+
+def run(args: argparse.Namespace) -> Dict[str, object]:
+    node_count = 10_000 if args.quick else args.nodes
+    query_count = 3 if args.quick else args.queries
+    repeats = 2 if args.quick else args.repeats
+
+    print(f"generating power-law graph: {node_count} nodes ...", flush=True)
+    graph = generate_power_law(
+        node_count,
+        args.avg_degree,
+        label_density=args.label_density,
+        seed=args.seed,
+    )
+    print(f"  -> {graph!r}")
+
+    cloud = MemoryCloud.from_graph(
+        graph, ClusterConfig(machine_count=args.machines)
+    )
+    matcher = SubgraphMatcher(cloud, MatcherConfig(max_stwig_leaves=3))
+    queries = [
+        dfs_query(graph, args.query_size, seed=args.seed + i)
+        for i in range(query_count)
+    ]
+    plans = [matcher.explain(query) for query in queries]
+
+    print("building seed-style dict store ...", flush=True)
+    seed_cloud, seed_alloc = traced(lambda: SeedCloud(graph, cloud))
+    seed_bytes = seed_store_nbytes(seed_cloud)
+    csr_bytes = sum(machine.storage_nbytes() for machine in cloud.machines)
+    _, csr_alloc = traced(
+        lambda: MemoryCloud.from_graph(graph, ClusterConfig(machine_count=args.machines))
+    )
+
+    legacy_times: List[float] = []
+    csr_times: List[float] = []
+    per_query: List[Dict[str, object]] = []
+    for query, plan in zip(queries, plans):
+        legacy_best = csr_best = float("inf")
+        rows_legacy = rows_csr = -1
+        for _ in range(repeats):
+            began = time.perf_counter()
+            legacy_outcome = explore(seed_cloud, plan, match_fn=seed_match_stwig)
+            legacy_best = min(legacy_best, time.perf_counter() - began)
+
+            began = time.perf_counter()
+            csr_outcome = explore(cloud, plan)
+            csr_best = min(csr_best, time.perf_counter() - began)
+
+            rows_legacy = legacy_outcome.total_rows()
+            rows_csr = csr_outcome.total_rows()
+            if exploration_outcome_signature(legacy_outcome) != (
+                exploration_outcome_signature(csr_outcome)
+            ):
+                raise AssertionError(
+                    "CSR exploration diverged from the seed representation"
+                )
+        legacy_times.append(legacy_best)
+        csr_times.append(csr_best)
+        per_query.append(
+            {
+                "query_nodes": len(query.nodes()),
+                "stwigs": len(plan.stwigs),
+                "stwig_rows": rows_csr,
+                "rows_match_seed": rows_legacy == rows_csr,
+                "legacy_ms": round(legacy_best * 1000, 3),
+                "csr_ms": round(csr_best * 1000, 3),
+                "speedup": round(legacy_best / csr_best, 2) if csr_best else None,
+            }
+        )
+        print(f"  query {len(per_query)}: {per_query[-1]}", flush=True)
+
+    total_legacy = sum(legacy_times)
+    total_csr = sum(csr_times)
+    report = {
+        "benchmark": "csr_substrate",
+        "config": {
+            "nodes": node_count,
+            "avg_degree": args.avg_degree,
+            "machines": args.machines,
+            "query_size": args.query_size,
+            "queries": query_count,
+            "repeats": repeats,
+            "seed": args.seed,
+            "quick": bool(args.quick),
+        },
+        "graph": {"nodes": graph.node_count, "edges": graph.edge_count},
+        "stwig_matching": {
+            "legacy_seconds": round(total_legacy, 4),
+            "csr_seconds": round(total_csr, 4),
+            "speedup": round(total_legacy / total_csr, 2),
+            "median_query_speedup": round(
+                statistics.median(
+                    legacy / csr for legacy, csr in zip(legacy_times, csr_times)
+                ),
+                2,
+            ),
+            "per_query": per_query,
+        },
+        "memory_per_cluster": {
+            "legacy_store_bytes_getsizeof": seed_bytes,
+            "legacy_store_bytes_tracemalloc": seed_alloc,
+            "csr_store_bytes_nbytes": csr_bytes,
+            "csr_cloud_bytes_tracemalloc": csr_alloc,
+            "reduction_vs_getsizeof": round(seed_bytes / csr_bytes, 2)
+            if csr_bytes
+            else None,
+        },
+        "results_verified_equal": True,
+    }
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=100_000)
+    parser.add_argument("--avg-degree", type=float, default=6.0)
+    parser.add_argument("--label-density", type=float, default=4e-4)
+    parser.add_argument("--machines", type=int, default=4)
+    parser.add_argument("--queries", type=int, default=6)
+    parser.add_argument("--query-size", type=int, default=5)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--quick", action="store_true", help="CI-sized smoke run")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).parent / "results" / "csr_substrate.json",
+    )
+    args = parser.parse_args(argv)
+
+    report = run(args)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    speedup = report["stwig_matching"]["speedup"]
+    reduction = report["memory_per_cluster"]["reduction_vs_getsizeof"]
+    print(
+        f"\nSTwig matching speedup (CSR vs seed dicts): {speedup}x"
+        f"\nper-machine store size reduction:           {reduction}x"
+        f"\nreport written to {args.output}"
+    )
+    if not args.quick and speedup < 2.0:
+        print("FAILED: expected >= 2x speedup", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,9 +22,10 @@ from __future__ import annotations
 
 import struct
 import sys
-from typing import Dict, Iterable, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, Tuple
 
 from repro.errors import NodeNotFoundError
+from repro.graph.label_table import LabelTable
 from repro.graph.labeled_graph import NodeCell
 
 _HEADER = struct.Struct("<II")
@@ -37,18 +38,13 @@ class BlobCellStore:
     def __init__(self) -> None:
         self._buffer = bytearray()
         self._offsets: Dict[int, int] = {}
-        self._labels: List[str] = []
-        self._label_ids: Dict[str, int] = {}
+        self._label_table = LabelTable()
 
     # -- writing ------------------------------------------------------------
 
     def store_cell(self, node_id: int, label: str, neighbors: Tuple[int, ...]) -> None:
         """Append one cell to the blob (last write wins on duplicate IDs)."""
-        label_id = self._label_ids.get(label)
-        if label_id is None:
-            label_id = len(self._labels)
-            self._labels.append(label)
-            self._label_ids[label] = label_id
+        label_id = self._label_table.intern(label)
         self._offsets[node_id] = len(self._buffer)
         self._buffer.extend(_HEADER.pack(label_id, len(neighbors)))
         for neighbor in neighbors:
@@ -72,7 +68,7 @@ class BlobCellStore:
             _NEIGHBOR.unpack_from(self._buffer, start + i * _NEIGHBOR.size)[0]
             for i in range(degree)
         )
-        return NodeCell(node_id, self._labels[label_id], neighbors)
+        return NodeCell(node_id, self._label_table.label_of(label_id), neighbors)
 
     def label_of(self, node_id: int) -> str:
         """Return only the label of ``node_id`` (no neighbor deserialization)."""
@@ -80,7 +76,7 @@ class BlobCellStore:
         if offset is None:
             raise NodeNotFoundError(node_id, "blob store")
         label_id, _ = _HEADER.unpack_from(self._buffer, offset)
-        return self._labels[label_id]
+        return self._label_table.label_of(label_id)
 
     def degree_of(self, node_id: int) -> int:
         """Return only the degree of ``node_id``."""
@@ -112,7 +108,7 @@ class BlobCellStore:
     def footprint_bytes(self) -> int:
         """Total bytes including the offset index and label dictionary."""
         index_bytes = sys.getsizeof(self._offsets) + self.node_count * 2 * 28
-        label_bytes = sum(sys.getsizeof(label) for label in self._labels)
+        label_bytes = sum(sys.getsizeof(label) for label in self._label_table.labels())
         return len(self._buffer) + index_bytes + label_bytes
 
 

@@ -22,12 +22,15 @@ from __future__ import annotations
 import time
 from typing import Dict, FrozenSet, List, Set, Tuple
 
+import numpy as np
+
 from repro.cloud.config import ClusterConfig
 from repro.cloud.machine import Machine
 from repro.cloud.metrics import CloudMetrics
 from repro.errors import CloudError, NodeNotFoundError
-from repro.graph.labeled_graph import LabeledGraph, NodeCell
+from repro.graph.labeled_graph import NODE_DTYPE, OFFSET_DTYPE, LabeledGraph, NodeCell
 from repro.graph.partition import PartitionAssignment
+from repro.utils.arrays import sorted_lookup
 
 
 class MemoryCloud:
@@ -45,6 +48,14 @@ class MemoryCloud:
         self._label_pairs: Dict[Tuple[int, int], Set[FrozenSet[str]]] = {}
         self._graph_node_count = 0
         self._graph_edge_count = 0
+        # Cluster-wide sorted node IDs + parallel label IDs (set by
+        # load_graph).  The per-machine label indexes answer the same
+        # queries; these arrays let batch_has_label answer a whole candidate
+        # array with one binary search while the *accounting* stays
+        # per-owner-machine.
+        self._global_node_ids: np.ndarray | None = None
+        self._global_label_ids: np.ndarray | None = None
+        self._label_table = None
 
     # -- construction --------------------------------------------------------
 
@@ -71,28 +82,88 @@ class MemoryCloud:
         self._graph_node_count = graph.node_count
         self._graph_edge_count = graph.edge_count
 
-        for node_id in graph.nodes():
-            machine_id = assignment.machine_of(node_id)
-            cell = graph.cell(node_id)
-            self.machines[machine_id].store_cell(node_id, cell.label, cell.neighbors)
+        node_ids = graph.node_id_array()
+        label_ids = graph.label_id_array()
+        offsets = graph.offset_array()
+        neighbors = graph.neighbor_array()
+        counts = np.diff(offsets)
+        machine_of_row = assignment.machine_array_for(node_ids)
+
+        # Every machine shares the graph's label table, so label IDs stay
+        # comparable cluster-wide and CSR slices can be adopted verbatim.
+        for machine in self.machines:
+            local = machine_of_row == machine.machine_id
+            local_ids = node_ids[local]
+            local_labels = label_ids[local]
+            local_counts = counts[local]
+            local_offsets = np.zeros(len(local_ids) + 1, dtype=OFFSET_DTYPE)
+            np.cumsum(local_counts, out=local_offsets[1:])
+            starts = offsets[:-1][local]
+            # Gather each local row out of the graph's flat neighbor array.
+            gather = (
+                np.arange(local_offsets[-1], dtype=OFFSET_DTYPE)
+                + np.repeat(starts - local_offsets[:-1], local_counts)
+            )
+            machine.label_table = graph.label_table
+            machine.label_index.label_table = graph.label_table
+            machine.adopt_partition(
+                local_ids, local_labels, local_offsets, neighbors[gather]
+            )
+
+        self._global_node_ids = node_ids
+        self._global_label_ids = label_ids
+        self._label_table = graph.label_table
 
         if self.config.track_label_pairs:
-            self._record_label_pairs(graph, assignment)
+            self._record_label_pairs(graph, machine_of_row)
 
         self.loading_seconds = time.perf_counter() - started
         return self.loading_seconds
 
     def _record_label_pairs(
-        self, graph: LabeledGraph, assignment: PartitionAssignment
+        self, graph: LabeledGraph, machine_of_row: np.ndarray
     ) -> None:
-        """Record label pairs per machine pair for cluster-graph construction."""
+        """Record label pairs per machine pair for cluster-graph construction.
+
+        Fully vectorized: every undirected edge is reduced to a packed
+        ``(machine pair, label pair)`` integer, deduplicated with
+        ``np.unique``, and only the distinct combinations are converted back
+        to Python objects.
+        """
+        node_ids = graph.node_id_array()
+        label_ids = graph.label_id_array()
+        neighbors = graph.neighbor_array()
+        counts = np.diff(graph.offset_array())
+        source_rows = np.repeat(
+            np.arange(len(node_ids), dtype=OFFSET_DTYPE), counts
+        )
+        forward = node_ids[source_rows] < neighbors
+        source_rows = source_rows[forward]
+        target_rows = np.searchsorted(node_ids, neighbors[forward])
+
+        machine_u = machine_of_row[source_rows].astype(np.int64)
+        machine_v = machine_of_row[target_rows].astype(np.int64)
+        label_u = label_ids[source_rows].astype(np.int64)
+        label_v = label_ids[target_rows].astype(np.int64)
+        machine_lo = np.minimum(machine_u, machine_v)
+        machine_hi = np.maximum(machine_u, machine_v)
+        label_lo = np.minimum(label_u, label_v)
+        label_hi = np.maximum(label_u, label_v)
+
+        machine_count = max(self.config.machine_count, 1)
+        label_count = max(len(graph.label_table), 1)
+        packed = (
+            (machine_lo * machine_count + machine_hi) * label_count + label_lo
+        ) * label_count + label_hi
+        names = graph.label_table.labels()
         pairs = self._label_pairs
-        for u, v in graph.edges():
-            machine_u = assignment.machine_of(u)
-            machine_v = assignment.machine_of(v)
-            label_pair = frozenset((graph.label(u), graph.label(v)))
-            key = (machine_u, machine_v) if machine_u <= machine_v else (machine_v, machine_u)
-            pairs.setdefault(key, set()).add(label_pair)
+        for value in np.unique(packed).tolist():
+            value, hi = divmod(value, label_count)
+            value, lo = divmod(value, label_count)
+            pair_lo, pair_hi = divmod(value, machine_count)
+            pairs.setdefault((pair_lo, pair_hi), set()).add(
+                frozenset((names[lo], names[hi]))
+            )
 
     # -- Trinity-style operators ----------------------------------------------
 
@@ -113,6 +184,130 @@ class MemoryCloud:
         else:
             self.metrics.record_load(requester_id, owner, len(cell.neighbors))
         return cell
+
+    def load_neighbors(self, node_id: int, requester: int | None = None) -> np.ndarray:
+        """``Cloud.Load(id)`` returning a zero-copy neighbor-ID array slice.
+
+        Metrics accounting is identical to :meth:`load`; only the returned
+        representation differs (no per-call ``NodeCell``/tuple allocation),
+        which is what the STwig matcher's batched filtering consumes.
+        """
+        owner = self.owner_of(node_id)
+        neighbors = self.machines[owner].neighbor_slice(node_id)
+        if requester is None:
+            self.metrics.record_load(-1, owner, len(neighbors))
+        else:
+            self.metrics.record_load(requester, owner, len(neighbors))
+        return neighbors
+
+    def load_neighbors_batch(
+        self, node_ids: np.ndarray, requester: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched ``Cloud.Load`` of many cells' neighbor lists.
+
+        Returns ``(neighbors, counts)``: the concatenated neighbor IDs of
+        every requested cell (in input order) plus each cell's neighbor
+        count.  One load is charged per cell against its owner machine, with
+        the same message/byte accounting as :meth:`load`.
+        """
+        if self._assignment is None:
+            raise CloudError("no graph has been loaded into the cloud")
+        if len(node_ids) == 0:
+            return (
+                np.empty(0, dtype=NODE_DTYPE),
+                np.empty(0, dtype=OFFSET_DTYPE),
+            )
+        owners = self._assignment.machine_array_for(node_ids)
+        distinct = np.unique(owners).tolist()
+        if len(distinct) == 1:
+            owner = distinct[0]
+            neighbors, counts = self.machines[owner].load_rows(node_ids)
+            self.metrics.record_loads(
+                requester, owner, len(node_ids), int(counts.sum())
+            )
+            return neighbors, counts
+        counts = np.zeros(len(node_ids), dtype=OFFSET_DTYPE)
+        parts: Dict[int, np.ndarray] = {}
+        for owner in distinct:
+            selector = owners == owner
+            part_neighbors, part_counts = self.machines[owner].load_rows(
+                node_ids[selector]
+            )
+            counts[selector] = part_counts
+            parts[owner] = part_neighbors
+            self.metrics.record_loads(
+                requester, owner, int(selector.sum()), int(part_counts.sum())
+            )
+        # Reassemble the per-owner gathers back into input order.
+        offsets = np.zeros(len(node_ids) + 1, dtype=OFFSET_DTYPE)
+        np.cumsum(counts, out=offsets[1:])
+        neighbors = np.empty(int(offsets[-1]), dtype=NODE_DTYPE)
+        for owner in distinct:
+            selector = owners == owner
+            starts = offsets[:-1][selector]
+            owner_counts = counts[selector]
+            span = np.zeros(len(owner_counts) + 1, dtype=OFFSET_DTYPE)
+            np.cumsum(owner_counts, out=span[1:])
+            scatter = (
+                np.arange(span[-1], dtype=OFFSET_DTYPE)
+                + np.repeat(starts - span[:-1], owner_counts)
+            )
+            neighbors[scatter] = parts[owner]
+        return neighbors, counts
+
+    def batch_has_label(
+        self,
+        node_ids: np.ndarray,
+        label: str,
+        requester: int,
+        owners: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Batched ``Index.hasLabel``: a boolean mask over ``node_ids``.
+
+        The metrics record one hasLabel probe per candidate, charged against
+        each candidate's owner machine exactly as if each had been probed
+        individually; only the Python call overhead is batched away.  Pass
+        ``owners`` (from :meth:`owners_of_array`) to reuse a precomputed
+        owner array across several probes of the same candidates.
+
+        IDs that are not nodes of the loaded graph yield ``False`` (when
+        ``owners`` is precomputed) or raise ``PartitionError`` (when owner
+        resolution runs here); neighbor lists always contain graph nodes.
+        """
+        if self._assignment is None:
+            raise CloudError("no graph has been loaded into the cloud")
+        if len(node_ids) == 0:
+            return np.empty(0, dtype=bool)
+        if owners is None:
+            owners = self._assignment.machine_array_for(node_ids)
+        for owner, count in enumerate(
+            np.bincount(owners, minlength=len(self.machines)).tolist()
+        ):
+            self.metrics.record_label_probes(requester, owner, count)
+        if self._global_node_ids is None or len(self._global_node_ids) == 0:
+            mask = np.zeros(len(node_ids), dtype=bool)
+            for owner in np.unique(owners).tolist():
+                selector = owners == owner
+                mask[selector] = self.machines[owner].label_index.has_label_mask(
+                    node_ids[selector], label
+                )
+            return mask
+        label_id = self._label_table.id_of(label) if self._label_table else -1
+        if label_id < 0:
+            return np.zeros(len(node_ids), dtype=bool)
+        positions, found = sorted_lookup(self._global_node_ids, node_ids)
+        return found & (self._global_label_ids[positions] == label_id)
+
+    def filter_neighbors_by_label(
+        self, node_ids: np.ndarray, label: str, requester: int
+    ) -> np.ndarray:
+        """Batched ``Index.hasLabel`` keeping the IDs whose label matches.
+
+        Same accounting as :meth:`batch_has_label`; input order preserved.
+        """
+        if len(node_ids) == 0:
+            return np.empty(0, dtype=NODE_DTYPE)
+        return node_ids[self.batch_has_label(node_ids, label, requester)]
 
     def get_local_ids(self, machine_id: int, label: str) -> Tuple[int, ...]:
         """``Index.getID(label)`` on one machine: IDs of *local* nodes with ``label``."""
@@ -186,6 +381,12 @@ class MemoryCloud:
         if self._assignment is None:
             raise CloudError("no graph has been loaded into the cloud")
         return self._assignment.machine_of(node_id)
+
+    def owners_of_array(self, node_ids: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`owner_of` over an array of node IDs."""
+        if self._assignment is None:
+            raise CloudError("no graph has been loaded into the cloud")
+        return self._assignment.machine_array_for(node_ids)
 
     def label_pairs_between(self, machine_a: int, machine_b: int) -> Set[FrozenSet[str]]:
         """Label pairs connected by at least one edge between two machines.

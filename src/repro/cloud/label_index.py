@@ -1,72 +1,185 @@
-"""Per-machine label index (the paper's "string index").
+"""Per-machine label index (the paper's "string index"), array-backed.
 
-The only index the STwig approach uses: a mapping from a text label to the
-IDs of *local* nodes carrying that label, plus a reverse lookup from a local
-node ID to its label.  Both are linear in the partition size and O(1) to
-update, which is the property Table 1 highlights.
+The only index the STwig approach uses: a mapping from a label to the IDs of
+*local* nodes carrying that label, plus a reverse lookup from a local node ID
+to its label.  Both are linear in the partition size, which is the property
+Table 1 highlights.
+
+Labels are interned through a shared
+:class:`~repro.graph.label_table.LabelTable` and the index itself is two
+parallel sorted ``numpy`` arrays (local node IDs + their label IDs), so
+
+* ``hasLabel`` is a binary search plus one integer comparison,
+* ``getID`` returns a cached sorted per-label ID array, and
+* :meth:`filter_ids_with_label` answers ``hasLabel`` for a whole candidate
+  array in one vectorized pass — the batched probe the STwig matcher uses
+  instead of one Python call per neighbor.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.label_table import NO_LABEL, LabelTable
+from repro.graph.labeled_graph import LABEL_DTYPE, NODE_DTYPE
+from repro.utils.arrays import sorted_lookup
 
 
 class LabelIndex:
     """Label -> local node IDs index for one machine's partition."""
 
-    def __init__(self) -> None:
-        self._label_to_nodes: Dict[str, List[int]] = {}
-        self._node_to_label: Dict[int, str] = {}
-        self._sorted = True
+    def __init__(self, label_table: LabelTable | None = None) -> None:
+        self.label_table = label_table if label_table is not None else LabelTable()
+        self._ids = np.empty(0, dtype=NODE_DTYPE)
+        self._label_ids = np.empty(0, dtype=LABEL_DTYPE)
+        self._pending_ids: List[int] = []
+        self._pending_labels: List[int] = []
+        self._by_label: Dict[int, np.ndarray] = {}
+
+    # -- loading -----------------------------------------------------------
 
     def add(self, node_id: int, label: str) -> None:
         """Register a local node under ``label``."""
-        self._label_to_nodes.setdefault(label, []).append(node_id)
-        self._node_to_label[node_id] = label
-        self._sorted = False
+        self._pending_ids.append(node_id)
+        self._pending_labels.append(self.label_table.intern(label))
 
     def add_many(self, items: Iterable[Tuple[int, str]]) -> None:
         """Register many (node_id, label) pairs."""
         for node_id, label in items:
             self.add(node_id, label)
 
+    def adopt(self, node_ids: np.ndarray, label_ids: np.ndarray) -> None:
+        """Adopt pre-built parallel arrays (``node_ids`` sorted ascending).
+
+        Label IDs must come from this index's :attr:`label_table`.  This is
+        the bulk-load path used when a partitioned graph's CSR slices are
+        handed straight to the machines.
+        """
+        self._ids = node_ids
+        self._label_ids = label_ids
+        self._pending_ids.clear()
+        self._pending_labels.clear()
+        self._by_label.clear()
+
+    def _ensure(self) -> None:
+        if not self._pending_ids:
+            return
+        ids = np.concatenate(
+            [self._ids, np.array(self._pending_ids, dtype=NODE_DTYPE)]
+        )
+        labels = np.concatenate(
+            [self._label_ids, np.array(self._pending_labels, dtype=LABEL_DTYPE)]
+        )
+        order = np.argsort(ids, kind="stable")
+        # Re-adding a node overwrites its label (dict semantics): the stable
+        # sort keeps duplicates in insertion order, so keep the last of each
+        # run.
+        ids = ids[order]
+        last_of_run = np.ones(len(ids), dtype=bool)
+        last_of_run[:-1] = ids[:-1] != ids[1:]
+        self._ids = ids[last_of_run]
+        self._label_ids = labels[order[last_of_run]]
+        self._pending_ids.clear()
+        self._pending_labels.clear()
+        self._by_label.clear()
+
+    # -- lookups -----------------------------------------------------------
+
     def get_ids(self, label: str) -> Tuple[int, ...]:
-        """Return local node IDs carrying ``label`` (empty tuple if none)."""
-        self._ensure_sorted()
-        return tuple(self._label_to_nodes.get(label, ()))
+        """Return local node IDs carrying ``label`` (sorted; empty if none)."""
+        return tuple(self.get_ids_array(label).tolist())
+
+    def get_ids_array(self, label: str) -> np.ndarray:
+        """Sorted local node IDs carrying ``label`` (cached array, no copy)."""
+        self._ensure()
+        label_id = self.label_table.id_of(label)
+        if label_id == NO_LABEL:
+            return np.empty(0, dtype=NODE_DTYPE)
+        cached = self._by_label.get(label_id)
+        if cached is None:
+            cached = self._ids[self._label_ids == label_id]
+            self._by_label[label_id] = cached
+        return cached
 
     def has_label(self, node_id: int, label: str) -> bool:
         """True if the local node ``node_id`` carries ``label``."""
-        return self._node_to_label.get(node_id) == label
+        self._ensure()
+        label_id = self.label_table.id_of(label)
+        if label_id == NO_LABEL:
+            return False
+        row = self._row_of(node_id)
+        return row is not None and int(self._label_ids[row]) == label_id
 
-    def label_of(self, node_id: int) -> str | None:
+    def has_label_mask(self, candidates: np.ndarray, label: str) -> np.ndarray:
+        """Vectorized ``hasLabel``: a boolean mask over ``candidates`` marking
+        the local nodes carrying ``label``."""
+        self._ensure()
+        label_id = self.label_table.id_of(label)
+        if label_id == NO_LABEL or len(self._ids) == 0 or len(candidates) == 0:
+            return np.zeros(len(candidates), dtype=bool)
+        positions, found = sorted_lookup(self._ids, candidates)
+        return found & (self._label_ids[positions] == label_id)
+
+    def filter_ids_with_label(
+        self, candidates: np.ndarray, label: str
+    ) -> np.ndarray:
+        """Vectorized ``hasLabel``: the subset of ``candidates`` that are
+        local nodes carrying ``label`` (order of ``candidates`` preserved)."""
+        if len(candidates) == 0:
+            return np.empty(0, dtype=NODE_DTYPE)
+        return candidates[self.has_label_mask(candidates, label)]
+
+    def label_of(self, node_id: int) -> Optional[str]:
         """Return the label of a local node, or None if not local."""
-        return self._node_to_label.get(node_id)
+        self._ensure()
+        row = self._row_of(node_id)
+        if row is None:
+            return None
+        return self.label_table.label_of(int(self._label_ids[row]))
 
     def contains_node(self, node_id: int) -> bool:
         """True if ``node_id`` is indexed on this machine."""
-        return node_id in self._node_to_label
+        self._ensure()
+        return self._row_of(node_id) is not None
+
+    # -- statistics --------------------------------------------------------
 
     def labels(self) -> Tuple[str, ...]:
         """Return the sorted distinct labels present on this machine."""
-        return tuple(sorted(self._label_to_nodes))
+        self._ensure()
+        return tuple(
+            sorted(
+                self.label_table.label_of(int(label_id))
+                for label_id in np.unique(self._label_ids)
+            )
+        )
 
     def label_frequency(self, label: str) -> int:
         """Number of local nodes carrying ``label``."""
-        return len(self._label_to_nodes.get(label, ()))
+        return len(self.get_ids_array(label))
 
     @property
     def node_count(self) -> int:
-        """Number of local nodes indexed."""
-        return len(self._node_to_label)
+        """Number of (distinct) local nodes indexed."""
+        self._ensure()
+        return len(self._ids)
 
     def size_in_entries(self) -> int:
         """Index size measured in entries (for the Table 1 index-size column)."""
-        return len(self._node_to_label) + len(self._label_to_nodes)
+        self._ensure()
+        return len(self._ids) + len(np.unique(self._label_ids))
 
-    def _ensure_sorted(self) -> None:
-        if self._sorted:
-            return
-        for nodes in self._label_to_nodes.values():
-            nodes.sort()
-        self._sorted = True
+    def storage_nbytes(self) -> int:
+        """Bytes held by the index arrays."""
+        self._ensure()
+        return self._ids.nbytes + self._label_ids.nbytes
+
+    def _row_of(self, node_id: int) -> Optional[int]:
+        # Scalar counterpart of utils.arrays.sorted_lookup (kept inline: this
+        # sits under per-node has_label()/label_of() calls).
+        position = int(np.searchsorted(self._ids, node_id))
+        if position < len(self._ids) and int(self._ids[position]) == node_id:
+            return position
+        return None

@@ -1,40 +1,117 @@
-"""One simulated machine of the memory cloud.
+"""One simulated machine of the memory cloud (columnar CSR partition store).
 
 Each machine owns a disjoint partition of the data graph: for every local
 node it stores a cell (label + full neighbor ID list, mirroring Trinity's
 flat cell store) and a local :class:`~repro.cloud.label_index.LabelIndex`.
 Neighbor lists include *remote* neighbors — the cell knows the IDs of its
 neighbors regardless of where those neighbors live, exactly as in Trinity.
+
+Instead of one Python ``NodeCell`` object per node, the partition is four
+``numpy`` arrays (sorted local node IDs, parallel label IDs, CSR offsets,
+and one flat neighbor array).  Cells can still be stored one at a time via
+:meth:`store_cell` (they are staged and merged lazily), but the fast path is
+:meth:`adopt_partition`, which adopts CSR slices produced by the cloud's
+bulk loader without copying per node.  :meth:`neighbor_slice` returns a
+zero-copy view for the matcher's batched filtering.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Iterable, List, Tuple
+
+import numpy as np
 
 from repro.cloud.label_index import LabelIndex
 from repro.errors import NodeNotFoundError
-from repro.graph.labeled_graph import NodeCell
+from repro.graph.label_table import LabelTable
+from repro.utils.arrays import sorted_lookup
+from repro.graph.labeled_graph import (
+    LABEL_DTYPE,
+    NODE_DTYPE,
+    OFFSET_DTYPE,
+    NodeCell,
+)
 
 
 class Machine:
     """Partition store + label index for one cluster machine."""
 
-    def __init__(self, machine_id: int) -> None:
+    def __init__(self, machine_id: int, label_table: LabelTable | None = None) -> None:
         self.machine_id = machine_id
-        self._cells: Dict[int, NodeCell] = {}
-        self.label_index = LabelIndex()
+        self.label_table = label_table if label_table is not None else LabelTable()
+        self.label_index = LabelIndex(self.label_table)
+        self._ids = np.empty(0, dtype=NODE_DTYPE)
+        self._label_ids = np.empty(0, dtype=LABEL_DTYPE)
+        self._offsets = np.zeros(1, dtype=OFFSET_DTYPE)
+        self._neighbors = np.empty(0, dtype=NODE_DTYPE)
+        self._pending: List[Tuple[int, int, Tuple[int, ...]]] = []
 
     # -- loading -----------------------------------------------------------
 
     def store_cell(self, node_id: int, label: str, neighbors: Tuple[int, ...]) -> None:
-        """Store the cell for a local node."""
-        self._cells[node_id] = NodeCell(node_id, label, neighbors)
+        """Store the cell for a local node (staged; merged lazily)."""
+        self._pending.append((node_id, self.label_table.intern(label), tuple(neighbors)))
         self.label_index.add(node_id, label)
 
     def store_cells(self, cells: Iterable[Tuple[int, str, Tuple[int, ...]]]) -> None:
         """Store many cells at once."""
         for node_id, label, neighbors in cells:
             self.store_cell(node_id, label, neighbors)
+
+    def adopt_partition(
+        self,
+        node_ids: np.ndarray,
+        label_ids: np.ndarray,
+        offsets: np.ndarray,
+        neighbors: np.ndarray,
+    ) -> None:
+        """Adopt pre-built CSR arrays for this machine's partition.
+
+        ``node_ids`` must be sorted ascending and ``label_ids`` expressed in
+        this machine's :attr:`label_table`; the cloud loader guarantees both
+        by sharing the graph's table with every machine.
+        """
+        self._ids = node_ids
+        self._label_ids = label_ids
+        self._offsets = offsets
+        self._neighbors = neighbors
+        self._pending.clear()
+        self.label_index.adopt(node_ids, label_ids)
+
+    def _ensure(self) -> None:
+        if not self._pending:
+            return
+        staged_ids = np.array([entry[0] for entry in self._pending], dtype=NODE_DTYPE)
+        staged_labels = np.array(
+            [entry[1] for entry in self._pending], dtype=LABEL_DTYPE
+        )
+        existing_rows = [
+            self._neighbors[self._offsets[row] : self._offsets[row + 1]]
+            for row in range(len(self._ids))
+        ]
+        staged_rows = [
+            np.array(entry[2], dtype=NODE_DTYPE) for entry in self._pending
+        ]
+        ids = np.concatenate([self._ids, staged_ids])
+        labels = np.concatenate([self._label_ids, staged_labels])
+        rows = existing_rows + staged_rows
+        order = np.argsort(ids, kind="stable")
+        # Re-storing a node overwrites it (dict semantics): the stable sort
+        # keeps duplicates in insertion order, so keep the last of each run.
+        ids = ids[order]
+        last_of_run = np.ones(len(ids), dtype=bool)
+        last_of_run[:-1] = ids[:-1] != ids[1:]
+        order = order[last_of_run]
+        self._ids = ids[last_of_run]
+        self._label_ids = labels[order]
+        rows = [rows[position] for position in order.tolist()]
+        self._offsets = np.zeros(len(rows) + 1, dtype=OFFSET_DTYPE)
+        if rows:
+            np.cumsum([len(row) for row in rows], out=self._offsets[1:])
+            self._neighbors = np.concatenate(rows)
+        else:
+            self._neighbors = np.empty(0, dtype=NODE_DTYPE)
+        self._pending.clear()
 
     # -- local access ------------------------------------------------------
 
@@ -44,14 +121,56 @@ class Machine:
         Raises:
             NodeNotFoundError: if the node is not stored on this machine.
         """
-        try:
-            return self._cells[node_id]
-        except KeyError:
-            raise NodeNotFoundError(node_id, f"machine {self.machine_id}") from None
+        row = self._row_of(node_id)
+        if row is None:
+            raise NodeNotFoundError(node_id, f"machine {self.machine_id}")
+        label = self.label_table.label_of(int(self._label_ids[row]))
+        neighbors = tuple(
+            self._neighbors[self._offsets[row] : self._offsets[row + 1]].tolist()
+        )
+        return NodeCell(node_id, label, neighbors)
+
+    def neighbor_slice(self, node_id: int) -> np.ndarray:
+        """Zero-copy view of the stored neighbor IDs of ``node_id``.
+
+        Raises:
+            NodeNotFoundError: if the node is not stored on this machine.
+        """
+        row = self._row_of(node_id)
+        if row is None:
+            raise NodeNotFoundError(node_id, f"machine {self.machine_id}")
+        return self._neighbors[self._offsets[row] : self._offsets[row + 1]]
+
+    def load_rows(self, node_ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched neighbor gather for many locally stored nodes.
+
+        Returns ``(neighbors, counts)`` where ``neighbors`` is the
+        concatenation of each node's sorted neighbor IDs and ``counts`` the
+        per-node neighbor counts (parallel to ``node_ids``).
+
+        Raises:
+            NodeNotFoundError: if any ID is not stored on this machine.
+        """
+        self._ensure()
+        if len(node_ids) == 0:
+            return np.empty(0, dtype=NODE_DTYPE), np.empty(0, dtype=OFFSET_DTYPE)
+        rows, valid = sorted_lookup(self._ids, node_ids)
+        if not valid.all():
+            missing = np.asarray(node_ids)[~valid]
+            raise NodeNotFoundError(int(missing[0]), f"machine {self.machine_id}")
+        starts = self._offsets[rows]
+        counts = self._offsets[rows + 1] - starts
+        out_offsets = np.zeros(len(rows) + 1, dtype=OFFSET_DTYPE)
+        np.cumsum(counts, out=out_offsets[1:])
+        gather = (
+            np.arange(out_offsets[-1], dtype=OFFSET_DTYPE)
+            + np.repeat(starts - out_offsets[:-1], counts)
+        )
+        return self._neighbors[gather], counts
 
     def owns(self, node_id: int) -> bool:
         """True if this machine stores ``node_id``."""
-        return node_id in self._cells
+        return self._row_of(node_id) is not None
 
     def get_ids(self, label: str) -> Tuple[int, ...]:
         """Local Index.getID: IDs of local nodes with ``label``."""
@@ -65,17 +184,42 @@ class Machine:
 
     @property
     def node_count(self) -> int:
-        """Number of nodes stored on this machine."""
-        return len(self._cells)
+        """Number of (distinct) nodes stored on this machine."""
+        self._ensure()
+        return len(self._ids)
 
     def local_nodes(self) -> Tuple[int, ...]:
         """Sorted IDs of the nodes stored on this machine."""
-        return tuple(sorted(self._cells))
+        self._ensure()
+        return tuple(self._ids.tolist())
 
     def memory_footprint_entries(self) -> int:
         """Approximate store size in entries (cells + adjacency + index)."""
-        adjacency_entries = sum(len(cell.neighbors) for cell in self._cells.values())
-        return len(self._cells) + adjacency_entries + self.label_index.size_in_entries()
+        self._ensure()
+        return (
+            len(self._ids) + len(self._neighbors) + self.label_index.size_in_entries()
+        )
+
+    def storage_nbytes(self) -> int:
+        """Bytes held by the partition's CSR arrays and label index."""
+        self._ensure()
+        return (
+            self._ids.nbytes
+            + self._label_ids.nbytes
+            + self._offsets.nbytes
+            + self._neighbors.nbytes
+            + self.label_index.storage_nbytes()
+        )
+
+    def _row_of(self, node_id: int) -> int | None:
+        # Scalar counterpart of utils.arrays.sorted_lookup (kept inline: this
+        # sits under per-node load()/owns() and an array round-trip per call
+        # would dominate).
+        self._ensure()
+        position = int(np.searchsorted(self._ids, node_id))
+        if position < len(self._ids) and int(self._ids[position]) == node_id:
+            return position
+        return None
 
     def __repr__(self) -> str:
         return f"Machine(id={self.machine_id}, nodes={self.node_count})"

@@ -46,14 +46,46 @@ class CloudMetrics:
         self._record_message(requester, owner, 16)
         self._record_message(owner, requester, payload)
 
+    def record_loads(
+        self, requester: int, owner: int, count: int, total_neighbors: int
+    ) -> None:
+        """Record ``count`` cell loads at once (batched hot path).
+
+        ``total_neighbors`` is the summed neighbor count of the loaded
+        cells.  Accounting is identical to ``count`` calls of
+        :meth:`record_load`.
+        """
+        if count <= 0:
+            return
+        if requester == owner:
+            self.local_loads += count
+            return
+        self.remote_loads += count
+        self._record_messages(requester, owner, count, 16)
+        # Responses: 16 bytes fixed + 8 per neighbor, summed over all cells.
+        self.messages += count
+        self.bytes_transferred += 16 * count + 8 * total_neighbors
+        self.per_pair_messages[(owner, requester)] += count
+
     def record_label_probe(self, requester: int, owner: int) -> None:
         """Record an Index.hasLabel(id, label) probe."""
-        if requester == owner:
-            self.local_label_probes += 1
+        self.record_label_probes(requester, owner, 1)
+
+    def record_label_probes(self, requester: int, owner: int, count: int) -> None:
+        """Record ``count`` hasLabel probes at once (batched hot path).
+
+        Accounting is identical to ``count`` calls of
+        :meth:`record_label_probe` — same probe, message, and byte counters —
+        so batched and per-node execution produce the same metrics.
+        """
+        if count <= 0:
             return
-        self.remote_label_probes += 1
-        self._record_message(requester, owner, 24)
-        self._record_message(owner, requester, 1)
+        if requester == owner:
+            self.local_label_probes += count
+            return
+        self.remote_label_probes += count
+        self._record_messages(requester, owner, count, 24)
+        self._record_messages(owner, requester, count, 1)
 
     def record_index_lookup(self, machine: int, result_count: int) -> None:
         """Record a local Index.getID(label) lookup returning ``result_count`` IDs."""
@@ -68,9 +100,14 @@ class CloudMetrics:
         self._record_message(sender, receiver, 16 + rows * row_width * 8)
 
     def _record_message(self, sender: int, receiver: int, size_bytes: int) -> None:
-        self.messages += 1
-        self.bytes_transferred += size_bytes
-        self.per_pair_messages[(sender, receiver)] += 1
+        self._record_messages(sender, receiver, 1, size_bytes)
+
+    def _record_messages(
+        self, sender: int, receiver: int, count: int, size_bytes_each: int
+    ) -> None:
+        self.messages += count
+        self.bytes_transferred += size_bytes_each * count
+        self.per_pair_messages[(sender, receiver)] += count
 
     # -- aggregation -------------------------------------------------------
 

@@ -12,7 +12,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Set
 
+import numpy as np
+
 from repro.errors import QueryError
+from repro.graph.labeled_graph import NODE_DTYPE
 from repro.query.query_graph import QueryGraph
 
 
@@ -24,6 +27,7 @@ class BindingTable:
         self._bindings: Dict[str, Optional[Set[int]]] = {
             node: None for node in query.nodes()
         }
+        self._array_cache: Dict[str, np.ndarray] = {}
 
     def is_bound(self, node: str) -> bool:
         """True if ``node`` has an explicit candidate set."""
@@ -34,6 +38,22 @@ class BindingTable:
         """The candidate set of ``node`` (None when unbound)."""
         self._check(node)
         return self._bindings[node]
+
+    def candidates_array(self, node: str) -> Optional[np.ndarray]:
+        """The candidate set of ``node`` as a sorted array (None when unbound).
+
+        The array is cached until the binding changes, so the vectorized
+        membership filters in the matcher do not re-sort per STwig root.
+        """
+        candidates = self.candidates(node)
+        if candidates is None:
+            return None
+        cached = self._array_cache.get(node)
+        if cached is None:
+            cached = np.fromiter(candidates, dtype=NODE_DTYPE, count=len(candidates))
+            cached.sort()
+            self._array_cache[node] = cached
+        return cached
 
     def allows(self, node: str, data_node: int) -> bool:
         """True if ``data_node`` is eligible for query node ``node``."""
@@ -53,6 +73,7 @@ class BindingTable:
             self._bindings[node] = new_set
         else:
             self._bindings[node] = current & new_set
+        self._array_cache.pop(node, None)
 
     def merge_union(self, node: str, data_nodes: Iterable[int]) -> None:
         """Accumulate ``data_nodes`` into a pending union for ``node``.
@@ -67,6 +88,7 @@ class BindingTable:
             self._bindings[node] = set(data_nodes)
         else:
             current.update(data_nodes)
+        self._array_cache.pop(node, None)
 
     def bound_nodes(self) -> Dict[str, Set[int]]:
         """Mapping of currently-bound query nodes to their candidate sets."""

@@ -9,6 +9,14 @@ only nodes that can still participate in a full match (Section 4.2, step 2).
 The per-machine, per-STwig result tables ``G_k(q_i)`` are kept on their
 machines; only the (much smaller) binding sets travel through the proxy, and
 that traffic is charged to the cloud metrics.
+
+The inner loop rides on the CSR substrate: ``match_stwig`` reads zero-copy
+neighbor slices and filters them with one vectorized label probe per
+machine, and the binding sets it consumes are served as cached sorted arrays
+by :meth:`~repro.core.bindings.BindingTable.candidates_array`, so the
+per-stage cost is dominated by a handful of ``numpy`` operations instead of
+one Python ``hasLabel`` call per neighbor.  The communication *accounting*
+is unchanged: one probe is still charged per neighbor per unbound leaf.
 """
 
 from __future__ import annotations
@@ -56,8 +64,19 @@ class ExplorationOutcome:
         return sum(machine[stwig_index].row_count for machine in self.tables)
 
 
-def explore(cloud: MemoryCloud, plan: QueryPlan) -> ExplorationOutcome:
-    """Run the exploration phase of ``plan`` over ``cloud``."""
+def explore(
+    cloud: MemoryCloud, plan: QueryPlan, match_fn=match_stwig
+) -> ExplorationOutcome:
+    """Run the exploration phase of ``plan`` over ``cloud``.
+
+    Args:
+        cloud: the memory cloud holding the data graph.
+        plan: the query plan to execute.
+        match_fn: the per-machine STwig matcher; defaults to
+            :func:`~repro.core.matcher.match_stwig`.  Benchmarks inject
+            alternative matchers (e.g. the pre-CSR per-node-probe matcher)
+            to compare substrates under the identical exploration driver.
+    """
     query = plan.query
     config = plan.config
     machine_count = cloud.machine_count
@@ -68,7 +87,7 @@ def explore(cloud: MemoryCloud, plan: QueryPlan) -> ExplorationOutcome:
         stage_filter = bindings if config.use_binding_filter else None
         per_machine: List[MatchTable] = []
         for machine_id in range(machine_count):
-            table = match_stwig(
+            table = match_fn(
                 cloud,
                 machine_id,
                 stwig,
@@ -108,10 +127,12 @@ def _update_bindings(
         if table.row_count == 0:
             continue
         # Binding synchronisation traffic: each machine ships its distinct
-        # column values to the proxy once per STwig.
+        # column values to the proxy once per STwig.  One C-level transpose
+        # of the row tuples replaces a per-column scan over all rows.
+        columns = dict(zip(table.columns, zip(*table.rows)))
         distinct_total = 0
         for node in stwig_nodes:
-            values = table.column_values(node)
+            values = set(columns[node])
             union_per_node[node].update(values)
             distinct_total += len(values)
         cloud.metrics.record_result_transfer(

@@ -6,23 +6,36 @@ whose root resides on that machine:
 1. root candidates come from the machine's local label index
    (``Index.getID``) — or, when the root query node is already bound by
    earlier STwigs, from the binding set restricted to local nodes;
-2. each root's cell is loaded (``Cloud.Load``) to obtain its neighbors;
+2. each root's neighbor IDs are loaded (``Cloud.Load``) as a zero-copy CSR
+   slice;
 3. each child slot is filled with neighbors that carry the required label
    (``Index.hasLabel``) and survive the binding filter;
 4. the per-slot candidate lists are combined into rows, enforcing that
    distinct query leaves map to distinct data nodes.
+
+Step 3 is executed *batched across all roots*: the neighbor slices of every
+root candidate are concatenated once, and each leaf slot is resolved with a
+single vectorized label probe (or binding intersection) over that flat
+array.  The communication accounting is unchanged and faithful to the
+per-node model — one ``hasLabel`` probe is charged per neighbor, per
+unbound leaf, only for roots still alive (a root whose earlier slot came up
+empty stops probing, exactly like the per-node loop did).
 """
 
 from __future__ import annotations
 
 from itertools import product
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.cloud.cluster import MemoryCloud
 from repro.core.bindings import BindingTable
 from repro.core.result import MatchTable
 from repro.core.stwig import STwig
+from repro.graph.labeled_graph import NODE_DTYPE, OFFSET_DTYPE
 from repro.query.query_graph import QueryGraph
+from repro.utils.arrays import membership_mask
 
 
 def match_stwig(
@@ -48,26 +61,140 @@ def match_stwig(
         data-node IDs.  Root nodes are always local to ``machine_id``; leaf
         nodes may be remote.
     """
-    columns = stwig.nodes
-    table = MatchTable(columns)
+    table = MatchTable(stwig.nodes)
     root_label = query.label(stwig.root)
-    root_candidates = _root_candidates(cloud, machine_id, stwig, root_label, bindings)
+    roots = _root_candidates(cloud, machine_id, stwig, root_label, bindings)
+    if not roots:
+        return table
 
     leaf_labels = [query.label(leaf) for leaf in stwig.leaves]
-    for root_node in root_candidates:
-        cell = cloud.load(root_node, requester=machine_id)
-        slot_candidates = _leaf_candidates(
-            cloud, machine_id, cell.neighbors, stwig.leaves, leaf_labels, bindings
+    leaf_bindings = [
+        bindings.candidates_array(leaf) if bindings is not None else None
+        for leaf in stwig.leaves
+    ]
+
+    if row_limit is not None:
+        # Truncated runs charge loads/probes root by root, so the metrics
+        # reflect only the work performed before the limit hit — the same
+        # accounting as the per-node execution model.
+        return _match_stwig_limited(
+            cloud, machine_id, table, roots, leaf_labels, leaf_bindings, row_limit
         )
-        if slot_candidates is None:
-            continue
-        for assignment in _injective_products(slot_candidates):
-            if root_node in assignment:
-                continue
-            table.add_row((root_node, *assignment))
+
+    # Load every root's cell once (one Cloud.Load each, as in Algorithm 1),
+    # gathered in a single batched call into one flat neighbor array.
+    root_array = np.asarray(roots, dtype=NODE_DTYPE)
+    neighbors, counts = cloud.load_neighbors_batch(root_array, requester=machine_id)
+    offsets = np.zeros(len(roots) + 1, dtype=OFFSET_DTYPE)
+    np.cumsum(counts, out=offsets[1:])
+    if offsets[-1] == 0:
+        if leaf_labels:
+            return table
+        for root in roots:
+            table.add_row((root,))
             if row_limit is not None and table.row_count >= row_limit:
-                return table
+                break
+        return table
+    entry_root = np.repeat(np.arange(len(roots), dtype=OFFSET_DTYPE), counts)
+    owners: Optional[np.ndarray] = None  # computed on the first unbound leaf
+
+    # Resolve each leaf slot over the flat neighbor array; a root dies when a
+    # slot comes up empty, and dead roots are excluded from later probes.
+    alive = np.ones(len(roots), dtype=bool)
+    slot_values: List[List[int]] = []
+    slot_bounds: List[np.ndarray] = []
+    for leaf_label, bound in zip(leaf_labels, leaf_bindings):
+        entry_alive = alive[entry_root]
+        if bound is not None:
+            # Membership in the binding set already implies the right label,
+            # so no label probe (and no network traffic) is needed.
+            kept = entry_alive & membership_mask(bound, neighbors)
+        else:
+            if owners is None:
+                owners = cloud.owners_of_array(neighbors)
+            probe_at = np.flatnonzero(entry_alive)
+            hit = cloud.batch_has_label(
+                neighbors[probe_at],
+                leaf_label,
+                requester=machine_id,
+                owners=owners[probe_at],
+            )
+            kept = np.zeros(len(neighbors), dtype=bool)
+            kept[probe_at[hit]] = True
+        alive &= np.bincount(
+            entry_root[kept], minlength=len(roots)
+        ).astype(bool)
+        if not alive.any():
+            return table
+        slot_values.append(neighbors[kept].tolist())
+        slot_bounds.append(np.searchsorted(np.flatnonzero(kept), offsets))
+
+    for index in np.flatnonzero(alive).tolist():
+        root_node = roots[index]
+        slots = [
+            values[bounds[index] : bounds[index + 1]]
+            for values, bounds in zip(slot_values, slot_bounds)
+        ]
+        table.add_rows(_stwig_rows(root_node, slots))
     return table
+
+
+def _match_stwig_limited(
+    cloud: MemoryCloud,
+    machine_id: int,
+    table: MatchTable,
+    roots: Sequence[int],
+    leaf_labels: Sequence[str],
+    leaf_bindings: Sequence[Optional[np.ndarray]],
+    row_limit: int,
+) -> MatchTable:
+    """Row-limited matching: one root at a time, stopping at the limit."""
+    for root_node in roots:
+        neighbors = cloud.load_neighbors(root_node, requester=machine_id)
+        slots: Optional[List[List[int]]] = []
+        for leaf_label, bound in zip(leaf_labels, leaf_bindings):
+            if bound is not None:
+                candidates = neighbors[membership_mask(bound, neighbors)].tolist()
+            else:
+                candidates = cloud.filter_neighbors_by_label(
+                    neighbors, leaf_label, requester=machine_id
+                ).tolist()
+            if not candidates:
+                slots = None
+                break
+            slots.append(candidates)
+        if slots is None:
+            continue
+        table.add_rows(_stwig_rows(root_node, slots))
+        if table.row_count >= row_limit:
+            del table.rows[row_limit:]
+            return table
+    return table
+
+
+def _stwig_rows(root_node: int, slots: List[List[int]]) -> List[tuple]:
+    """All rows for one root: injective slot assignments excluding the root.
+
+    The one- and two-leaf shapes (the overwhelming majority under the
+    paper's decompositions) are specialized to plain list comprehensions;
+    wider STwigs fall back to the generic product.
+    """
+    if len(slots) == 1:
+        return [(root_node, a) for a in slots[0] if a != root_node]
+    if len(slots) == 2:
+        first, second = slots
+        return [
+            (root_node, a, b)
+            for a in first
+            if a != root_node
+            for b in second
+            if b != a and b != root_node
+        ]
+    return [
+        (root_node, *assignment)
+        for assignment in _injective_products(slots)
+        if root_node not in assignment
+    ]
 
 
 def _root_candidates(
@@ -76,43 +203,15 @@ def _root_candidates(
     stwig: STwig,
     root_label: str,
     bindings: Optional[BindingTable],
-) -> Tuple[int, ...]:
+) -> Sequence[int]:
     """Local root candidates, using the binding set when the root is bound."""
     if bindings is not None and bindings.is_bound(stwig.root):
-        bound = bindings.candidates(stwig.root) or set()
-        local = tuple(
-            sorted(node for node in bound if cloud.owner_of(node) == machine_id)
-        )
-        return local
+        bound = bindings.candidates_array(stwig.root)
+        if bound is None or len(bound) == 0:
+            return ()
+        owners = cloud.owners_of_array(bound)
+        return bound[owners == machine_id].tolist()
     return cloud.get_local_ids(machine_id, root_label)
-
-
-def _leaf_candidates(
-    cloud: MemoryCloud,
-    machine_id: int,
-    neighbors: Sequence[int],
-    leaves: Tuple[str, ...],
-    leaf_labels: Sequence[str],
-    bindings: Optional[BindingTable],
-) -> Optional[List[List[int]]]:
-    """Per-leaf candidate lists among ``neighbors``; None if any slot is empty."""
-    slots: List[List[int]] = []
-    for leaf, leaf_label in zip(leaves, leaf_labels):
-        bound = bindings.candidates(leaf) if bindings is not None else None
-        if bound is not None:
-            # Membership in the binding set already implies the right label,
-            # so no label probe (and no network traffic) is needed.
-            candidates = [n for n in neighbors if n in bound]
-        else:
-            candidates = [
-                n
-                for n in neighbors
-                if cloud.has_label(n, leaf_label, requester=machine_id)
-            ]
-        if not candidates:
-            return None
-        slots.append(candidates)
-    return slots
 
 
 def _injective_products(slots: List[List[int]]):

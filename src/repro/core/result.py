@@ -41,6 +41,15 @@ class MatchTable:
             )
         self.rows.append(row)
 
+    def add_rows(self, rows: List[Tuple[int, ...]]) -> None:
+        """Append many rows at once (each must match the column count)."""
+        width = len(self.columns)
+        if any(len(row) != width for row in rows):
+            raise ExecutionError(
+                f"row width mismatch: expected {width} columns"
+            )
+        self.rows.extend(rows)
+
     def column_index(self, column: str) -> int:
         """Index of ``column`` within the row tuples."""
         try:

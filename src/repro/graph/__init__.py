@@ -1,6 +1,7 @@
 """Labeled-graph substrate: containers, IO, statistics, partitioning."""
 
 from repro.graph.builder import GraphBuilder
+from repro.graph.label_table import LabelTable
 from repro.graph.labeled_graph import LabeledGraph, NodeCell
 from repro.graph.partition import (
     BlockPartitioner,
@@ -13,6 +14,7 @@ from repro.graph.stats import GraphStats, compute_stats
 
 __all__ = [
     "LabeledGraph",
+    "LabelTable",
     "NodeCell",
     "GraphBuilder",
     "GraphStats",

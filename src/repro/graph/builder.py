@@ -1,11 +1,26 @@
-"""Incremental construction of :class:`~repro.graph.labeled_graph.LabeledGraph`."""
+"""Incremental construction of :class:`~repro.graph.labeled_graph.LabeledGraph`.
+
+Nodes and edges are accumulated in Python dicts/sets (cheap to mutate, with
+duplicate-edge collapsing and validation), and :meth:`GraphBuilder.build`
+assembles the final CSR arrays in one vectorized pass: endpoints are dumped
+into flat arrays, lexsorted into row order, and handed to
+:meth:`LabeledGraph.from_csr` without any per-node Python objects.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Set, Tuple
 
+import numpy as np
+
 from repro.errors import GraphError
-from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.label_table import LabelTable
+from repro.graph.labeled_graph import (
+    LABEL_DTYPE,
+    NODE_DTYPE,
+    OFFSET_DTYPE,
+    LabeledGraph,
+)
 
 
 class GraphBuilder:
@@ -68,7 +83,7 @@ class GraphBuilder:
         return sum(len(n) for n in self._neighbors.values()) // 2
 
     def build(self) -> LabeledGraph:
-        """Finalize and return an immutable :class:`LabeledGraph`.
+        """Finalize and return an immutable CSR :class:`LabeledGraph`.
 
         Raises:
             GraphError: if any edge endpoint never received a label.
@@ -78,12 +93,34 @@ class GraphBuilder:
             raise GraphError(
                 f"{len(unlabeled)} edge endpoints have no label (e.g. {sorted(unlabeled)[:5]})"
             )
-        adjacency = {
-            node: tuple(sorted(neighbors))
-            for node, neighbors in self._neighbors.items()
-        }
-        # Nodes with no edges still need adjacency entries.
-        for node in self._labels:
-            adjacency.setdefault(node, ())
-        edge_count = sum(len(n) for n in adjacency.values()) // 2
-        return LabeledGraph(self._labels, adjacency, edge_count)
+
+        ordered = sorted(self._labels)
+        node_ids = np.array(ordered, dtype=NODE_DTYPE)
+        table = LabelTable()
+        label_ids = np.array(
+            [table.intern(self._labels[node]) for node in ordered], dtype=LABEL_DTYPE
+        )
+
+        entry_count = sum(len(n) for n in self._neighbors.values())
+        sources = np.empty(entry_count, dtype=NODE_DTYPE)
+        targets = np.empty(entry_count, dtype=NODE_DTYPE)
+        cursor = 0
+        for node, adjacent in self._neighbors.items():
+            span = len(adjacent)
+            sources[cursor : cursor + span] = node
+            targets[cursor : cursor + span] = list(adjacent)
+            cursor += span
+
+        # One lexsort puts the adjacency into row order with each row's
+        # neighbor IDs ascending, which is the CSR invariant.
+        order = np.lexsort((targets, sources))
+        sources = sources[order]
+        targets = targets[order]
+        rows = np.searchsorted(node_ids, sources)
+        counts = np.bincount(rows, minlength=len(node_ids))
+        offsets = np.zeros(len(node_ids) + 1, dtype=OFFSET_DTYPE)
+        np.cumsum(counts, out=offsets[1:])
+
+        return LabeledGraph.from_csr(
+            table, node_ids, label_ids, offsets, targets, entry_count // 2
+        )

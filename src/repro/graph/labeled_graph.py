@@ -1,22 +1,36 @@
-"""In-memory labeled graph container.
+"""In-memory labeled graph container (CSR storage).
 
 :class:`LabeledGraph` is the single-machine substrate that everything else
 builds on: generators produce one, the partitioner splits one across the
 simulated memory cloud, and the baselines run directly against one.
 
 The representation mirrors the access pattern of Trinity's cell store as
-described in the paper: looking up a node is an O(1) dictionary access that
-returns the node's label and the IDs of its neighbors (the "cell").  Graphs
-are treated as undirected vertex-labeled graphs, matching the paper's
+described in the paper, but is laid out CSR-style for compactness: node IDs,
+interned label IDs (see :class:`~repro.graph.label_table.LabelTable`), and a
+single flat neighbor array addressed through an offset array.  Looking up a
+node returns its label and the IDs of its neighbors (the "cell"); the hot
+paths read zero-copy ``numpy`` slices instead of per-node Python objects.
+Graphs are treated as undirected vertex-labeled graphs, matching the paper's
 examples (Figure 1) and its definition of subgraph matching (Definition 2).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import chain
 from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import GraphError, NodeNotFoundError
+from repro.graph.label_table import NO_LABEL, LabelTable
+
+#: dtype of node-ID arrays (IDs may be arbitrary Python ints up to 2**63).
+NODE_DTYPE = np.int64
+#: dtype of label-ID arrays (distinct label counts are small).
+LABEL_DTYPE = np.int32
+#: dtype of CSR offset arrays.
+OFFSET_DTYPE = np.int64
 
 
 @dataclass(frozen=True)
@@ -45,6 +59,16 @@ class LabeledGraph:
     The graph is immutable once constructed via :class:`GraphBuilder` or the
     :meth:`from_edges` convenience constructor; all query-time structures
     (the memory cloud, the baselines) only read from it.
+
+    Internally the graph is four arrays plus a shared label table:
+
+    * ``node_id_array()`` — sorted node IDs,
+    * ``label_id_array()`` — per-node interned label IDs (parallel),
+    * ``offset_array()`` / ``neighbor_array()`` — CSR adjacency whose rows
+      are sorted, duplicate-free neighbor *node IDs*.
+
+    The tuple/str accessors of the original dict-based container are kept
+    source-compatible on top of this layout.
     """
 
     def __init__(
@@ -53,22 +77,72 @@ class LabeledGraph:
         adjacency: Mapping[int, Tuple[int, ...]],
         edge_count: int,
     ) -> None:
-        """Build a graph from pre-validated internal structures.
+        """Build a graph from label/adjacency mappings.
 
         Most callers should use :class:`repro.graph.builder.GraphBuilder`
         or :meth:`from_edges` instead of this constructor.
         """
-        self._labels: Dict[int, str] = dict(labels)
-        self._adjacency: Dict[int, Tuple[int, ...]] = dict(adjacency)
-        self._edge_count = edge_count
-        missing = set(self._adjacency) - set(self._labels)
+        missing = set(adjacency) - set(labels)
         if missing:
             raise GraphError(
                 f"adjacency refers to {len(missing)} nodes without labels "
                 f"(e.g. {sorted(missing)[:5]})"
             )
+        table = LabelTable()
+        ordered = sorted(labels)
+        node_ids = np.array(ordered, dtype=NODE_DTYPE)
+        label_ids = np.array(
+            [table.intern(labels[node]) for node in ordered], dtype=LABEL_DTYPE
+        )
+        rows = [sorted(adjacency.get(node, ())) for node in ordered]
+        offsets = np.zeros(len(ordered) + 1, dtype=OFFSET_DTYPE)
+        if rows:
+            np.cumsum([len(row) for row in rows], out=offsets[1:])
+        neighbors = np.fromiter(
+            chain.from_iterable(rows), dtype=NODE_DTYPE, count=int(offsets[-1])
+        )
+        self._init_csr(table, node_ids, label_ids, offsets, neighbors, edge_count)
+
+    def _init_csr(
+        self,
+        label_table: LabelTable,
+        node_ids: np.ndarray,
+        label_ids: np.ndarray,
+        offsets: np.ndarray,
+        neighbors: np.ndarray,
+        edge_count: int,
+    ) -> None:
+        self._label_table = label_table
+        self._node_ids = node_ids
+        self._label_ids = label_ids
+        self._offsets = offsets
+        self._neighbors = neighbors
+        self._edge_count = int(edge_count)
+        self._row_of: Dict[int, int] = {
+            node: row for row, node in enumerate(node_ids.tolist())
+        }
+        self._nodes_by_label: Dict[int, np.ndarray] = {}
 
     # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_csr(
+        cls,
+        label_table: LabelTable,
+        node_ids: np.ndarray,
+        label_ids: np.ndarray,
+        offsets: np.ndarray,
+        neighbors: np.ndarray,
+        edge_count: int,
+    ) -> "LabeledGraph":
+        """Adopt pre-built CSR arrays (no copies; arrays must be consistent).
+
+        ``node_ids`` must be sorted ascending and each CSR row sorted; this
+        is the fast path used by :class:`~repro.graph.builder.GraphBuilder`.
+        """
+        graph = cls.__new__(cls)
+        graph._init_csr(label_table, node_ids, label_ids, offsets, neighbors, edge_count)
+        return graph
 
     @classmethod
     def from_edges(
@@ -94,7 +168,7 @@ class LabeledGraph:
     @property
     def node_count(self) -> int:
         """Number of nodes in the graph."""
-        return len(self._labels)
+        return len(self._node_ids)
 
     @property
     def edge_count(self) -> int:
@@ -102,26 +176,28 @@ class LabeledGraph:
         return self._edge_count
 
     def nodes(self) -> Iterator[int]:
-        """Iterate over node IDs."""
-        return iter(self._labels)
+        """Iterate over node IDs (ascending)."""
+        return iter(self._node_ids.tolist())
 
     def edges(self) -> Iterator[Tuple[int, int]]:
         """Iterate over undirected edges as (u, v) with u < v."""
-        for u, neighbors in self._adjacency.items():
-            for v in neighbors:
-                if u < v:
-                    yield (u, v)
+        counts = np.diff(self._offsets)
+        sources = np.repeat(self._node_ids, counts)
+        forward = sources < self._neighbors
+        yield from zip(sources[forward].tolist(), self._neighbors[forward].tolist())
 
     def has_node(self, node_id: int) -> bool:
         """True if ``node_id`` is a node of the graph."""
-        return node_id in self._labels
+        return node_id in self._row_of
 
     def has_edge(self, u: int, v: int) -> bool:
         """True if there is an edge between ``u`` and ``v``."""
-        neighbors = self._adjacency.get(u)
-        if neighbors is None:
+        row = self._row_of.get(u)
+        if row is None:
             return False
-        return v in self._neighbor_sets().get(u, frozenset())
+        slice_ = self._neighbors[self._offsets[row] : self._offsets[row + 1]]
+        position = int(np.searchsorted(slice_, v))
+        return position < len(slice_) and int(slice_[position]) == v
 
     def label(self, node_id: int) -> str:
         """Return the label of ``node_id``.
@@ -129,63 +205,128 @@ class LabeledGraph:
         Raises:
             NodeNotFoundError: if the node does not exist.
         """
-        try:
-            return self._labels[node_id]
-        except KeyError:
-            raise NodeNotFoundError(node_id) from None
+        row = self._row_of.get(node_id)
+        if row is None:
+            raise NodeNotFoundError(node_id)
+        return self._label_table.label_of(int(self._label_ids[row]))
 
     def neighbors(self, node_id: int) -> Tuple[int, ...]:
         """Return the sorted tuple of neighbors of ``node_id``."""
-        if node_id not in self._labels:
-            raise NodeNotFoundError(node_id)
-        return self._adjacency.get(node_id, ())
+        return tuple(self.neighbor_slice(node_id).tolist())
 
     def degree(self, node_id: int) -> int:
         """Return the degree of ``node_id``."""
-        return len(self.neighbors(node_id))
+        row = self._row_of.get(node_id)
+        if row is None:
+            raise NodeNotFoundError(node_id)
+        return int(self._offsets[row + 1] - self._offsets[row])
 
     def cell(self, node_id: int) -> NodeCell:
         """Return the :class:`NodeCell` for ``node_id`` (label + neighbors)."""
         return NodeCell(node_id, self.label(node_id), self.neighbors(node_id))
 
+    # -- array accessors (zero-copy hot path) -----------------------------
+
+    @property
+    def label_table(self) -> LabelTable:
+        """The shared label-interning table of this graph."""
+        return self._label_table
+
+    def node_id_array(self) -> np.ndarray:
+        """Sorted node IDs as an ``int64`` array (do not mutate)."""
+        return self._node_ids
+
+    def label_id_array(self) -> np.ndarray:
+        """Per-node interned label IDs, parallel to :meth:`node_id_array`."""
+        return self._label_ids
+
+    def offset_array(self) -> np.ndarray:
+        """CSR offsets (length ``node_count + 1``)."""
+        return self._offsets
+
+    def neighbor_array(self) -> np.ndarray:
+        """Flat CSR neighbor-ID array (length ``2 * edge_count``)."""
+        return self._neighbors
+
+    def neighbor_slice(self, node_id: int) -> np.ndarray:
+        """Zero-copy view of the sorted neighbor IDs of ``node_id``."""
+        row = self._row_of.get(node_id)
+        if row is None:
+            raise NodeNotFoundError(node_id)
+        return self._neighbors[self._offsets[row] : self._offsets[row + 1]]
+
+    def label_id_of(self, node_id: int) -> int:
+        """Return the interned label ID of ``node_id``."""
+        row = self._row_of.get(node_id)
+        if row is None:
+            raise NodeNotFoundError(node_id)
+        return int(self._label_ids[row])
+
+    def storage_nbytes(self) -> int:
+        """Bytes held by the CSR arrays (excludes the label table)."""
+        return (
+            self._node_ids.nbytes
+            + self._label_ids.nbytes
+            + self._offsets.nbytes
+            + self._neighbors.nbytes
+        )
+
     # -- label helpers ----------------------------------------------------
 
     def labels(self) -> Dict[int, str]:
         """Return a copy of the node-ID -> label mapping."""
-        return dict(self._labels)
+        names = self._label_table.labels()
+        return {
+            node: names[label_id]
+            for node, label_id in zip(
+                self._node_ids.tolist(), self._label_ids.tolist()
+            )
+        }
 
     def distinct_labels(self) -> Tuple[str, ...]:
         """Return the sorted tuple of distinct labels used in the graph."""
-        return tuple(sorted(set(self._labels.values())))
+        present = np.unique(self._label_ids)
+        return tuple(
+            sorted(self._label_table.label_of(int(label_id)) for label_id in present)
+        )
 
     def nodes_with_label(self, label: str) -> Tuple[int, ...]:
-        """Return the sorted tuple of node IDs carrying ``label``.
+        """Return the sorted tuple of node IDs carrying ``label``."""
+        return tuple(self.nodes_with_label_array(label).tolist())
 
-        This is an O(n) scan; the memory cloud keeps a proper inverted
-        index (the paper's "string index") for query processing.
-        """
-        return tuple(sorted(n for n, l in self._labels.items() if l == label))
+    def nodes_with_label_array(self, label: str) -> np.ndarray:
+        """Sorted node IDs carrying ``label`` as an array (cached, no copy)."""
+        label_id = self._label_table.id_of(label)
+        if label_id == NO_LABEL:
+            return np.empty(0, dtype=NODE_DTYPE)
+        cached = self._nodes_by_label.get(label_id)
+        if cached is None:
+            cached = self._node_ids[self._label_ids == label_id]
+            self._nodes_by_label[label_id] = cached
+        return cached
 
     def label_frequencies(self) -> Dict[str, int]:
         """Return a mapping label -> number of nodes with that label."""
-        freq: Dict[str, int] = {}
-        for label in self._labels.values():
-            freq[label] = freq.get(label, 0) + 1
-        return freq
+        counts = np.bincount(self._label_ids, minlength=len(self._label_table))
+        return {
+            self._label_table.label_of(label_id): int(count)
+            for label_id, count in enumerate(counts.tolist())
+            if count
+        }
 
     # -- misc ---------------------------------------------------------------
 
     def subgraph(self, node_ids: Sequence[int]) -> "LabeledGraph":
         """Return the induced subgraph on ``node_ids`` (IDs preserved)."""
         keep = set(node_ids)
-        unknown = keep - set(self._labels)
+        unknown = keep - self._row_of.keys()
         if unknown:
             raise NodeNotFoundError(sorted(unknown)[0])
-        labels = {n: self._labels[n] for n in keep}
+        labels = {node: self.label(node) for node in keep}
         edges = [
             (u, v)
             for u in keep
-            for v in self._adjacency.get(u, ())
+            for v in self.neighbor_slice(u).tolist()
             if u < v and v in keep
         ]
         return LabeledGraph.from_edges(labels, edges)
@@ -195,30 +336,19 @@ class LabeledGraph:
         import networkx as nx
 
         nx_graph = nx.Graph()
-        for node_id, label in self._labels.items():
+        for node_id, label in self.labels().items():
             nx_graph.add_node(node_id, label=label)
         nx_graph.add_edges_from(self.edges())
         return nx_graph
 
-    def _neighbor_sets(self) -> Dict[int, frozenset]:
-        """Lazily build and cache per-node neighbor sets for has_edge()."""
-        cached = getattr(self, "_neighbor_set_cache", None)
-        if cached is None:
-            cached = {
-                node: frozenset(neighbors)
-                for node, neighbors in self._adjacency.items()
-            }
-            object.__setattr__(self, "_neighbor_set_cache", cached)
-        return cached
-
     def __contains__(self, node_id: object) -> bool:
-        return node_id in self._labels
+        return node_id in self._row_of
 
     def __len__(self) -> int:
-        return len(self._labels)
+        return len(self._node_ids)
 
     def __repr__(self) -> str:
         return (
             f"LabeledGraph(nodes={self.node_count}, edges={self.edge_count}, "
-            f"labels={len(set(self._labels.values()))})"
+            f"labels={len(np.unique(self._label_ids))})"
         )

@@ -15,8 +15,11 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, List
 
+import numpy as np
+
 from repro.errors import PartitionError
-from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.labeled_graph import NODE_DTYPE, LabeledGraph
+from repro.utils.arrays import sorted_lookup
 from repro.utils.validation import require_positive
 
 
@@ -26,6 +29,34 @@ class PartitionAssignment:
 
     machine_count: int
     node_to_machine: Dict[int, int]
+
+    def machine_array_for(self, node_ids: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`machine_of` over an array of node IDs.
+
+        Raises:
+            PartitionError: if any ID in ``node_ids`` has no assignment.
+        """
+        sorted_ids, machines = self._sorted_arrays()
+        positions, found = sorted_lookup(sorted_ids, node_ids)
+        if len(node_ids) and not found.all():
+            missing = np.asarray(node_ids)[~found]
+            raise PartitionError(
+                f"node {int(missing[0])} has no machine assignment"
+            )
+        return machines[positions]
+
+    def _sorted_arrays(self):
+        """Lazily build (sorted node IDs, parallel machine IDs) arrays."""
+        cached = getattr(self, "_array_cache", None)
+        if cached is None:
+            items = sorted(self.node_to_machine.items())
+            sorted_ids = np.array([node for node, _ in items], dtype=NODE_DTYPE)
+            machines = np.array(
+                [machine for _, machine in items], dtype=np.int32
+            )
+            cached = (sorted_ids, machines)
+            object.__setattr__(self, "_array_cache", cached)
+        return cached
 
     def nodes_of(self, machine_id: int) -> List[int]:
         """Return the sorted node IDs assigned to ``machine_id``."""

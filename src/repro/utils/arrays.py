@@ -1,0 +1,39 @@
+"""Shared array primitives for the CSR storage layer.
+
+The storage substrate answers almost every membership question the same
+way: binary-search a sorted ID array and check the landing position.  The
+helpers here centralize that idiom (including the empty-array and
+past-the-end edge cases) so the index, machine store, partition map, and
+matcher do not each hand-roll it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def sorted_lookup(
+    sorted_ids: np.ndarray, values: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Locate ``values`` in ``sorted_ids`` (ascending, duplicate-free).
+
+    Returns ``(positions, found)``: for each value, a clamped candidate
+    index into ``sorted_ids`` and a boolean saying whether the value is
+    actually present there.  Safe for empty inputs on either side.
+    """
+    if len(sorted_ids) == 0 or len(values) == 0:
+        return (
+            np.zeros(len(values), dtype=np.int64),
+            np.zeros(len(values), dtype=bool),
+        )
+    positions = np.searchsorted(sorted_ids, values)
+    positions = np.minimum(positions, len(sorted_ids) - 1)
+    return positions, sorted_ids[positions] == values
+
+
+def membership_mask(sorted_ids: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Boolean mask marking which ``values`` appear in ``sorted_ids``."""
+    _, found = sorted_lookup(sorted_ids, values)
+    return found

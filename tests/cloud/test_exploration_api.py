@@ -5,19 +5,15 @@ from __future__ import annotations
 import pytest
 
 from repro.cloud.cluster import MemoryCloud
-from repro.cloud.config import ClusterConfig
 from repro.errors import CloudError
-from repro.graph.labeled_graph import LabeledGraph
-from repro.graph.partition import RoundRobinPartitioner
+
+from tests.helpers import striped_path_cloud
 
 
 @pytest.fixture
 def path_cloud() -> MemoryCloud:
     """A 6-node path graph 0-1-2-3-4-5 striped over 3 machines round-robin."""
-    labels = {i: "n" for i in range(6)}
-    edges = [(i, i + 1) for i in range(5)]
-    config = ClusterConfig(machine_count=3, partitioner=RoundRobinPartitioner())
-    return MemoryCloud.from_graph(LabeledGraph.from_edges(labels, edges), config)
+    return striped_path_cloud(length=6, machine_count=3)
 
 
 class TestExploreNeighborhood:

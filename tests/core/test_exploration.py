@@ -5,25 +5,22 @@ from __future__ import annotations
 import pytest
 
 from repro.cloud.cluster import MemoryCloud
-from repro.cloud.config import ClusterConfig
 from repro.core.exploration import explore
 from repro.core.planner import MatcherConfig, QueryPlanner
 from repro.query.query_graph import QueryGraph
 from repro.workloads.datasets import paper_figure5_graph, tiny_example_graph
 
+from tests.helpers import make_cloud as build_cloud
+from tests.helpers import triangle_tail_query
+
 
 def make_cloud(machine_count: int = 3) -> MemoryCloud:
-    return MemoryCloud.from_graph(
-        tiny_example_graph(), ClusterConfig(machine_count=machine_count)
-    )
+    return build_cloud(tiny_example_graph(), machine_count=machine_count)
 
 
 @pytest.fixture
 def query() -> QueryGraph:
-    return QueryGraph(
-        {"qa": "a", "qb": "b", "qc": "c", "qd": "d"},
-        [("qa", "qb"), ("qa", "qc"), ("qb", "qc"), ("qc", "qd")],
-    )
+    return triangle_tail_query()
 
 
 class TestExplore:
@@ -101,9 +98,7 @@ class TestExplore:
 
     def test_root_locality(self, query):
         # Every row's root node must be owned by the machine that produced it.
-        cloud = MemoryCloud.from_graph(
-            paper_figure5_graph(), ClusterConfig(machine_count=4)
-        )
+        cloud = build_cloud(paper_figure5_graph(), machine_count=4)
         from repro.query.generators import dfs_query
 
         pattern = dfs_query(paper_figure5_graph(), 5, seed=2)

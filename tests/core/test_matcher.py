@@ -12,35 +12,22 @@ from repro.core.stwig import STwig
 from repro.graph.labeled_graph import LabeledGraph
 from repro.query.query_graph import QueryGraph
 
+from tests.helpers import make_cloud, stwig_example_graph, stwig_example_query
+
 
 @pytest.fixture
 def data_graph() -> LabeledGraph:
     """Small graph with known STwig matches: two 'a' roots, shared children."""
-    labels = {
-        1: "a", 2: "a",
-        10: "b", 11: "b",
-        20: "c",
-        30: "d",
-    }
-    edges = [
-        (1, 10), (1, 20),
-        (2, 10), (2, 11), (2, 20),
-        (10, 20),
-        (20, 30),
-    ]
-    return LabeledGraph.from_edges(labels, edges)
+    return stwig_example_graph()
 
 
 @pytest.fixture
 def query() -> QueryGraph:
-    return QueryGraph(
-        {"qa": "a", "qb": "b", "qc": "c", "qd": "d"},
-        [("qa", "qb"), ("qa", "qc"), ("qc", "qd")],
-    )
+    return stwig_example_query()
 
 
 def single_machine_cloud(graph: LabeledGraph) -> MemoryCloud:
-    return MemoryCloud.from_graph(graph, ClusterConfig(machine_count=1))
+    return make_cloud(graph, machine_count=1)
 
 
 def all_rows(cloud: MemoryCloud, stwig: STwig, query: QueryGraph, bindings=None):

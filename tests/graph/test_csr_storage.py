@@ -1,0 +1,287 @@
+"""Storage-layer unit tests for the CSR graph representation.
+
+Covers the tentpole invariants of the CSR refactor:
+
+* round-trip ``GraphBuilder`` -> ``LabeledGraph`` -> partition -> ``Machine``
+  preserves every neighbor set exactly;
+* the CSR arrays agree with a reference dict-of-sets adjacency;
+* label-table interning is stable (IDs never change once assigned);
+* batched cloud operators (``load_neighbors_batch``, ``batch_has_label``)
+  agree with their per-node counterparts, including metric accounting;
+* empty graphs, isolated nodes, and self-loops behave.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.cluster import MemoryCloud
+from repro.cloud.config import ClusterConfig
+from repro.cloud.label_index import LabelIndex
+from repro.cloud.machine import Machine
+from repro.errors import GraphError, NodeNotFoundError
+from repro.graph.builder import GraphBuilder
+from repro.graph.label_table import NO_LABEL, LabelTable
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.partition import RoundRobinPartitioner
+
+from tests.helpers import make_cloud, seeded_graph
+
+
+class TestLabelTable:
+    def test_intern_assigns_dense_ids(self):
+        table = LabelTable()
+        assert table.intern("a") == 0
+        assert table.intern("b") == 1
+        assert table.intern("a") == 0  # stable on re-intern
+        assert len(table) == 2
+
+    def test_round_trip(self):
+        table = LabelTable(["x", "y", "z"])
+        for label in ("x", "y", "z"):
+            assert table.label_of(table.id_of(label)) == label
+
+    def test_unknown_label(self):
+        table = LabelTable()
+        assert table.id_of("nope") == NO_LABEL
+        assert "nope" not in table
+        with pytest.raises(IndexError):
+            table.label_of(-1)
+
+    def test_interning_stability_across_growth(self):
+        # IDs assigned early never change as more labels arrive.
+        table = LabelTable()
+        first = table.intern("alpha")
+        for extra in range(100):
+            table.intern(f"label-{extra}")
+        assert table.intern("alpha") == first
+        assert table.labels()[first] == "alpha"
+
+
+class TestCsrArrays:
+    def test_arrays_match_reference_adjacency(self):
+        graph = seeded_graph(seed=3, nodes=40, edges=90, labels=3)
+        reference = {node: set(graph.neighbors(node)) for node in graph.nodes()}
+
+        node_ids = graph.node_id_array()
+        offsets = graph.offset_array()
+        neighbors = graph.neighbor_array()
+        assert list(node_ids.tolist()) == sorted(reference)
+        assert int(offsets[-1]) == len(neighbors) == 2 * graph.edge_count
+        for row, node in enumerate(node_ids.tolist()):
+            row_slice = neighbors[offsets[row] : offsets[row + 1]].tolist()
+            assert row_slice == sorted(reference[node])
+
+    def test_neighbor_slice_is_view(self):
+        graph = LabeledGraph.from_edges(
+            {0: "a", 1: "b", 2: "c"}, [(0, 1), (0, 2)]
+        )
+        view = graph.neighbor_slice(0)
+        assert view.base is graph.neighbor_array() or view.base is not None
+        assert view.tolist() == [1, 2]
+
+    def test_label_ids_parallel_to_nodes(self):
+        graph = seeded_graph(seed=5, nodes=30, edges=60, labels=4)
+        names = graph.label_table.labels()
+        for row, node in enumerate(graph.node_id_array().tolist()):
+            assert names[graph.label_id_array()[row]] == graph.label(node)
+
+    def test_storage_smaller_than_dict_representation(self):
+        graph = seeded_graph(seed=9, nodes=200, edges=600, labels=4)
+        import sys
+
+        dict_bytes = 0
+        for node in graph.nodes():
+            neighbors = graph.neighbors(node)
+            dict_bytes += sys.getsizeof(neighbors) + 28 * len(neighbors)
+        assert graph.storage_nbytes() < dict_bytes
+
+
+class TestRoundTripThroughMachines:
+    @pytest.mark.parametrize("machine_count", [1, 3, 4])
+    def test_partition_preserves_neighbor_sets(self, machine_count):
+        graph = seeded_graph(seed=11, nodes=60, edges=150, labels=4)
+        cloud = make_cloud(graph, machine_count=machine_count)
+        seen = set()
+        for machine in cloud.machines:
+            for node in machine.local_nodes():
+                cell = machine.load(node)
+                assert cell.neighbors == graph.neighbors(node)
+                assert cell.label == graph.label(node)
+                seen.add(node)
+        assert seen == set(graph.nodes())
+
+    def test_machines_share_the_graph_label_table(self):
+        graph = seeded_graph(seed=2)
+        cloud = make_cloud(graph, machine_count=3)
+        for machine in cloud.machines:
+            assert machine.label_table is graph.label_table
+
+    def test_store_cell_equivalent_to_adopt(self):
+        # Incrementally stored cells answer exactly like bulk-adopted ones.
+        graph = seeded_graph(seed=7, nodes=25, edges=50, labels=3)
+        manual = Machine(machine_id=0)
+        for node in graph.nodes():
+            manual.store_cell(node, graph.label(node), graph.neighbors(node))
+        cloud = make_cloud(graph, machine_count=1)
+        bulk = cloud.machines[0]
+        assert manual.local_nodes() == bulk.local_nodes()
+        for node in graph.nodes():
+            assert manual.load(node) == bulk.load(node)
+            assert manual.neighbor_slice(node).tolist() == (
+                bulk.neighbor_slice(node).tolist()
+            )
+
+    def test_restore_overwrites_cell(self):
+        # Dict semantics of the seed store: re-storing a node replaces it.
+        machine = Machine(machine_id=0)
+        machine.store_cell(1, "a", (2,))
+        machine.store_cell(1, "b", (3, 4))
+        assert machine.node_count == 1
+        cell = machine.load(1)
+        assert cell.label == "b"
+        assert cell.neighbors == (3, 4)
+        assert machine.label_index.label_of(1) == "b"
+        assert machine.get_ids("a") == ()
+
+    def test_load_rows_on_empty_machine_raises_not_found(self):
+        machine = Machine(machine_id=0)
+        with pytest.raises(NodeNotFoundError):
+            machine.load_rows(np.array([5], dtype=np.int64))
+
+    def test_interleaved_store_and_read(self):
+        machine = Machine(machine_id=1)
+        machine.store_cell(5, "a", (6,))
+        assert machine.load(5).neighbors == (6,)
+        machine.store_cell(3, "b", (5, 9))
+        assert machine.local_nodes() == (3, 5)
+        assert machine.load(3).label == "b"
+        assert machine.get_ids("a") == (5,)
+
+
+class TestBatchedOperators:
+    def test_load_neighbors_batch_matches_per_node(self):
+        graph = seeded_graph(seed=13)
+        cloud = make_cloud(graph, machine_count=3)
+        nodes = np.array(sorted(graph.nodes())[:20], dtype=np.int64)
+        batch_neighbors, counts = cloud.load_neighbors_batch(nodes, requester=0)
+        cursor = 0
+        for node, count in zip(nodes.tolist(), counts.tolist()):
+            expected = graph.neighbors(node)
+            assert tuple(batch_neighbors[cursor : cursor + count].tolist()) == expected
+            cursor += count
+
+    def test_load_neighbors_batch_metric_parity(self):
+        graph = seeded_graph(seed=13)
+        batch_cloud = make_cloud(graph, machine_count=3)
+        scalar_cloud = make_cloud(graph, machine_count=3)
+        nodes = np.array(sorted(graph.nodes())[:25], dtype=np.int64)
+        batch_cloud.reset_metrics()
+        scalar_cloud.reset_metrics()
+        batch_cloud.load_neighbors_batch(nodes, requester=1)
+        for node in nodes.tolist():
+            scalar_cloud.load(node, requester=1)
+        assert batch_cloud.metrics.snapshot() == scalar_cloud.metrics.snapshot()
+
+    def test_batch_has_label_matches_per_node(self):
+        graph = seeded_graph(seed=17)
+        batch_cloud = make_cloud(graph, machine_count=4)
+        scalar_cloud = make_cloud(graph, machine_count=4)
+        nodes = np.array(sorted(graph.nodes()), dtype=np.int64)
+        label = graph.label(int(nodes[0]))
+        batch_cloud.reset_metrics()
+        scalar_cloud.reset_metrics()
+        mask = batch_cloud.batch_has_label(nodes, label, requester=2)
+        expected = [scalar_cloud.has_label(int(n), label, requester=2) for n in nodes]
+        assert mask.tolist() == expected
+        assert batch_cloud.metrics.snapshot() == scalar_cloud.metrics.snapshot()
+
+    def test_batch_has_label_rejects_non_graph_ids(self):
+        graph = LabeledGraph.from_edges({1: "a", 5: "b", 9: "a"}, [(1, 5), (5, 9)])
+        cloud = make_cloud(graph, machine_count=2)
+        # With a precomputed owners array the lookup must not mistake a
+        # nonexistent ID for its searchsorted neighbor.
+        probe = np.array([3, 5, 100], dtype=np.int64)
+        owners = np.zeros(3, dtype=np.int32)
+        mask = cloud.batch_has_label(probe, "b", requester=0, owners=owners)
+        assert mask.tolist() == [False, True, False]
+
+    def test_row_limited_matching_charges_only_work_done(self):
+        # A row-limited match_stwig must not load/probe every root upfront.
+        from repro.core.matcher import match_stwig
+        from repro.core.stwig import STwig
+        from repro.query.query_graph import QueryGraph
+
+        graph = seeded_graph(seed=21, nodes=80, edges=240, labels=2)
+        query = QueryGraph({"r": "L0", "x": "L1"}, [("r", "x")])
+        limited_cloud = make_cloud(graph, machine_count=1)
+        full_cloud = make_cloud(graph, machine_count=1)
+        limited_cloud.reset_metrics()
+        full_cloud.reset_metrics()
+        limited = match_stwig(
+            limited_cloud, 0, STwig("r", ("x",)), query, row_limit=1
+        )
+        full = match_stwig(full_cloud, 0, STwig("r", ("x",)), query)
+        assert limited.row_count == 1
+        assert limited.rows == full.rows[:1]
+        limited_loads = limited_cloud.metrics.snapshot()["local_loads"]
+        full_loads = full_cloud.metrics.snapshot()["local_loads"]
+        assert limited_loads < full_loads
+
+    def test_label_index_vectorized_filter(self):
+        index = LabelIndex()
+        index.add_many([(5, "a"), (3, "a"), (7, "b"), (9, "a")])
+        candidates = np.array([1, 3, 5, 7, 8, 9], dtype=np.int64)
+        assert index.filter_ids_with_label(candidates, "a").tolist() == [3, 5, 9]
+        assert index.has_label_mask(candidates, "b").tolist() == [
+            False, False, False, True, False, False,
+        ]
+        assert index.filter_ids_with_label(candidates, "zzz").tolist() == []
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        graph = GraphBuilder().build()
+        assert graph.node_count == 0
+        assert graph.edge_count == 0
+        assert list(graph.edges()) == []
+        assert graph.distinct_labels() == ()
+        cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=2))
+        assert cloud.partition_sizes() == [0, 0]
+
+    def test_isolated_nodes_survive_partitioning(self):
+        graph = LabeledGraph.from_edges({0: "a", 1: "b", 2: "c"}, [(0, 1)])
+        cloud = make_cloud(
+            graph, machine_count=3, partitioner=RoundRobinPartitioner()
+        )
+        total = sum(cloud.partition_sizes())
+        assert total == 3
+        owner = cloud.owner_of(2)
+        assert cloud.machines[owner].load(2).neighbors == ()
+
+    def test_self_loop_rejected_at_build(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().add_node(1, "a").add_edge(1, 1)
+
+    def test_missing_node_raises(self):
+        graph = LabeledGraph.from_edges({0: "a"}, [])
+        with pytest.raises(NodeNotFoundError):
+            graph.neighbor_slice(99)
+        machine = Machine(machine_id=0)
+        with pytest.raises(NodeNotFoundError):
+            machine.neighbor_slice(99)
+
+    def test_non_contiguous_ids(self):
+        graph = LabeledGraph.from_edges(
+            {1000: "a", 7: "b", 500_000_000: "a"},
+            [(7, 1000), (1000, 500_000_000)],
+        )
+        assert graph.neighbors(1000) == (7, 500_000_000)
+        cloud = make_cloud(graph, machine_count=2)
+        matched = {
+            node
+            for machine in cloud.machines
+            for node in machine.local_nodes()
+        }
+        assert matched == {7, 1000, 500_000_000}

@@ -1,13 +1,46 @@
-"""Test helpers shared across test modules."""
+"""Shared test helpers: canonical graphs/queries/clouds + match comparison.
+
+Many test modules used to hand-roll the same small labeled graphs, query
+shapes, and cloud configurations inline.  The factories here are the single
+source for those fixtures:
+
+* :func:`stwig_example_graph` / :func:`stwig_example_query` — the canonical
+  two-root STwig example used by the matcher tests;
+* :func:`path_graph` / :func:`path_cloud` — an n-node path striped across
+  machines (exploration / locality tests);
+* :func:`seeded_graph` / :func:`seeded_power_law_graph` — deterministic
+  random graphs for cross-validation against the baselines;
+* :func:`canonical_queries` — a deterministic batch of DFS + random query
+  shapes for a given graph;
+* :func:`make_cloud` — a `MemoryCloud` with the given machine count.
+
+All randomness is seed-parameterized, never global.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List
 
+from repro.cloud.cluster import MemoryCloud
+from repro.cloud.config import ClusterConfig
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.generators.erdos_renyi import generate_gnm
+from repro.graph.generators.power_law import generate_power_law
+from repro.graph.partition import RoundRobinPartitioner
+from repro.query.generators import dfs_query, random_query_from_graph
+from repro.query.query_graph import QueryGraph
+
+# -- match-set comparison --------------------------------------------------
+
 
 def normalize_matches(matches: Iterable[Dict[str, int]]) -> List[tuple]:
     """Canonical, order-independent form of a list of assignments."""
     return sorted(tuple(sorted(match.items())) for match in matches)
+
+
+def frozen_matches(matches: Iterable[Dict[str, int]]) -> frozenset:
+    """Matches as a frozenset of frozen assignment dicts (order-free)."""
+    return frozenset(frozenset(match.items()) for match in matches)
 
 
 def assert_same_matches(actual: Iterable[Dict[str, int]], expected: Iterable[Dict[str, int]]) -> None:
@@ -16,4 +49,95 @@ def assert_same_matches(actual: Iterable[Dict[str, int]], expected: Iterable[Dic
     expected_normalized = normalize_matches(expected)
     assert actual_normalized == expected_normalized, (
         f"match sets differ: {len(actual_normalized)} vs {len(expected_normalized)} rows"
+    )
+
+
+# -- canonical small graphs/queries ----------------------------------------
+
+
+def stwig_example_graph() -> LabeledGraph:
+    """Small graph with known STwig matches: two 'a' roots, shared children."""
+    labels = {
+        1: "a", 2: "a",
+        10: "b", 11: "b",
+        20: "c",
+        30: "d",
+    }
+    edges = [
+        (1, 10), (1, 20),
+        (2, 10), (2, 11), (2, 20),
+        (10, 20),
+        (20, 30),
+    ]
+    return LabeledGraph.from_edges(labels, edges)
+
+
+def stwig_example_query() -> QueryGraph:
+    """The query shape exercised against :func:`stwig_example_graph`."""
+    return QueryGraph(
+        {"qa": "a", "qb": "b", "qc": "c", "qd": "d"},
+        [("qa", "qb"), ("qa", "qc"), ("qc", "qd")],
+    )
+
+
+def triangle_tail_query() -> QueryGraph:
+    """Triangle a-b-c with a d tail hanging off c (two matches in the tiny graph)."""
+    return QueryGraph(
+        {"qa": "a", "qb": "b", "qc": "c", "qd": "d"},
+        [("qa", "qb"), ("qa", "qc"), ("qb", "qc"), ("qc", "qd")],
+    )
+
+
+def path_graph(length: int = 6, label: str = "n") -> LabeledGraph:
+    """A path 0-1-...-(length-1) with a single label."""
+    labels = {i: label for i in range(length)}
+    edges = [(i, i + 1) for i in range(length - 1)]
+    return LabeledGraph.from_edges(labels, edges)
+
+
+# -- seeded random graphs --------------------------------------------------
+
+
+def seeded_graph(
+    seed: int, nodes: int = 70, edges: int = 180, labels: int = 4
+) -> LabeledGraph:
+    """Deterministic G(n, m) random graph for cross-validation tests."""
+    return generate_gnm(nodes, edges, label_count=labels, seed=seed)
+
+
+def seeded_power_law_graph(
+    seed: int, nodes: int = 150, average_degree: float = 5.0
+) -> LabeledGraph:
+    """Deterministic power-law graph for cross-validation tests."""
+    return generate_power_law(
+        nodes, average_degree, label_density=0.05, seed=seed
+    )
+
+
+def canonical_queries(
+    graph: LabeledGraph, seed: int, dfs_sizes: Iterable[int] = (3, 4, 5)
+) -> List[QueryGraph]:
+    """A deterministic batch of DFS + random queries over ``graph``."""
+    queries = [dfs_query(graph, size, seed=seed + size) for size in dfs_sizes]
+    queries.append(random_query_from_graph(graph, 4, 5, seed=seed))
+    return queries
+
+
+# -- clouds ----------------------------------------------------------------
+
+
+def make_cloud(
+    graph: LabeledGraph, machine_count: int = 1, **cluster_kwargs
+) -> MemoryCloud:
+    """Load ``graph`` into a fresh cloud with ``machine_count`` machines."""
+    return MemoryCloud.from_graph(
+        graph, ClusterConfig(machine_count=machine_count, **cluster_kwargs)
+    )
+
+
+def striped_path_cloud(length: int = 6, machine_count: int = 3) -> MemoryCloud:
+    """A path graph striped round-robin so consecutive nodes alternate machines."""
+    return MemoryCloud.from_graph(
+        path_graph(length),
+        ClusterConfig(machine_count=machine_count, partitioner=RoundRobinPartitioner()),
     )
