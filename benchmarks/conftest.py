@@ -11,7 +11,7 @@ timing statistics.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 import pytest
 

@@ -21,7 +21,6 @@ from repro.baselines.cost_models import (
 from repro.baselines.edge_join import EdgeIndex
 from repro.baselines.neighborhood_index import NeighborhoodSignatureIndex
 from repro.bench.harness import build_cloud, run_suite
-from repro.cloud.config import ClusterConfig
 from repro.core.planner import MatcherConfig
 from repro.graph.generators.rmat import generate_rmat
 from repro.graph.labeled_graph import LabeledGraph

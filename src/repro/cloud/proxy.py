@@ -9,7 +9,7 @@ which the test suite uses to validate the disjointness guarantee.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.cloud.cluster import MemoryCloud
 from repro.errors import ExecutionError

@@ -60,20 +60,30 @@ class BindingTable:
         candidates = self.candidates(node)
         return candidates is None or data_node in candidates
 
-    def bind(self, node: str, data_nodes: Iterable[int]) -> None:
+    def bind(self, node: str, data_nodes: Iterable[int] | np.ndarray) -> None:
         """Bind (or narrow) ``node`` to ``data_nodes``.
 
         If the node is already bound, the new binding is the intersection —
         a data node must survive every STwig that mentions the query node.
+
+        Accepts a numpy array directly (the exploration loop hands over
+        ``np.unique`` output); a fresh binding from an array also seeds the
+        sorted-array cache, so the matcher's vectorized membership filters
+        never re-materialize it from the set.
         """
         self._check(node)
-        new_set = set(data_nodes)
+        from_array = isinstance(data_nodes, np.ndarray)
+        new_set = set(data_nodes.tolist()) if from_array else set(data_nodes)
         current = self._bindings[node]
+        self._array_cache.pop(node, None)
         if current is None:
             self._bindings[node] = new_set
+            if from_array:
+                cached = np.array(data_nodes, dtype=NODE_DTYPE)
+                cached.sort()
+                self._array_cache[node] = cached
         else:
             self._bindings[node] = current & new_set
-        self._array_cache.pop(node, None)
 
     def merge_union(self, node: str, data_nodes: Iterable[int]) -> None:
         """Accumulate ``data_nodes`` into a pending union for ``node``.

@@ -12,18 +12,39 @@ machine then assembles its share of the answer:
   block-pipelined multi-way join.
 
 The final answer is the union of all machines' joined results — without
-deduplication, because disjointness is guaranteed by construction.
+deduplication, because disjointness is guaranteed by construction.  A
+result limit is threaded through as a *remaining* budget: each machine's
+join only runs for the rows still needed, and the assembly reports whether
+the limit actually cut anything off (a query with exactly ``limit`` matches
+is not truncated).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional
+
+import numpy as np
 
 from repro.cloud.cluster import MemoryCloud
 from repro.core.exploration import ExplorationOutcome
 from repro.core.join import multiway_join
 from repro.core.planner import QueryPlan
 from repro.core.result import MatchTable
+from repro.utils.arrays import membership_mask
+
+
+@dataclass
+class JoinOutcome:
+    """The join phase's answer table plus whether the result limit bit."""
+
+    table: MatchTable
+    truncated: bool
+
+    @property
+    def row_count(self) -> int:
+        """Number of assembled matches."""
+        return self.table.row_count
 
 
 def assemble_results(
@@ -31,7 +52,7 @@ def assemble_results(
     plan: QueryPlan,
     exploration: ExplorationOutcome,
     result_limit: Optional[int] = None,
-) -> MatchTable:
+) -> JoinOutcome:
     """Run the distributed join phase and return the global result table.
 
     Args:
@@ -41,19 +62,25 @@ def assemble_results(
         result_limit: stop once this many global matches are assembled.
 
     Returns:
-        A :class:`MatchTable` whose columns are the query nodes in sorted
-        order and whose rows are complete matches.
+        A :class:`JoinOutcome` whose table has the query nodes in sorted
+        order as columns and complete matches as rows, and whose
+        ``truncated`` flag says whether ``result_limit`` discarded at least
+        one real match (queries with exactly ``result_limit`` matches are
+        *not* truncated).
     """
     query = plan.query
     final_columns = query.nodes()
     final = MatchTable(final_columns)
     if exploration.empty:
-        return final
+        return JoinOutcome(final, False)
 
     config = plan.config
-    machine_count = cloud.machine_count
-    for machine_id in range(machine_count):
-        remaining = None if result_limit is None else result_limit - final.row_count
+    # Probe for one row beyond the limit: reaching limit+1 proves a real
+    # match was cut, while a query with exactly `limit` matches runs the
+    # same joins it would have anyway and comes back un-truncated.
+    probe_limit = None if result_limit is None else result_limit + 1
+    for machine_id in range(cloud.machine_count):
+        remaining = None if probe_limit is None else probe_limit - final.row_count
         if remaining is not None and remaining <= 0:
             break
         machine_tables = _gather_machine_tables(cloud, plan, exploration, machine_id)
@@ -75,12 +102,14 @@ def assemble_results(
         )
         if joined.row_count == 0:
             continue
-        normalized = joined.project(final_columns)
-        for row in normalized.rows:
-            final.add_row(row)
-            if result_limit is not None and final.row_count >= result_limit:
-                return final
-    return final
+        normalized = joined.reorder(final_columns)
+        take = normalized.row_count if remaining is None else min(normalized.row_count, remaining)
+        final.add_rows(normalized.to_array()[:take])
+
+    truncated = result_limit is not None and final.row_count > result_limit
+    if truncated:
+        final.truncate(result_limit)
+    return JoinOutcome(final, truncated)
 
 
 def _filter_by_bindings(table: MatchTable, bindings) -> MatchTable:
@@ -91,23 +120,21 @@ def _filter_by_bindings(table: MatchTable, bindings) -> MatchTable:
     violating that for any column can therefore never contribute to an
     answer.  Earlier-explored STwig tables were built against weaker binding
     information, so this backward pass can shrink them substantially before
-    the join.
+    the join.  One sorted-membership mask per bound column replaces the old
+    per-row set probes.
     """
-    candidate_sets = [
-        (index, bindings.candidates(column))
-        for index, column in enumerate(table.columns)
-        if bindings.candidates(column) is not None
-    ]
-    if not candidate_sets or table.row_count == 0:
+    if table.row_count == 0:
         return table
-    kept = [
-        row
-        for row in table.rows
-        if all(row[index] in candidates for index, candidates in candidate_sets)
-    ]
-    if len(kept) == table.row_count:
+    keep: Optional[np.ndarray] = None
+    for column in table.columns:
+        candidates = bindings.candidates_array(column)
+        if candidates is None:
+            continue
+        mask = membership_mask(candidates, table.column_array(column))
+        keep = mask if keep is None else keep & mask
+    if keep is None or keep.all():
         return table
-    return MatchTable(table.columns, kept)
+    return MatchTable.from_array(table.columns, table.to_array()[keep])
 
 
 def _gather_machine_tables(
@@ -119,6 +146,8 @@ def _gather_machine_tables(
     """Build ``R_k(q_t)`` for every STwig ``t`` on machine ``machine_id``.
 
     Remote fetches are charged to the cloud metrics as result transfers.
+    The union over the load set is one array concatenation instead of a
+    chain of pairwise copies.
     """
     tables: List[MatchTable] = []
     for stwig_index in range(len(plan.stwigs)):
@@ -126,7 +155,7 @@ def _gather_machine_tables(
         if stwig_index == plan.head_index:
             tables.append(local)
             continue
-        combined = local.copy()
+        parts = [local]
         for remote_machine in sorted(plan.load_set(machine_id, stwig_index)):
             remote = exploration.tables[remote_machine][stwig_index]
             if remote.row_count:
@@ -136,6 +165,10 @@ def _gather_machine_tables(
                     rows=remote.row_count,
                     row_width=remote.width,
                 )
-                combined = combined.union(remote)
-        tables.append(combined)
+                parts.append(remote)
+        if len(parts) == 1:
+            tables.append(local)
+        else:
+            combined = np.concatenate([part.to_array() for part in parts], axis=0)
+            tables.append(MatchTable.from_array(local.columns, combined))
     return tables

@@ -87,9 +87,12 @@ class SubgraphMatcher:
         stats.stwig_result_rows = exploration.total_rows()
 
         join_started = time.perf_counter()
-        matches = assemble_results(self.cloud, plan, exploration, result_limit)
+        join_outcome = assemble_results(self.cloud, plan, exploration, result_limit)
+        matches = join_outcome.table
         stats.join_seconds = time.perf_counter() - join_started
-        stats.truncated = result_limit is not None and matches.row_count >= result_limit
+        # Truncation is what the join phase observed, not an after-the-fact
+        # row-count comparison: exactly `limit` matches is not truncated.
+        stats.truncated = join_outcome.truncated
 
         wall_seconds = time.perf_counter() - started
         metrics_delta = _metrics_delta(metrics_before, self.cloud.metrics.snapshot())

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+import numpy as np
+
 from repro.cloud.cluster import MemoryCloud
 from repro.core.bindings import BindingTable
 from repro.core.matcher import match_stwig
@@ -121,22 +123,28 @@ def _update_bindings(
     The union of each machine's column values is computed first, then
     intersected with any previous binding of the same query node.  The
     binding deltas are charged as (small) proxy messages.
+
+    Distinct values come straight off the columnar storage: one
+    ``np.unique`` per (machine, column) and one merging ``np.unique`` over
+    the per-machine chunks, never a per-row Python set.
     """
-    union_per_node: Dict[str, set] = {node: set() for node in stwig_nodes}
+    union_per_node: Dict[str, List[np.ndarray]] = {node: [] for node in stwig_nodes}
     for machine_id, table in enumerate(per_machine):
         if table.row_count == 0:
             continue
         # Binding synchronisation traffic: each machine ships its distinct
-        # column values to the proxy once per STwig.  One C-level transpose
-        # of the row tuples replaces a per-column scan over all rows.
-        columns = dict(zip(table.columns, zip(*table.rows)))
+        # column values to the proxy once per STwig.
         distinct_total = 0
         for node in stwig_nodes:
-            values = set(columns[node])
-            union_per_node[node].update(values)
+            values = table.column_distinct(node)
+            union_per_node[node].append(values)
             distinct_total += len(values)
         cloud.metrics.record_result_transfer(
             sender=machine_id, receiver=-1, rows=distinct_total, row_width=1
         )
-    for node, values in union_per_node.items():
-        bindings.bind(node, values)
+    for node, chunks in union_per_node.items():
+        if chunks:
+            merged = np.unique(np.concatenate(chunks))
+        else:
+            merged = np.empty(0, dtype=np.int64)
+        bindings.bind(node, merged)

@@ -5,24 +5,37 @@ this module assembles them into full matches:
 
 * :func:`hash_join` — equi-join of two :class:`MatchTable`s on their shared
   query-node columns, enforcing the subgraph-isomorphism injectivity
-  constraint (distinct query nodes map to distinct data nodes).
-* :func:`select_join_order` — sample-based cost estimation and greedy join
-  order selection (the paper cites the classic textbook approach; we
-  estimate per-join fan-out from a row sample and greedily pick the next
-  table minimizing the estimated intermediate size).
+  constraint (distinct query nodes map to distinct data nodes).  Despite
+  the historical name, the kernel is a vectorized sort/``searchsorted``
+  merge join over the columnar storage: multi-column keys are
+  dictionary-encoded with ``np.unique``, matches are expanded with
+  ``repeat``-based gathers, and the injectivity filter is one row-wise
+  sort-and-compare mask.  Output rows appear in the same order as the
+  original per-row hash probe (probe side = larger table, build matches in
+  insertion order), so row limits keep their prefix semantics.
+* :func:`select_join_order` — cost-based greedy join ordering: the next
+  table is the one minimizing the estimated intermediate size, where the
+  estimate is sample-based (:func:`estimate_join_size`) once tables
+  outgrow ``sample_size`` and a cheap analytic distinct-value formula on
+  small tables.
 * :func:`multiway_join` — block-based pipelined multi-way join: the leading
   table is processed in blocks so partial results stream out before the full
   join completes, and execution can stop early at a result limit (the paper
-  stops at 1024 matches).
+  stops at 1024 matches).  The remaining row budget is pushed down into the
+  final join stage of each block, so a limited query never materializes a
+  full block join just to throw most of it away.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.result import MatchTable
 from repro.errors import ExecutionError
+from repro.graph.labeled_graph import NODE_DTYPE
 from repro.utils.rng import ensure_rng
 
 #: Default number of rows sampled when estimating join cardinalities.
@@ -30,6 +43,98 @@ DEFAULT_SAMPLE_SIZE = 64
 
 #: Default block size for the pipelined join.
 DEFAULT_BLOCK_SIZE = 1024
+
+
+def _key_codes(
+    build_keys: np.ndarray, probe_keys: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Dictionary-encode two key-column blocks into comparable 1-D int codes.
+
+    Single-column keys are used raw; multi-column keys are jointly encoded
+    with one ``np.unique`` pass over the concatenation, so equal key tuples
+    (and only those) receive equal codes.
+    """
+    if build_keys.shape[1] == 1:
+        return build_keys[:, 0], probe_keys[:, 0]
+    stacked = np.concatenate([build_keys, probe_keys], axis=0)
+    _, codes = np.unique(stacked, axis=0, return_inverse=True)
+    codes = codes.reshape(-1)
+    return codes[: len(build_keys)], codes[len(build_keys) :]
+
+
+def _match_runs(
+    build_codes: np.ndarray, probe_codes: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-probe-row match runs: ``(order, lo, counts)``.
+
+    ``order`` sorts the build rows by key (stably, so equal keys keep
+    build-row order — the bucket insertion order of the per-row hash join
+    this kernel replaced); probe row ``i`` matches the build rows
+    ``order[lo[i] : lo[i] + counts[i]]``.  The runs are O(probe) metadata:
+    expanding them into explicit index pairs is deferred so row-limited
+    joins can expand only a prefix.
+    """
+    order = np.argsort(build_codes, kind="stable")
+    sorted_codes = build_codes[order]
+    lo = np.searchsorted(sorted_codes, probe_codes, side="left")
+    hi = np.searchsorted(sorted_codes, probe_codes, side="right")
+    return order, lo, hi - lo
+
+
+def _expand_runs(
+    order: np.ndarray,
+    lo: np.ndarray,
+    counts: np.ndarray,
+    offsets: np.ndarray,
+    row_start: int,
+    row_end: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(build, probe) index pairs for probe rows ``[row_start, row_end)``.
+
+    Probe-major order with build matches in build-row order — the exact
+    order of the full expansion, so any probe-row prefix yields the exact
+    row prefix of the full join.
+    """
+    sub_counts = counts[row_start:row_end]
+    pair_count = int(offsets[row_end] - offsets[row_start])
+    probe_idx = np.repeat(np.arange(row_start, row_end, dtype=np.int64), sub_counts)
+    run_starts = offsets[row_start:row_end] - offsets[row_start]
+    within_run = np.arange(pair_count, dtype=np.int64) - np.repeat(run_starts, sub_counts)
+    build_idx = order[np.repeat(lo[row_start:row_end], sub_counts) + within_run]
+    return build_idx, probe_idx
+
+
+def _injective_mask(rows: np.ndarray) -> np.ndarray:
+    """Mask of rows whose values are pairwise distinct (row-wise sort + compare)."""
+    if rows.shape[1] <= 1:
+        return np.ones(len(rows), dtype=bool)
+    ranked = np.sort(rows, axis=1)
+    return (ranked[:, 1:] != ranked[:, :-1]).all(axis=1)
+
+
+#: Minimum match-pair chunk assembled at once under a row limit.
+_LIMIT_CHUNK = 4096
+
+
+def _gather_rows(
+    left: MatchTable,
+    right: MatchTable,
+    left_idx: np.ndarray,
+    right_idx: np.ndarray,
+    out_width: int,
+    right_extra_idx: Optional[np.ndarray],
+    enforce_injective: bool,
+) -> np.ndarray:
+    """Materialize the output rows for the given match-index pairs."""
+    out = np.empty((len(left_idx), out_width), dtype=NODE_DTYPE)
+    out[:, : left.width] = left.to_array()[left_idx]
+    if right_extra_idx is not None:
+        out[:, left.width :] = right.to_array()[right_idx[:, None], right_extra_idx]
+    if enforce_injective:
+        keep = _injective_mask(out)
+        if not keep.all():
+            out = out[keep]
+    return out
 
 
 def hash_join(
@@ -48,36 +153,81 @@ def hash_join(
     shared = [column for column in left.columns if column in right.columns]
     right_extra = [column for column in right.columns if column not in shared]
     out_columns = (*left.columns, *right_extra)
-    result = MatchTable(out_columns)
+    if left.row_count == 0 or right.row_count == 0:
+        return MatchTable(out_columns)
 
-    # Build the hash table on the smaller input.
+    # Build on the smaller input, probe with the larger (kept from the hash
+    # era so output row order — and thus row-limit prefixes — are unchanged).
     build, probe, build_is_left = (
         (left, right, True) if left.row_count <= right.row_count else (right, left, False)
     )
-    build_key_idx = [build.column_index(c) for c in shared]
-    probe_key_idx = [probe.column_index(c) for c in shared]
-    buckets: Dict[Tuple[int, ...], List[Tuple[int, ...]]] = {}
-    for row in build.rows:
-        key = tuple(row[i] for i in build_key_idx)
-        buckets.setdefault(key, []).append(row)
+    if shared:
+        build_keys = build.to_array()[:, [build.column_index(c) for c in shared]]
+        probe_keys = probe.to_array()[:, [probe.column_index(c) for c in shared]]
+        build_codes, probe_codes = _key_codes(build_keys, probe_keys)
+        order, lo, counts = _match_runs(build_codes, probe_codes)
+    else:
+        # Cartesian product: every probe row matches every build row.
+        order = np.arange(build.row_count, dtype=np.int64)
+        lo = np.zeros(probe.row_count, dtype=np.int64)
+        counts = np.full(probe.row_count, build.row_count, dtype=np.int64)
+    offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    total = int(offsets[-1])
+    if total == 0:
+        return MatchTable(out_columns)
 
-    left_extra_idx = [left.column_index(c) for c in left.columns]
-    right_extra_idx = [right.column_index(c) for c in right_extra]
+    right_extra_idx = (
+        np.array([right.column_index(c) for c in right_extra], dtype=np.int64)
+        if right_extra
+        else None
+    )
+    out_width = len(out_columns)
 
-    for probe_row in probe.rows:
-        key = tuple(probe_row[i] for i in probe_key_idx)
-        for build_row in buckets.get(key, ()):
-            left_row = build_row if build_is_left else probe_row
-            right_row = probe_row if build_is_left else build_row
-            combined = tuple(left_row[i] for i in left_extra_idx) + tuple(
-                right_row[i] for i in right_extra_idx
-            )
-            if enforce_injective and len(set(combined)) != len(combined):
-                continue
-            result.add_row(combined)
-            if row_limit is not None and result.row_count >= row_limit:
-                return result
-    return result
+    def gather(row_start: int, row_end: int) -> np.ndarray:
+        build_idx, probe_idx = _expand_runs(order, lo, counts, offsets, row_start, row_end)
+        left_idx, right_idx = (
+            (build_idx, probe_idx) if build_is_left else (probe_idx, build_idx)
+        )
+        return _gather_rows(
+            left, right, left_idx, right_idx, out_width, right_extra_idx, enforce_injective
+        )
+
+    if row_limit is None or total <= max(row_limit, _LIMIT_CHUNK):
+        out = gather(0, len(counts))
+        if row_limit is not None and len(out) > row_limit:
+            out = out[:row_limit]
+        return MatchTable.from_array(out_columns, out)
+
+    # Row-limited early stop: expand and assemble match pairs one chunk of
+    # probe rows at a time (probe order, so the result is the exact prefix
+    # of the full join) and stop as soon as the budget is filled — both the
+    # index expansion and the materialization past the limit are bounded by
+    # one chunk (plus one probe row's fan-out), not by the full match
+    # count.  Chunks grow geometrically in case the injectivity filter
+    # keeps discarding rows.
+    pieces: List[np.ndarray] = []
+    produced = 0
+    row_position = 0
+    pair_position = 0
+    chunk = max(row_limit, _LIMIT_CHUNK)
+    while row_position < len(counts) and produced < row_limit:
+        # Advance to the probe row covering the next `chunk` match pairs.
+        row_end = int(np.searchsorted(offsets, pair_position + chunk, side="left"))
+        row_end = min(max(row_end, row_position + 1), len(counts))
+        piece = gather(row_position, row_end)
+        pair_position = int(offsets[row_end])
+        row_position = row_end
+        if len(piece) > row_limit - produced:
+            piece = piece[: row_limit - produced]
+        if len(piece):
+            pieces.append(piece)
+            produced += len(piece)
+        chunk *= 2
+    if not pieces:
+        return MatchTable(out_columns)
+    out = pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=0)
+    return MatchTable.from_array(out_columns, out)
 
 
 def estimate_join_size(
@@ -88,9 +238,9 @@ def estimate_join_size(
 ) -> float:
     """Estimate the output cardinality of ``left ⋈ right`` by sampling ``left``.
 
-    A uniform sample of left rows is probed against a hash of the right
-    table; the average fan-out scaled by the left cardinality is the
-    estimate.  Tables sharing no column are estimated as a full cross
+    A uniform sample of left rows is probed against the key-frequency table
+    of the right side; the average fan-out scaled by the left cardinality is
+    the estimate.  Tables sharing no column are estimated as a full cross
     product.
     """
     if left.row_count == 0 or right.row_count == 0:
@@ -100,18 +250,25 @@ def estimate_join_size(
         return float(left.row_count) * float(right.row_count)
     rng = ensure_rng(rng)
     sample_count = min(sample_size, left.row_count)
-    sample = (
-        left.rows if left.row_count <= sample_size else rng.sample(left.rows, sample_count)
-    )
-    right_key_idx = [right.column_index(c) for c in shared]
-    left_key_idx = [left.column_index(c) for c in shared]
-    bucket_sizes: Dict[Tuple[int, ...], int] = {}
-    for row in right.rows:
-        key = tuple(row[i] for i in right_key_idx)
-        bucket_sizes[key] = bucket_sizes.get(key, 0) + 1
-    fanout = sum(
-        bucket_sizes.get(tuple(row[i] for i in left_key_idx), 0) for row in sample
-    )
+    left_keys = left.to_array()[:, [left.column_index(c) for c in shared]]
+    if left.row_count > sample_size:
+        sample_rows = np.array(
+            rng.sample(range(left.row_count), sample_count), dtype=np.int64
+        )
+        left_keys = left_keys[sample_rows]
+    right_keys = right.to_array()[:, [right.column_index(c) for c in shared]]
+    # Dense dictionary encoding (unlike the join kernel, raw values would
+    # make the frequency bincount as large as the biggest node ID).
+    stacked = np.concatenate([right_keys, left_keys], axis=0)
+    if stacked.shape[1] == 1:
+        _, codes = np.unique(stacked[:, 0], return_inverse=True)
+    else:
+        _, codes = np.unique(stacked, axis=0, return_inverse=True)
+    codes = codes.reshape(-1)
+    right_codes = codes[: len(right_keys)]
+    sample_codes = codes[len(right_keys) :]
+    frequencies = np.bincount(right_codes, minlength=int(codes.max()) + 1)
+    fanout = int(frequencies[sample_codes].sum())
     return left.row_count * (fanout / sample_count)
 
 
@@ -125,6 +282,15 @@ def select_join_order(
     Greedy strategy: start from the smallest table; at every step join the
     table (preferring ones connected to the current result via a shared
     column) whose estimated intermediate result is smallest.
+
+    The per-candidate estimate is sample-based once tables outgrow
+    ``sample_size``: :func:`estimate_join_size` probes a row sample of the
+    most recently joined table against the candidate and the resulting
+    fan-out is scaled to the running cardinality.  When both sides fit in
+    the sample budget — where the sample would just be the whole table — a
+    cheap analytic distinct-value estimate is used instead, and likewise
+    when the previous table does not carry every join column of the
+    candidate (so a pairwise sample could not see all join predicates).
     """
     if not tables:
         return []
@@ -135,6 +301,7 @@ def select_join_order(
     remaining.remove(start)
     current_columns = set(tables[start].columns)
     current_size = float(tables[start].row_count)
+    last_table = tables[start]
 
     while remaining:
         connected = [i for i in remaining if current_columns & set(tables[i].columns)]
@@ -142,9 +309,9 @@ def select_join_order(
         best_index = None
         best_estimate = float("inf")
         for index in candidates:
-            # Cheap analytic estimate: treat the current intermediate as the
-            # left side with its running size, the candidate as the right.
-            estimate = _analytic_estimate(current_size, current_columns, tables[index])
+            estimate = _estimate_step(
+                current_size, current_columns, last_table, tables[index], sample_size, rng
+            )
             if estimate < best_estimate:
                 best_estimate = estimate
                 best_index = index
@@ -153,7 +320,30 @@ def select_join_order(
         remaining.remove(best_index)
         current_columns.update(tables[best_index].columns)
         current_size = max(1.0, best_estimate)
+        last_table = tables[best_index]
     return order
+
+
+def _estimate_step(
+    current_size: float,
+    current_columns: set,
+    last_table: MatchTable,
+    right: MatchTable,
+    sample_size: int,
+    rng: random.Random,
+) -> float:
+    """Estimated size of joining the running result with ``right``."""
+    shared = [column for column in right.columns if column in current_columns]
+    sample_applicable = (
+        bool(shared)
+        and last_table.row_count > 0
+        and (last_table.row_count > sample_size or right.row_count > sample_size)
+        and all(column in last_table.columns for column in shared)
+    )
+    if sample_applicable:
+        pairwise = estimate_join_size(last_table, right, sample_size=sample_size, rng=rng)
+        return pairwise * (current_size / last_table.row_count)
+    return _analytic_estimate(current_size, current_columns, right)
 
 
 def _analytic_estimate(
@@ -170,7 +360,7 @@ def _analytic_estimate(
         return 0.0
     estimate = current_size * right.row_count
     for column in shared:
-        distinct = max(1, len(right.column_values(column)))
+        distinct = max(1, len(right.column_distinct(column)))
         estimate /= distinct
     return estimate
 
@@ -189,7 +379,11 @@ def multiway_join(
         tables: one result table per STwig.
         order: explicit join order (indices); computed via
             :func:`select_join_order` when omitted.
-        row_limit: stop once this many result rows have been produced.
+        row_limit: stop once this many result rows have been produced.  The
+            remaining budget is pushed into the final join stage of each
+            block, whose kernel assembles output in limit-sized chunks —
+            materialization past the budget is bounded by one chunk, not by
+            the block's full join size.
         block_size: size of the leading-table blocks for the pipelined join;
             ``None`` disables pipelining and joins everything at once.
         sample_size: sample size used if the join order must be computed.
@@ -202,8 +396,8 @@ def multiway_join(
         raise ExecutionError("multiway_join requires at least one table")
     if len(tables) == 1:
         table = tables[0].copy()
-        if row_limit is not None and table.row_count > row_limit:
-            table.rows = table.rows[:row_limit]
+        if row_limit is not None:
+            table.truncate(row_limit)
         return table
 
     rng = ensure_rng(rng)
@@ -220,27 +414,35 @@ def multiway_join(
     result = MatchTable(final_columns)
 
     if block_size is None or lead.row_count <= block_size:
-        blocks = [lead]
+        blocks: Sequence[MatchTable] = (lead,)
     else:
-        blocks = [
-            MatchTable(lead.columns, lead.rows[start : start + block_size])
+        # Lazy zero-copy block views: blocks past an early stop are never built.
+        blocks = (
+            lead.slice_rows(start, start + block_size)
             for start in range(0, lead.row_count, block_size)
-        ]
+        )
 
+    final_stage = len(rest) - 1
     for block in blocks:
+        remaining = None if row_limit is None else row_limit - result.row_count
         partial: MatchTable = block
-        for table in rest:
-            remaining_limit = None
-            partial = hash_join(partial, table, row_limit=remaining_limit)
+        for stage, table in enumerate(rest):
+            # Only the final stage may be limited: earlier stages can still
+            # drop rows (no partner / injectivity), so capping them could
+            # starve the block of legitimate results.
+            stage_limit = remaining if stage == final_stage else None
+            partial = hash_join(partial, table, row_limit=stage_limit)
             if partial.row_count == 0:
                 break
-        if partial.row_count and partial.columns != final_columns:
-            # Column order can differ from the precomputed final order when a
-            # block short-circuited; normalize before unioning.
-            partial = partial.project(final_columns)
-        if partial.row_count:
-            for row in partial.rows:
-                result.add_row(row)
-                if row_limit is not None and result.row_count >= row_limit:
-                    return result
+        if partial.row_count == 0:
+            continue
+        if partial.columns != final_columns:
+            # Column order can differ from the precomputed final order when
+            # a block produced them in another sequence; normalize without
+            # deduplicating (bag semantics — and row limits stay honest).
+            partial = partial.reorder(final_columns)
+        take = partial.row_count if remaining is None else min(partial.row_count, remaining)
+        result.add_rows(partial.to_array()[:take])
+        if row_limit is not None and result.row_count >= row_limit:
+            return result
     return result

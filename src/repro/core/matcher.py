@@ -16,10 +16,13 @@ whose root resides on that machine:
 Step 3 is executed *batched across all roots*: the neighbor slices of every
 root candidate are concatenated once, and each leaf slot is resolved with a
 single vectorized label probe (or binding intersection) over that flat
-array.  The communication accounting is unchanged and faithful to the
-per-node model — one ``hasLabel`` probe is charged per neighbor, per
-unbound leaf, only for roots still alive (a root whose earlier slot came up
-empty stops probing, exactly like the per-node loop did).
+array.  Step 4 rides on the columnar :class:`MatchTable`: row blocks are
+assembled with ``repeat``/``tile`` products per root (fully vectorized
+across roots for the common single-leaf shape) and appended as one array.
+The communication accounting is unchanged and faithful to the per-node
+model — one ``hasLabel`` probe is charged per neighbor, per unbound leaf,
+only for roots still alive (a root whose earlier slot came up empty stops
+probing, exactly like the per-node loop did).
 """
 
 from __future__ import annotations
@@ -64,7 +67,7 @@ def match_stwig(
     table = MatchTable(stwig.nodes)
     root_label = query.label(stwig.root)
     roots = _root_candidates(cloud, machine_id, stwig, root_label, bindings)
-    if not roots:
+    if len(roots) == 0:
         return table
 
     leaf_labels = [query.label(leaf) for leaf in stwig.leaves]
@@ -85,15 +88,14 @@ def match_stwig(
     # gathered in a single batched call into one flat neighbor array.
     root_array = np.asarray(roots, dtype=NODE_DTYPE)
     neighbors, counts = cloud.load_neighbors_batch(root_array, requester=machine_id)
+    if not leaf_labels:
+        # Leafless STwig: every root matches by itself (the loads above are
+        # still part of Algorithm 1's accounting).
+        table.add_rows(root_array.reshape(-1, 1))
+        return table
     offsets = np.zeros(len(roots) + 1, dtype=OFFSET_DTYPE)
     np.cumsum(counts, out=offsets[1:])
     if offsets[-1] == 0:
-        if leaf_labels:
-            return table
-        for root in roots:
-            table.add_row((root,))
-            if row_limit is not None and table.row_count >= row_limit:
-                break
         return table
     entry_root = np.repeat(np.arange(len(roots), dtype=OFFSET_DTYPE), counts)
     owners: Optional[np.ndarray] = None  # computed on the first unbound leaf
@@ -101,7 +103,7 @@ def match_stwig(
     # Resolve each leaf slot over the flat neighbor array; a root dies when a
     # slot comes up empty, and dead roots are excluded from later probes.
     alive = np.ones(len(roots), dtype=bool)
-    slot_values: List[List[int]] = []
+    slot_values: List[np.ndarray] = []
     slot_bounds: List[np.ndarray] = []
     for leaf_label, bound in zip(leaf_labels, leaf_bindings):
         entry_alive = alive[entry_root]
@@ -126,16 +128,34 @@ def match_stwig(
         ).astype(bool)
         if not alive.any():
             return table
-        slot_values.append(neighbors[kept].tolist())
+        slot_values.append(neighbors[kept])
         slot_bounds.append(np.searchsorted(np.flatnonzero(kept), offsets))
 
+    if len(leaf_labels) == 1:
+        # Single-leaf STwigs (the most common decomposition shape) build the
+        # whole row block in one shot: the kept entries of dead roots are
+        # empty by construction, so repeat() drops them for free.
+        values = slot_values[0]
+        root_column = np.repeat(root_array, np.diff(slot_bounds[0]))
+        keep = values != root_column
+        block = np.empty((int(keep.sum()), 2), dtype=NODE_DTYPE)
+        block[:, 0] = root_column[keep]
+        block[:, 1] = values[keep]
+        table.add_rows(block)
+        return table
+
+    blocks: List[np.ndarray] = []
     for index in np.flatnonzero(alive).tolist():
-        root_node = roots[index]
+        root_node = int(root_array[index])
         slots = [
             values[bounds[index] : bounds[index + 1]]
             for values, bounds in zip(slot_values, slot_bounds)
         ]
-        table.add_rows(_stwig_rows(root_node, slots))
+        block = _stwig_rows(root_node, slots)
+        if len(block):
+            blocks.append(block)
+    if blocks:
+        table.add_rows(np.concatenate(blocks, axis=0))
     return table
 
 
@@ -151,50 +171,64 @@ def _match_stwig_limited(
     """Row-limited matching: one root at a time, stopping at the limit."""
     for root_node in roots:
         neighbors = cloud.load_neighbors(root_node, requester=machine_id)
-        slots: Optional[List[List[int]]] = []
+        slots: Optional[List[np.ndarray]] = []
         for leaf_label, bound in zip(leaf_labels, leaf_bindings):
             if bound is not None:
-                candidates = neighbors[membership_mask(bound, neighbors)].tolist()
+                candidates = neighbors[membership_mask(bound, neighbors)]
             else:
                 candidates = cloud.filter_neighbors_by_label(
                     neighbors, leaf_label, requester=machine_id
-                ).tolist()
-            if not candidates:
+                )
+            if len(candidates) == 0:
                 slots = None
                 break
             slots.append(candidates)
         if slots is None:
             continue
-        table.add_rows(_stwig_rows(root_node, slots))
+        table.add_rows(_stwig_rows(int(root_node), slots))
         if table.row_count >= row_limit:
-            del table.rows[row_limit:]
+            table.truncate(row_limit)
             return table
     return table
 
 
-def _stwig_rows(root_node: int, slots: List[List[int]]) -> List[tuple]:
-    """All rows for one root: injective slot assignments excluding the root.
+def _stwig_rows(root_node: int, slots: List[np.ndarray]) -> np.ndarray:
+    """Row block for one root: injective slot assignments excluding the root.
 
     The one- and two-leaf shapes (the overwhelming majority under the
-    paper's decompositions) are specialized to plain list comprehensions;
-    wider STwigs fall back to the generic product.
+    paper's decompositions) are built with ``repeat``/``tile`` products;
+    wider STwigs fall back to the generic injective product.  Row order
+    matches the historical nested loops, so row-limit prefixes and tests
+    comparing against them are stable.
     """
+    if not slots:
+        return np.array([[root_node]], dtype=NODE_DTYPE)
     if len(slots) == 1:
-        return [(root_node, a) for a in slots[0] if a != root_node]
+        values = slots[0]
+        values = values[values != root_node]
+        block = np.empty((len(values), 2), dtype=NODE_DTYPE)
+        block[:, 0] = root_node
+        block[:, 1] = values
+        return block
     if len(slots) == 2:
-        first, second = slots
-        return [
-            (root_node, a, b)
-            for a in first
-            if a != root_node
-            for b in second
-            if b != a and b != root_node
-        ]
-    return [
+        first = slots[0][slots[0] != root_node]
+        second = slots[1][slots[1] != root_node]
+        a = np.repeat(first, len(second))
+        b = np.tile(second, len(first))
+        keep = a != b
+        block = np.empty((int(keep.sum()), 3), dtype=NODE_DTYPE)
+        block[:, 0] = root_node
+        block[:, 1] = a[keep]
+        block[:, 2] = b[keep]
+        return block
+    rows = [
         (root_node, *assignment)
-        for assignment in _injective_products(slots)
+        for assignment in _injective_products([slot.tolist() for slot in slots])
         if root_node not in assignment
     ]
+    if not rows:
+        return np.empty((0, len(slots) + 1), dtype=NODE_DTYPE)
+    return np.array(rows, dtype=NODE_DTYPE)
 
 
 def _root_candidates(

@@ -1,11 +1,25 @@
-"""Result containers: STwig result tables and final match results."""
+"""Result containers: STwig result tables and final match results.
+
+:class:`MatchTable` is a *columnar* relation: all rows live in one 2-D
+``NODE_DTYPE`` array, so the join phase (``repro.core.join``) and the
+binding bookkeeping (``repro.core.exploration``) run as a handful of numpy
+kernels instead of per-row Python loops.  The tuple-based API of the
+original list-of-tuples implementation (``rows``, ``as_dicts``, iteration,
+``add_row``/``add_rows`` with tuples) is kept source-compatible on top.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.errors import ExecutionError
+from repro.graph.labeled_graph import NODE_DTYPE
+
+#: Rows accepted by the constructor / ``add_rows``: tuples or a 2-D array.
+RowsLike = Union[Iterable[Tuple[int, ...]], np.ndarray]
 
 
 class MatchTable:
@@ -13,70 +27,196 @@ class MatchTable:
 
     Used both for per-STwig intermediate results (``G_k(q_i)``) and for the
     final answer relation.
+
+    Storage is columnar: one ``(row_count, width)`` ``NODE_DTYPE`` array
+    with amortized-doubling appends.  ``column_array`` exposes zero-copy
+    column views for vectorized consumers; ``rows`` materializes (and
+    caches) the familiar list of Python-int tuples for the tuple-era API.
+    Tables follow bag semantics — no operation deduplicates rows except
+    :meth:`project`, which is a true relational projection.
     """
 
-    __slots__ = ("columns", "rows")
+    __slots__ = ("columns", "_data", "_size", "_rows_cache")
 
-    def __init__(self, columns: Tuple[str, ...], rows: Iterable[Tuple[int, ...]] = ()) -> None:
+    def __init__(self, columns: Tuple[str, ...], rows: RowsLike = ()) -> None:
         self.columns: Tuple[str, ...] = tuple(columns)
         if len(set(self.columns)) != len(self.columns):
             raise ExecutionError(f"duplicate columns in match table: {self.columns}")
-        self.rows: List[Tuple[int, ...]] = list(rows)
+        self._data = np.empty((0, len(self.columns)), dtype=NODE_DTYPE)
+        self._size = 0
+        self._rows_cache: List[Tuple[int, ...]] | None = None
+        if isinstance(rows, np.ndarray):
+            self.add_rows(rows)
+        else:
+            rows = list(rows)
+            if rows:
+                self.add_rows(rows)
+
+    @classmethod
+    def from_array(cls, columns: Tuple[str, ...], data: np.ndarray) -> "MatchTable":
+        """Wrap an existing ``(n, width)`` ``NODE_DTYPE`` array without copying.
+
+        The caller cedes ownership of ``data``; the table may later detach
+        from it on growth.  This is the zero-copy constructor used by the
+        vectorized join kernels.
+        """
+        table = cls(columns)
+        data = np.asarray(data, dtype=NODE_DTYPE)
+        if data.ndim != 2 or data.shape[1] != len(table.columns):
+            raise ExecutionError(
+                f"array shape {data.shape} does not match columns {table.columns}"
+            )
+        table._data = data
+        table._size = len(data)
+        return table
+
+    # -- shape -------------------------------------------------------------
 
     @property
     def row_count(self) -> int:
         """Number of rows."""
-        return len(self.rows)
+        return self._size
 
     @property
     def width(self) -> int:
         """Number of columns."""
         return len(self.columns)
 
+    # -- row access (tuple-era API) ---------------------------------------
+
+    @property
+    def rows(self) -> List[Tuple[int, ...]]:
+        """Rows as a list of Python-int tuples (materialized snapshot).
+
+        The returned list is a fresh copy: mutating it does not touch the
+        table (assign to ``rows`` or use ``add_rows``/``truncate`` instead).
+        The underlying tuples are cached, so repeated access is cheap.
+        """
+        if self._rows_cache is None:
+            self._rows_cache = [tuple(row) for row in self._data[: self._size].tolist()]
+        return list(self._rows_cache)
+
+    @rows.setter
+    def rows(self, rows: RowsLike) -> None:
+        self._data = np.empty((0, self.width), dtype=NODE_DTYPE)
+        self._size = 0
+        self._rows_cache = None
+        self.add_rows(rows if isinstance(rows, np.ndarray) else list(rows))
+
+    def to_array(self) -> np.ndarray:
+        """The live ``(row_count, width)`` data array (zero-copy view)."""
+        return self._data[: self._size]
+
+    def column_array(self, column: str) -> np.ndarray:
+        """Zero-copy view of one column (valid until the table is mutated)."""
+        return self._data[: self._size, self.column_index(column)]
+
+    # -- mutation ----------------------------------------------------------
+
     def add_row(self, row: Tuple[int, ...]) -> None:
         """Append one row (must match the column count)."""
-        if len(row) != len(self.columns):
+        if len(row) != self.width:
             raise ExecutionError(
                 f"row width {len(row)} does not match column count {len(self.columns)}"
             )
-        self.rows.append(row)
+        self._reserve(1)
+        if self.width:
+            self._data[self._size] = row
+        self._size += 1
+        self._rows_cache = None
 
-    def add_rows(self, rows: List[Tuple[int, ...]]) -> None:
-        """Append many rows at once (each must match the column count)."""
-        width = len(self.columns)
-        if any(len(row) != width for row in rows):
-            raise ExecutionError(
-                f"row width mismatch: expected {width} columns"
-            )
-        self.rows.extend(rows)
+    def add_rows(self, rows: RowsLike) -> None:
+        """Append many rows at once: a list of tuples or a ``(n, width)`` array."""
+        if isinstance(rows, np.ndarray):
+            block = np.asarray(rows, dtype=NODE_DTYPE)
+            if block.ndim != 2 or block.shape[1] != self.width:
+                raise ExecutionError(
+                    f"row block shape {block.shape} does not match {self.width} columns"
+                )
+        else:
+            rows = list(rows)
+            if not rows:
+                return
+            width = self.width
+            if any(len(row) != width for row in rows):
+                raise ExecutionError(f"row width mismatch: expected {width} columns")
+            block = np.array(rows, dtype=NODE_DTYPE).reshape(len(rows), width)
+        count = len(block)
+        if count == 0:
+            return
+        self._reserve(count)
+        self._data[self._size : self._size + count] = block
+        self._size += count
+        self._rows_cache = None
+
+    def truncate(self, row_limit: int) -> None:
+        """Drop all rows past ``row_limit`` (no-op when already smaller)."""
+        if row_limit < self._size:
+            self._size = max(0, row_limit)
+            self._rows_cache = None
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._size + extra
+        capacity = len(self._data)
+        if needed <= capacity:
+            return
+        grown = np.empty((max(needed, 2 * capacity, 8), self.width), dtype=NODE_DTYPE)
+        grown[: self._size] = self._data[: self._size]
+        self._data = grown
+
+    # -- columns -----------------------------------------------------------
 
     def column_index(self, column: str) -> int:
-        """Index of ``column`` within the row tuples."""
+        """Index of ``column`` within the rows."""
         try:
             return self.columns.index(column)
         except ValueError:
             raise ExecutionError(f"column {column!r} not in table {self.columns}") from None
 
     def column_values(self, column: str) -> set:
-        """Distinct values appearing in ``column``."""
-        index = self.column_index(column)
-        return {row[index] for row in self.rows}
+        """Distinct values appearing in ``column`` (as a set of Python ints)."""
+        return set(self.column_distinct(column).tolist())
+
+    def column_distinct(self, column: str) -> np.ndarray:
+        """Distinct values appearing in ``column`` as a sorted array."""
+        return np.unique(self.column_array(column))
 
     def as_dicts(self) -> List[Dict[str, int]]:
         """Rows as dictionaries keyed by query-node name."""
         return [dict(zip(self.columns, row)) for row in self.rows]
 
-    def project(self, columns: Tuple[str, ...]) -> "MatchTable":
-        """Return a new table with only ``columns`` (duplicates dropped)."""
+    # -- relational operations ---------------------------------------------
+
+    def project(self, columns: Sequence[str]) -> "MatchTable":
+        """True projection onto ``columns``: duplicates dropped, first-seen order."""
+        columns = tuple(columns)
         indices = [self.column_index(c) for c in columns]
-        seen = set()
-        projected: List[Tuple[int, ...]] = []
-        for row in self.rows:
-            key = tuple(row[i] for i in indices)
-            if key not in seen:
-                seen.add(key)
-                projected.append(key)
-        return MatchTable(columns, projected)
+        if self._size == 0:
+            return MatchTable(columns)
+        if not indices:
+            # Zero-width projection of a non-empty table is the single empty row.
+            return MatchTable.from_array(columns, np.empty((1, 0), dtype=NODE_DTYPE))
+        data = self._data[: self._size, indices]
+        _, first_seen = np.unique(data, axis=0, return_index=True)
+        first_seen.sort()
+        return MatchTable.from_array(columns, data[first_seen])
+
+    def reorder(self, columns: Sequence[str]) -> "MatchTable":
+        """Same rows with columns permuted into ``columns`` — **no dedup**.
+
+        Unlike :meth:`project` this preserves bag semantics (and row count),
+        so it is safe on paths that later apply row limits.  ``columns``
+        must be a permutation of the table's columns.
+        """
+        columns = tuple(columns)
+        if set(columns) != set(self.columns) or len(columns) != len(self.columns):
+            raise ExecutionError(
+                f"reorder target {columns} is not a permutation of {self.columns}"
+            )
+        if columns == self.columns:
+            return MatchTable.from_array(columns, self.to_array())
+        indices = [self.column_index(c) for c in columns]
+        return MatchTable.from_array(columns, self._data[: self._size, indices])
 
     def union(self, other: "MatchTable") -> "MatchTable":
         """Union of two tables with identical columns (bag union, no dedup)."""
@@ -84,17 +224,25 @@ class MatchTable:
             raise ExecutionError(
                 f"cannot union tables with columns {self.columns} and {other.columns}"
             )
-        return MatchTable(self.columns, [*self.rows, *other.rows])
+        return MatchTable.from_array(
+            self.columns, np.concatenate([self.to_array(), other.to_array()], axis=0)
+        )
+
+    def slice_rows(self, start: int, stop: int) -> "MatchTable":
+        """Zero-copy view table over rows ``[start, stop)`` (for block pipelining)."""
+        return MatchTable.from_array(self.columns, self.to_array()[start:stop])
 
     def copy(self) -> "MatchTable":
-        """Shallow copy."""
-        return MatchTable(self.columns, list(self.rows))
+        """Independent copy (own data buffer)."""
+        return MatchTable.from_array(self.columns, self.to_array().copy())
+
+    # -- dunder ------------------------------------------------------------
 
     def __iter__(self) -> Iterator[Tuple[int, ...]]:
         return iter(self.rows)
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return self._size
 
     def __repr__(self) -> str:
         return f"MatchTable(columns={self.columns}, rows={self.row_count})"

@@ -7,7 +7,6 @@ by ``pytest`` rather than at benchmark time.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench import experiments
 from repro.graph.generators.erdos_renyi import generate_gnm

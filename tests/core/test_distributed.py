@@ -27,7 +27,7 @@ def run_assembly(machine_count: int, query: QueryGraph, config: MatcherConfig = 
     )
     plan = QueryPlanner(cloud, config).plan(query)
     outcome = explore(cloud, plan)
-    return cloud, assemble_results(cloud, plan, outcome)
+    return cloud, assemble_results(cloud, plan, outcome).table
 
 
 class TestAssembly:
@@ -62,8 +62,9 @@ class TestAssembly:
         )
         plan = QueryPlanner(cloud).plan(query)
         outcome = explore(cloud, plan)
-        table = assemble_results(cloud, plan, outcome, result_limit=1)
-        assert table.row_count == 1
+        outcome_join = assemble_results(cloud, plan, outcome, result_limit=1)
+        assert outcome_join.table.row_count == 1
+        assert outcome_join.truncated
 
     def test_unsatisfiable_query_empty(self):
         query = QueryGraph({"x": "a", "y": "zzz"}, [("x", "y")])
@@ -103,5 +104,5 @@ class TestDisjointness:
             cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=4))
             plan = QueryPlanner(cloud).plan(query)
             outcome = explore(cloud, plan)
-            table = assemble_results(cloud, plan, outcome)
+            table = assemble_results(cloud, plan, outcome).table
             assert len(set(table.rows)) == table.row_count

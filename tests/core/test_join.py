@@ -53,6 +53,18 @@ class TestHashJoin:
         joined = hash_join(left, right, row_limit=5)
         assert joined.row_count == 5
 
+    def test_row_limit_chunked_prefix_on_large_join(self):
+        # Large enough to trigger the chunked limited assembly (>_LIMIT_CHUNK
+        # match pairs) with injectivity drops (i == j) along the way: every
+        # limit must yield the exact prefix of the full join.
+        left = MatchTable(("a", "b"), [(i, 0) for i in range(1, 101)])
+        right = MatchTable(("b", "c"), [(0, j) for j in range(1, 101)])
+        full = hash_join(left, right)
+        assert full.row_count == 9900  # 10_000 pairs minus the i == j rows
+        for limit in (10, 4096, 5000, 9900, 20000):
+            limited = hash_join(left, right, row_limit=limit)
+            assert limited.rows == full.rows[:limit]
+
     def test_empty_inputs(self):
         left = MatchTable(("a", "b"))
         right = MatchTable(("b", "c"), [(1, 2)])
@@ -114,6 +126,29 @@ class TestJoinOrder:
 
     def test_empty_input(self):
         assert select_join_order([]) == []
+
+    def test_sample_based_path_on_large_tables(self):
+        # Tables larger than sample_size exercise the sampling estimator;
+        # the order must stay a permutation and be seed-deterministic.
+        tables = [
+            MatchTable(("a", "b"), [(i, i % 13) for i in range(300)]),
+            MatchTable(("b", "c"), [(i % 13, i) for i in range(400)]),
+            MatchTable(("c", "d"), [(i, i + 1) for i in range(350)]),
+        ]
+        first = select_join_order(tables, sample_size=32, rng=3)
+        second = select_join_order(tables, sample_size=32, rng=3)
+        assert sorted(first) == [0, 1, 2]
+        assert first == second
+
+    def test_sample_estimate_tracks_truth_on_skewed_join(self):
+        # One hot key dominates: the analytic 1/distinct estimate is far off,
+        # the sample-based one must land near the true output size.
+        hot = [(1, i) for i in range(190)] + [(k, 0) for k in range(2, 12)]
+        left = MatchTable(("a", "b"), [(i, 1) for i in range(200)])
+        right = MatchTable(("b", "c"), hot)
+        true_size = hash_join(left, right, enforce_injective=False).row_count
+        estimate = estimate_join_size(left, right, sample_size=64, rng=0)
+        assert estimate == pytest.approx(true_size, rel=0.3)
 
 
 class TestMultiwayJoin:

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.core.result import MatchResult, MatchTable, StageStats
 from repro.errors import ExecutionError
+from repro.graph.labeled_graph import NODE_DTYPE
 
 
 class TestMatchTable:
@@ -64,6 +66,91 @@ class TestMatchTable:
     def test_iteration(self):
         table = MatchTable(("a",), [(1,), (2,)])
         assert list(table) == [(1,), (2,)]
+
+
+class TestColumnarStorage:
+    def test_rows_are_python_int_tuples(self):
+        table = MatchTable(("a", "b"), [(1, 2)])
+        row = table.rows[0]
+        assert isinstance(row, tuple)
+        assert all(type(value) is int for value in row)
+
+    def test_add_rows_accepts_ndarray(self):
+        table = MatchTable(("a", "b"))
+        table.add_rows(np.array([[1, 2], [3, 4]], dtype=NODE_DTYPE))
+        table.add_rows([(5, 6)])
+        assert table.rows == [(1, 2), (3, 4), (5, 6)]
+
+    def test_add_rows_rejects_bad_array_shape(self):
+        table = MatchTable(("a", "b"))
+        with pytest.raises(ExecutionError):
+            table.add_rows(np.zeros((2, 3), dtype=NODE_DTYPE))
+
+    def test_from_array_is_zero_copy(self):
+        data = np.array([[1, 2], [3, 4]], dtype=NODE_DTYPE)
+        table = MatchTable.from_array(("a", "b"), data)
+        assert np.shares_memory(table.to_array(), data)
+
+    def test_column_array_is_view(self):
+        table = MatchTable(("a", "b"), [(1, 2), (3, 4)])
+        column = table.column_array("b")
+        assert column.tolist() == [2, 4]
+        assert np.shares_memory(column, table.to_array())
+
+    def test_column_distinct_sorted(self):
+        table = MatchTable(("a",), [(3,), (1,), (3,), (2,)])
+        assert table.column_distinct("a").tolist() == [1, 2, 3]
+
+    def test_truncate(self):
+        table = MatchTable(("a",), [(i,) for i in range(5)])
+        table.truncate(2)
+        assert table.rows == [(0,), (1,)]
+        table.truncate(10)  # no-op
+        assert table.row_count == 2
+
+    def test_rows_setter_rebuilds(self):
+        table = MatchTable(("a",), [(1,)])
+        table.rows = [(7,), (8,)]
+        assert table.rows == [(7,), (8,)]
+
+    def test_slice_rows_view(self):
+        table = MatchTable(("a", "b"), [(i, 10 * i) for i in range(6)])
+        block = table.slice_rows(2, 4)
+        assert block.rows == [(2, 20), (3, 30)]
+        assert np.shares_memory(block.to_array(), table.to_array())
+
+    def test_growth_preserves_rows(self):
+        table = MatchTable(("a",))
+        for i in range(100):
+            table.add_row((i,))
+        assert table.rows == [(i,) for i in range(100)]
+
+
+class TestReorder:
+    def test_reorder_permutes_without_dedup(self):
+        table = MatchTable(("a", "b"), [(1, 2), (1, 2), (3, 4)])
+        reordered = table.reorder(("b", "a"))
+        assert reordered.columns == ("b", "a")
+        assert reordered.rows == [(2, 1), (2, 1), (4, 3)]
+
+    def test_reorder_identity_keeps_rows(self):
+        table = MatchTable(("a", "b"), [(1, 2), (1, 2)])
+        assert table.reorder(("a", "b")).rows == table.rows
+
+    def test_reorder_rejects_non_permutation(self):
+        table = MatchTable(("a", "b"), [(1, 2)])
+        with pytest.raises(ExecutionError):
+            table.reorder(("a",))
+        with pytest.raises(ExecutionError):
+            table.reorder(("a", "z"))
+
+    def test_project_still_dedups(self):
+        table = MatchTable(("a", "b"), [(1, 2), (1, 2), (3, 4)])
+        assert table.project(("b", "a")).rows == [(2, 1), (4, 3)]
+
+    def test_project_keeps_first_seen_order(self):
+        table = MatchTable(("a", "b"), [(9, 1), (2, 2), (9, 1), (1, 3)])
+        assert table.project(("a",)).rows == [(9,), (2,), (1,)]
 
 
 class TestMatchResult:

@@ -1,0 +1,218 @@
+"""Regression tests for row-limit semantics across the pipeline.
+
+The paper's pipelined execution stops at a result limit (1024 in the
+experiments).  These tests pin down the semantics end to end:
+
+* ``match_stwig`` honors limits on leafless STwigs and produces prefixes;
+* ``multiway_join`` pushes the remaining budget into the final join stage
+  of each block instead of joining everything and truncating after;
+* ``assemble_results`` resumes the remaining budget across machines and
+  only reports truncation when a real match was discarded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.core.join as join_module
+from repro.cloud.cluster import MemoryCloud
+from repro.cloud.config import ClusterConfig
+from repro.core.distributed import assemble_results
+from repro.core.engine import SubgraphMatcher
+from repro.core.exploration import explore
+from repro.core.join import multiway_join
+from repro.core.matcher import match_stwig
+from repro.core.planner import QueryPlanner
+from repro.core.result import MatchTable
+from repro.core.stwig import STwig
+from repro.query.query_graph import QueryGraph
+from repro.workloads.datasets import tiny_example_graph
+
+from tests.helpers import make_cloud, seeded_graph
+
+
+class TestLeaflessSTwigLimits:
+    def setup_method(self):
+        self.graph = seeded_graph(seed=11, nodes=40, edges=100, labels=2)
+        self.query = QueryGraph({"r": "L0", "x": "L1"}, [("r", "x")])
+        self.stwig = STwig("r", ())
+
+    def test_limit_is_prefix_of_full(self):
+        cloud = make_cloud(self.graph, machine_count=1)
+        full = match_stwig(cloud, 0, self.stwig, self.query)
+        assert full.row_count > 3
+        limited = match_stwig(cloud, 0, self.stwig, self.query, row_limit=3)
+        assert limited.rows == full.rows[:3]
+
+    def test_limit_above_match_count_returns_everything(self):
+        cloud = make_cloud(self.graph, machine_count=1)
+        full = match_stwig(cloud, 0, self.stwig, self.query)
+        limited = match_stwig(
+            cloud, 0, self.stwig, self.query, row_limit=full.row_count + 10
+        )
+        assert limited.rows == full.rows
+
+    def test_limited_leafless_charges_only_work_done(self):
+        limited_cloud = make_cloud(self.graph, machine_count=1)
+        full_cloud = make_cloud(self.graph, machine_count=1)
+        limited_cloud.reset_metrics()
+        full_cloud.reset_metrics()
+        match_stwig(limited_cloud, 0, self.stwig, self.query, row_limit=1)
+        match_stwig(full_cloud, 0, self.stwig, self.query)
+        limited_loads = limited_cloud.metrics.snapshot()["local_loads"]
+        full_loads = full_cloud.metrics.snapshot()["local_loads"]
+        assert limited_loads < full_loads
+
+
+class TestMultiwayJoinLimitPushdown:
+    def make_cross_tables(self, n=40):
+        return [
+            MatchTable(("a",), [(i,) for i in range(n)]),
+            MatchTable(("b",), [(1000 + i,) for i in range(n)]),
+        ]
+
+    def test_limited_join_is_prefix_of_unlimited(self):
+        tables = self.make_cross_tables()
+        full = multiway_join(tables, order=[0, 1], block_size=10)
+        limited = multiway_join(tables, order=[0, 1], block_size=10, row_limit=5)
+        assert limited.rows == full.rows[:5]
+
+    def test_limit_hit_mid_block_stops_final_stage(self, monkeypatch):
+        """The final join stage of a block must not materialize past the budget."""
+        produced = []
+        real_hash_join = join_module.hash_join
+
+        def counting_hash_join(left, right, **kwargs):
+            result = real_hash_join(left, right, **kwargs)
+            produced.append(result.row_count)
+            return result
+
+        monkeypatch.setattr(join_module, "hash_join", counting_hash_join)
+        tables = self.make_cross_tables(n=40)  # full join = 1600 rows
+        limited = join_module.multiway_join(
+            tables, order=[0, 1], block_size=10, row_limit=5
+        )
+        assert limited.row_count == 5
+        # One block runs, and its final (only) stage stops at the budget —
+        # nowhere near the 400 rows a full 10x40 block join would produce.
+        assert sum(produced) == 5
+
+    def test_three_table_pushdown_only_limits_final_stage(self, monkeypatch):
+        """Intermediate stages stay unlimited (their rows may still be dropped)."""
+        seen_limits = []
+        real_hash_join = join_module.hash_join
+
+        def recording_hash_join(left, right, **kwargs):
+            seen_limits.append(kwargs.get("row_limit"))
+            return real_hash_join(left, right, **kwargs)
+
+        monkeypatch.setattr(join_module, "hash_join", recording_hash_join)
+        tables = [
+            MatchTable(("a", "b"), [(i, 100 + i) for i in range(8)]),
+            MatchTable(("b", "c"), [(100 + i, 200 + i) for i in range(8)]),
+            MatchTable(("c", "d"), [(200 + i, 300 + i) for i in range(8)]),
+        ]
+        full = join_module.multiway_join(tables, order=[0, 1, 2], block_size=None)
+        seen_limits.clear()
+        limited = join_module.multiway_join(
+            tables, order=[0, 1, 2], block_size=None, row_limit=3
+        )
+        assert limited.rows == full.rows[:3]
+        assert seen_limits == [None, 3]
+
+    def test_limit_spanning_blocks(self):
+        tables = self.make_cross_tables(n=12)
+        full = multiway_join(tables, order=[0, 1], block_size=2)
+        for limit in (1, 23, 24, 25, 144):
+            limited = multiway_join(
+                tables, order=[0, 1], block_size=2, row_limit=limit
+            )
+            assert limited.rows == full.rows[: min(limit, 144)]
+
+    def test_single_table_limit(self):
+        table = MatchTable(("a",), [(i,) for i in range(10)])
+        limited = multiway_join([table], row_limit=4)
+        assert limited.rows == table.rows[:4]
+
+
+class TestAssembleResultsLimits:
+    def build(self, machine_count=3):
+        graph = seeded_graph(seed=5, nodes=60, edges=200, labels=2)
+        query = QueryGraph({"r": "L0", "x": "L1"}, [("r", "x")])
+        cloud = make_cloud(graph, machine_count=machine_count)
+        plan = QueryPlanner(cloud).plan(query)
+        outcome = explore(cloud, plan)
+        return cloud, plan, outcome
+
+    def test_remaining_budget_resumes_across_machines(self):
+        cloud, plan, outcome = self.build()
+        full = assemble_results(cloud, plan, outcome)
+        total = full.table.row_count
+        assert total > 4, "workload must have several matches"
+        # The contributions must actually be split across machines (head
+        # roots on distinct owners), otherwise this test would not exercise
+        # the resume path.
+        head_root = plan.head_stwig.root
+        owners = {
+            cloud.owner_of(value)
+            for value in full.table.column_array(head_root).tolist()
+        }
+        assert len(owners) >= 2
+        limit = total - 1
+        limited = assemble_results(cloud, plan, outcome, result_limit=limit)
+        assert limited.table.row_count == limit
+        assert limited.truncated
+        assert limited.table.rows == full.table.rows[:limit]
+
+    def test_exactly_limit_matches_not_truncated(self):
+        cloud, plan, outcome = self.build()
+        total = assemble_results(cloud, plan, outcome).table.row_count
+        exact = assemble_results(cloud, plan, outcome, result_limit=total)
+        assert exact.table.row_count == total
+        assert not exact.truncated
+
+    def test_limit_above_match_count_not_truncated(self):
+        cloud, plan, outcome = self.build()
+        total = assemble_results(cloud, plan, outcome).table.row_count
+        loose = assemble_results(cloud, plan, outcome, result_limit=total + 7)
+        assert loose.table.row_count == total
+        assert not loose.truncated
+
+    def test_every_limit_is_prefix(self):
+        cloud, plan, outcome = self.build()
+        full = assemble_results(cloud, plan, outcome).table
+        for limit in (1, 2, full.row_count // 2, full.row_count):
+            limited = assemble_results(cloud, plan, outcome, result_limit=limit)
+            assert limited.table.rows == full.rows[:limit]
+
+
+class TestEngineTruncatedFlag:
+    @pytest.fixture
+    def matcher(self) -> SubgraphMatcher:
+        cloud = MemoryCloud.from_graph(
+            tiny_example_graph(), ClusterConfig(machine_count=3)
+        )
+        return SubgraphMatcher(cloud)
+
+    @pytest.fixture
+    def query(self) -> QueryGraph:
+        # Exactly two matches in the tiny example graph.
+        return QueryGraph(
+            {"qa": "a", "qb": "b", "qc": "c", "qd": "d"},
+            [("qa", "qb"), ("qa", "qc"), ("qb", "qc"), ("qc", "qd")],
+        )
+
+    def test_exactly_limit_matches_not_truncated(self, matcher, query):
+        result = matcher.match(query, limit=2)
+        assert result.match_count == 2
+        assert result.stats.truncated is False
+
+    def test_below_limit_not_truncated(self, matcher, query):
+        result = matcher.match(query, limit=50)
+        assert result.match_count == 2
+        assert result.stats.truncated is False
+
+    def test_above_limit_truncated(self, matcher, query):
+        result = matcher.match(query, limit=1)
+        assert result.match_count == 1
+        assert result.stats.truncated is True

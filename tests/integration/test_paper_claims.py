@@ -6,7 +6,6 @@ checks the reproduction exhibits it (at reduced scale).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines.cost_models import FACEBOOK_SCALE, feasible_at_scale, table1_cost_models
 from repro.bench.harness import build_cloud, run_suite
