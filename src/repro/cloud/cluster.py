@@ -30,7 +30,12 @@ from repro.cloud.metrics import CloudMetrics
 from repro.errors import CloudError, NodeNotFoundError
 from repro.graph.labeled_graph import NODE_DTYPE, OFFSET_DTYPE, LabeledGraph, NodeCell
 from repro.graph.partition import PartitionAssignment
-from repro.utils.arrays import sorted_lookup
+from repro.utils.arrays import (
+    dense_table_profitable,
+    dense_value_table,
+    sorted_lookup,
+    table_position_lookup,
+)
 
 
 class MemoryCloud:
@@ -56,6 +61,9 @@ class MemoryCloud:
         self._global_node_ids: np.ndarray | None = None
         self._global_label_ids: np.ndarray | None = None
         self._label_table = None
+        # Dense node->label-ID table (-1 = absent) for O(1) batched probes
+        # on the usual contiguous ID domains; None when IDs are too sparse.
+        self._label_by_node: np.ndarray | None = None
 
     # -- construction --------------------------------------------------------
 
@@ -113,6 +121,12 @@ class MemoryCloud:
         self._global_node_ids = node_ids
         self._global_label_ids = label_ids
         self._label_table = graph.label_table
+        if dense_table_profitable(node_ids, probe_count=0):
+            self._label_by_node = dense_value_table(
+                node_ids, label_ids, dtype=np.int32
+            )
+        else:
+            self._label_by_node = None
 
         if self.config.track_label_pairs:
             self._record_label_pairs(graph, machine_of_row)
@@ -201,7 +215,7 @@ class MemoryCloud:
         return neighbors
 
     def load_neighbors_batch(
-        self, node_ids: np.ndarray, requester: int
+        self, node_ids: np.ndarray, requester: int, owner: int | None = None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Batched ``Cloud.Load`` of many cells' neighbor lists.
 
@@ -209,6 +223,11 @@ class MemoryCloud:
         every requested cell (in input order) plus each cell's neighbor
         count.  One load is charged per cell against its owner machine, with
         the same message/byte accounting as :meth:`load`.
+
+        Pass ``owner`` when every requested cell is known to live on one
+        machine (the STwig matcher's root loads: roots are local by
+        construction) to skip per-node owner resolution; the accounting is
+        unchanged, owner resolution was never charged.
         """
         if self._assignment is None:
             raise CloudError("no graph has been loaded into the cloud")
@@ -217,6 +236,12 @@ class MemoryCloud:
                 np.empty(0, dtype=NODE_DTYPE),
                 np.empty(0, dtype=OFFSET_DTYPE),
             )
+        if owner is not None:
+            neighbors, counts = self.machines[owner].load_rows(node_ids)
+            self.metrics.record_loads(
+                requester, owner, len(node_ids), int(counts.sum())
+            )
+            return neighbors, counts
         owners = self._assignment.machine_array_for(node_ids)
         distinct = np.unique(owners).tolist()
         if len(distinct) == 1:
@@ -295,6 +320,11 @@ class MemoryCloud:
         label_id = self._label_table.id_of(label) if self._label_table else -1
         if label_id < 0:
             return np.zeros(len(node_ids), dtype=bool)
+        if self._label_by_node is not None:
+            # Dense ID domain: one gather + compare instead of a binary
+            # search per candidate (absent/out-of-range IDs read as -1).
+            labels, found = table_position_lookup(self._label_by_node, node_ids)
+            return found & (labels == label_id)
         positions, found = sorted_lookup(self._global_node_ids, node_ids)
         return found & (self._global_label_ids[positions] == label_id)
 
@@ -311,8 +341,18 @@ class MemoryCloud:
 
     def get_local_ids(self, machine_id: int, label: str) -> Tuple[int, ...]:
         """``Index.getID(label)`` on one machine: IDs of *local* nodes with ``label``."""
+        return tuple(self.get_local_ids_array(machine_id, label).tolist())
+
+    def get_local_ids_array(self, machine_id: int, label: str) -> np.ndarray:
+        """``Index.getID(label)`` as a sorted ``NODE_DTYPE`` array (no copy).
+
+        Identical accounting to :meth:`get_local_ids` — one index lookup —
+        but the per-label array cached by the machine's label index is
+        returned directly, which is what the batched STwig matcher consumes.
+        Treat the array as read-only.
+        """
         machine = self._machine(machine_id)
-        ids = machine.get_ids(label)
+        ids = machine.label_index.get_ids_array(label)
         self.metrics.record_index_lookup(machine_id, len(ids))
         return ids
 

@@ -24,7 +24,12 @@ import numpy as np
 from repro.cloud.label_index import LabelIndex
 from repro.errors import NodeNotFoundError
 from repro.graph.label_table import LabelTable
-from repro.utils.arrays import sorted_lookup
+from repro.utils.arrays import (
+    dense_position_table,
+    dense_table_profitable,
+    sorted_lookup,
+    table_position_lookup,
+)
 from repro.graph.labeled_graph import (
     LABEL_DTYPE,
     NODE_DTYPE,
@@ -45,6 +50,7 @@ class Machine:
         self._offsets = np.zeros(1, dtype=OFFSET_DTYPE)
         self._neighbors = np.empty(0, dtype=NODE_DTYPE)
         self._pending: List[Tuple[int, int, Tuple[int, ...]]] = []
+        self._dense_rows: np.ndarray | None = None
 
     # -- loading -----------------------------------------------------------
 
@@ -76,6 +82,7 @@ class Machine:
         self._offsets = offsets
         self._neighbors = neighbors
         self._pending.clear()
+        self._dense_rows = None
         self.label_index.adopt(node_ids, label_ids)
 
     def _ensure(self) -> None:
@@ -112,6 +119,7 @@ class Machine:
         else:
             self._neighbors = np.empty(0, dtype=NODE_DTYPE)
         self._pending.clear()
+        self._dense_rows = None
 
     # -- local access ------------------------------------------------------
 
@@ -154,7 +162,11 @@ class Machine:
         self._ensure()
         if len(node_ids) == 0:
             return np.empty(0, dtype=NODE_DTYPE), np.empty(0, dtype=OFFSET_DTYPE)
-        rows, valid = sorted_lookup(self._ids, node_ids)
+        dense = self._dense_row_table(len(node_ids))
+        if dense is not None:
+            rows, valid = table_position_lookup(dense, node_ids)
+        else:
+            rows, valid = sorted_lookup(self._ids, node_ids)
         if not valid.all():
             missing = np.asarray(node_ids)[~valid]
             raise NodeNotFoundError(int(missing[0]), f"machine {self.machine_id}")
@@ -167,6 +179,22 @@ class Machine:
             + np.repeat(starts - out_offsets[:-1], counts)
         )
         return self._neighbors[gather], counts
+
+    def _dense_row_table(self, probe_count: int) -> np.ndarray | None:
+        """Lazy id->row table for :meth:`load_rows` (None when too sparse).
+
+        Built at most once per partition generation (invalidated by
+        :meth:`adopt_partition` / staged stores) so the hot batched-load
+        path resolves rows with one gather instead of a binary search per
+        node.  Only the *build* is memoized: a borderline domain that a
+        tiny first batch left table-less is re-evaluated (the check is
+        O(1)) when a larger batch arrives.
+        """
+        if self._dense_rows is None and dense_table_profitable(
+            self._ids, probe_count
+        ):
+            self._dense_rows = dense_position_table(self._ids)
+        return self._dense_rows
 
     def owns(self, node_id: int) -> bool:
         """True if this machine stores ``node_id``."""

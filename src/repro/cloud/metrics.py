@@ -29,6 +29,7 @@ class CloudMetrics:
     messages: int = 0
     bytes_transferred: int = 0
     result_rows_shipped: int = 0
+    result_rows_filtered: int = 0
     per_pair_messages: Dict[Tuple[int, int], int] = field(
         default_factory=lambda: defaultdict(int)
     )
@@ -99,6 +100,21 @@ class CloudMetrics:
         self.result_rows_shipped += rows
         self._record_message(sender, receiver, 16 + rows * row_width * 8)
 
+    def record_result_filter(self, sender: int, receiver: int, rows: int) -> None:
+        """Record ``rows`` result tuples dropped sender-side before shipping.
+
+        The final binding filter runs on the owning machine (bindings are
+        global knowledge after exploration), so rows it removes are never
+        serialized.  They are counted here explicitly — separate from
+        ``result_rows_shipped`` — so the saving stays visible and the
+        invariant ``shipped(filtered) + filtered == shipped(unfiltered)``
+        can be asserted.  Local (same-machine) gathers never shipped, so
+        nothing is recorded for them.
+        """
+        if sender == receiver or rows <= 0:
+            return
+        self.result_rows_filtered += rows
+
     def _record_message(self, sender: int, receiver: int, size_bytes: int) -> None:
         self._record_messages(sender, receiver, 1, size_bytes)
 
@@ -121,6 +137,7 @@ class CloudMetrics:
         self.messages += other.messages
         self.bytes_transferred += other.bytes_transferred
         self.result_rows_shipped += other.result_rows_shipped
+        self.result_rows_filtered += other.result_rows_filtered
         for pair, count in other.per_pair_messages.items():
             self.per_pair_messages[pair] += count
 
@@ -154,6 +171,7 @@ class CloudMetrics:
             "messages": self.messages,
             "bytes_transferred": self.bytes_transferred,
             "result_rows_shipped": self.result_rows_shipped,
+            "result_rows_filtered": self.result_rows_filtered,
         }
 
     def reset(self) -> None:
@@ -166,4 +184,5 @@ class CloudMetrics:
         self.messages = 0
         self.bytes_transferred = 0
         self.result_rows_shipped = 0
+        self.result_rows_filtered = 0
         self.per_pair_messages.clear()

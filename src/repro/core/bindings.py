@@ -6,28 +6,66 @@ result.  Later STwigs only consider candidates inside the binding sets,
 which is the exploration-side pruning at the heart of the paper's method
 (Section 4.2, step 2).  Unbound query nodes carry ``None`` — "the set of all
 nodes that match the label" — rather than a materialized set.
+
+Bindings are stored *array-native*: one sorted, duplicate-free
+``NODE_DTYPE`` array per bound query node.  Narrowing is ``np.intersect1d``
+over two sorted-unique arrays, unioning is ``np.union1d``, and the matcher's
+vectorized membership filters consume the arrays directly — no set<->array
+conversion ever happens on the exploration hot path.  The set-returning
+API of the original implementation (:meth:`candidates`,
+:meth:`bound_nodes`) is kept source-compatible as materialized views.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Iterable, Optional, Set, Union
 
 import numpy as np
 
 from repro.errors import QueryError
 from repro.graph.labeled_graph import NODE_DTYPE
 from repro.query.query_graph import QueryGraph
+from repro.utils.arrays import (
+    dense_membership_table,
+    dense_table_profitable,
+    membership_mask,
+    table_membership_mask,
+)
+
+#: Anything accepted as a candidate collection by bind/merge_union.
+NodesLike = Union[Iterable[int], np.ndarray]
+
+
+def _as_sorted_unique(data_nodes: NodesLike) -> np.ndarray:
+    """Normalize ``data_nodes`` into a sorted, duplicate-free NODE_DTYPE array.
+
+    Arrays that are already strictly ascending (the common case: ``np.unique``
+    output handed over by the exploration loop, or an intersection result)
+    are adopted as-is with one O(n) check instead of re-sorting.
+    """
+    if isinstance(data_nodes, np.ndarray):
+        array = np.asarray(data_nodes, dtype=NODE_DTYPE)
+        if array.ndim != 1:
+            array = array.ravel()
+        if len(array) > 1 and not bool(np.all(array[1:] > array[:-1])):
+            array = np.unique(array)
+        return array
+    values = list(data_nodes)
+    if not values:
+        return np.empty(0, dtype=NODE_DTYPE)
+    return np.unique(np.array(values, dtype=NODE_DTYPE))
 
 
 class BindingTable:
-    """Per-query-node candidate sets (``None`` = unbound)."""
+    """Per-query-node sorted candidate arrays (``None`` = unbound)."""
 
     def __init__(self, query: QueryGraph) -> None:
         self._query = query
-        self._bindings: Dict[str, Optional[Set[int]]] = {
+        self._bindings: Dict[str, Optional[np.ndarray]] = {
             node: None for node in query.nodes()
         }
-        self._array_cache: Dict[str, np.ndarray] = {}
+        self._set_cache: Dict[str, Set[int]] = {}
+        self._mask_cache: Dict[str, np.ndarray] = {}
 
     def is_bound(self, node: str) -> bool:
         """True if ``node`` has an explicit candidate set."""
@@ -35,57 +73,86 @@ class BindingTable:
         return self._bindings[node] is not None
 
     def candidates(self, node: str) -> Optional[Set[int]]:
-        """The candidate set of ``node`` (None when unbound)."""
+        """The candidate set of ``node`` (None when unbound).
+
+        A materialized view of the underlying sorted array, cached until the
+        binding changes.  Treat it as read-only; mutating the returned set
+        never affects the table.
+        """
         self._check(node)
-        return self._bindings[node]
+        array = self._bindings[node]
+        if array is None:
+            return None
+        cached = self._set_cache.get(node)
+        if cached is None:
+            cached = set(array.tolist())
+            self._set_cache[node] = cached
+        return cached
 
     def candidates_array(self, node: str) -> Optional[np.ndarray]:
         """The candidate set of ``node`` as a sorted array (None when unbound).
 
-        The array is cached until the binding changes, so the vectorized
-        membership filters in the matcher do not re-sort per STwig root.
+        This is the primary representation — no conversion or copy happens.
+        The array is duplicate-free and ascending, ready for
+        ``np.searchsorted``-style membership filters; treat it as read-only.
         """
-        candidates = self.candidates(node)
-        if candidates is None:
-            return None
-        cached = self._array_cache.get(node)
-        if cached is None:
-            cached = np.fromiter(candidates, dtype=NODE_DTYPE, count=len(candidates))
-            cached.sort()
-            self._array_cache[node] = cached
-        return cached
+        self._check(node)
+        return self._bindings[node]
 
     def allows(self, node: str, data_node: int) -> bool:
         """True if ``data_node`` is eligible for query node ``node``."""
-        candidates = self.candidates(node)
-        return candidates is None or data_node in candidates
+        self._check(node)
+        array = self._bindings[node]
+        if array is None:
+            return True
+        position = int(np.searchsorted(array, data_node))
+        return position < len(array) and int(array[position]) == data_node
 
-    def bind(self, node: str, data_nodes: Iterable[int] | np.ndarray) -> None:
+    def membership_mask(self, node: str, values: np.ndarray) -> np.ndarray:
+        """Boolean mask marking which ``values`` lie in the binding of ``node``.
+
+        The matcher's leaf filters and the gather's final binding filter
+        probe the same binding against many large candidate arrays; on the
+        usual dense ID domains the answers come from a cached O(1) lookup
+        table (built once per binding generation), falling back to binary
+        search over the sorted array when the domain is sparse.  ``node``
+        must be bound.
+        """
+        self._check(node)
+        array = self._bindings[node]
+        if array is None:
+            raise QueryError(f"query node {node!r} is unbound")
+        table = self._mask_cache.get(node)
+        if table is None and len(array) and dense_table_profitable(array, len(values)):
+            # Only the build is memoized; a domain that a small first probe
+            # left table-less is re-checked (O(1)) on every later probe.
+            table = dense_membership_table(array)
+            self._mask_cache[node] = table
+        if table is not None:
+            return table_membership_mask(table, values)
+        return membership_mask(array, values)
+
+    def bind(self, node: str, data_nodes: NodesLike) -> None:
         """Bind (or narrow) ``node`` to ``data_nodes``.
 
         If the node is already bound, the new binding is the intersection —
         a data node must survive every STwig that mentions the query node.
-
-        Accepts a numpy array directly (the exploration loop hands over
-        ``np.unique`` output); a fresh binding from an array also seeds the
-        sorted-array cache, so the matcher's vectorized membership filters
-        never re-materialize it from the set.
+        Both sides are sorted-unique arrays, so narrowing is one
+        ``np.intersect1d(..., assume_unique=True)`` merge; the result seeds
+        the binding directly, and downstream membership filters reuse it
+        without re-sorting.
         """
         self._check(node)
-        from_array = isinstance(data_nodes, np.ndarray)
-        new_set = set(data_nodes.tolist()) if from_array else set(data_nodes)
+        array = _as_sorted_unique(data_nodes)
         current = self._bindings[node]
-        self._array_cache.pop(node, None)
         if current is None:
-            self._bindings[node] = new_set
-            if from_array:
-                cached = np.array(data_nodes, dtype=NODE_DTYPE)
-                cached.sort()
-                self._array_cache[node] = cached
+            self._bindings[node] = array
         else:
-            self._bindings[node] = current & new_set
+            self._bindings[node] = np.intersect1d(current, array, assume_unique=True)
+        self._set_cache.pop(node, None)
+        self._mask_cache.pop(node, None)
 
-    def merge_union(self, node: str, data_nodes: Iterable[int]) -> None:
+    def merge_union(self, node: str, data_nodes: NodesLike) -> None:
         """Accumulate ``data_nodes`` into a pending union for ``node``.
 
         Used when aggregating per-machine contributions for the *same*
@@ -93,46 +160,52 @@ class BindingTable:
         intersected with previous bindings via :meth:`bind`.
         """
         self._check(node)
+        array = _as_sorted_unique(data_nodes)
         current = self._bindings[node]
         if current is None:
-            self._bindings[node] = set(data_nodes)
+            self._bindings[node] = array
         else:
-            current.update(data_nodes)
-        self._array_cache.pop(node, None)
+            self._bindings[node] = np.union1d(current, array)
+        self._set_cache.pop(node, None)
+        self._mask_cache.pop(node, None)
 
     def bound_nodes(self) -> Dict[str, Set[int]]:
         """Mapping of currently-bound query nodes to their candidate sets."""
         return {
-            node: set(candidates)
-            for node, candidates in self._bindings.items()
-            if candidates is not None
+            node: set(array.tolist())
+            for node, array in self._bindings.items()
+            if array is not None
         }
 
     def all_bound(self) -> bool:
         """True once every query node is bound."""
-        return all(candidates is not None for candidates in self._bindings.values())
+        return all(array is not None for array in self._bindings.values())
 
     def is_empty(self, node: str) -> bool:
         """True if ``node`` is bound to the empty set (query has no results)."""
-        candidates = self.candidates(node)
-        return candidates is not None and not candidates
+        self._check(node)
+        array = self._bindings[node]
+        return array is not None and len(array) == 0
 
     def any_empty(self) -> bool:
         """True if any bound query node has an empty candidate set."""
         return any(
-            candidates is not None and not candidates
-            for candidates in self._bindings.values()
+            array is not None and len(array) == 0
+            for array in self._bindings.values()
         )
 
     def total_size(self) -> int:
         """Total number of (query node, data node) binding entries."""
-        return sum(len(c) for c in self._bindings.values() if c is not None)
+        return sum(len(array) for array in self._bindings.values() if array is not None)
 
     def copy(self) -> "BindingTable":
-        """Deep copy of the table."""
+        """Independent copy of the table.
+
+        Binding arrays are never mutated in place (``bind``/``merge_union``
+        replace them), so the copy can share them safely.
+        """
         clone = BindingTable(self._query)
-        for node, candidates in self._bindings.items():
-            clone._bindings[node] = None if candidates is None else set(candidates)
+        clone._bindings = dict(self._bindings)
         return clone
 
     def _check(self, node: str) -> None:
@@ -141,8 +214,8 @@ class BindingTable:
 
     def __repr__(self) -> str:
         bound = {
-            node: len(candidates)
-            for node, candidates in self._bindings.items()
-            if candidates is not None
+            node: len(array)
+            for node, array in self._bindings.items()
+            if array is not None
         }
         return f"BindingTable(bound={bound})"

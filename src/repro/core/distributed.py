@@ -17,12 +17,21 @@ result limit is threaded through as a *remaining* budget: each machine's
 join only runs for the rows still needed, and the assembly reports whether
 the limit actually cut anything off (a query with exactly ``limit`` matches
 is not truncated).
+
+The final binding filter runs *inside the gather*: each source table is
+reduced once, on its owning machine, with sorted-membership column masks
+over zero-copy column views — before any cross-machine concatenation.
+Receivers therefore copy (and the simulated network ships) only surviving
+rows, which removes the copy floor that used to dominate limited queries,
+and the filtered table is cached per (machine, STwig) so it is never
+recomputed per receiver.  Rows the filter drops sender-side are charged to
+the explicit ``result_rows_filtered`` counter.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -32,6 +41,9 @@ from repro.core.join import multiway_join
 from repro.core.planner import QueryPlan
 from repro.core.result import MatchTable
 from repro.utils.arrays import membership_mask
+
+#: Cache of binding-filtered tables, keyed by (machine, stwig_index).
+FilteredTables = Dict[Tuple[int, int], MatchTable]
 
 
 @dataclass
@@ -75,6 +87,8 @@ def assemble_results(
         return JoinOutcome(final, False)
 
     config = plan.config
+    bindings = exploration.bindings if config.use_final_binding_filter else None
+    filtered_cache: FilteredTables = {}
     # Probe for one row beyond the limit: reaching limit+1 proves a real
     # match was cut, while a query with exactly `limit` matches runs the
     # same joins it would have anyway and comes back un-truncated.
@@ -83,12 +97,9 @@ def assemble_results(
         remaining = None if probe_limit is None else probe_limit - final.row_count
         if remaining is not None and remaining <= 0:
             break
-        machine_tables = _gather_machine_tables(cloud, plan, exploration, machine_id)
-        if config.use_final_binding_filter:
-            machine_tables = [
-                _filter_by_bindings(table, exploration.bindings)
-                for table in machine_tables
-            ]
+        machine_tables = _gather_machine_tables(
+            cloud, plan, exploration, machine_id, bindings, filtered_cache
+        )
         if any(table.row_count == 0 for table in machine_tables):
             # An empty R_k(q_t) (in particular an empty local head table)
             # makes the whole join empty: this machine contributes nothing.
@@ -120,21 +131,50 @@ def _filter_by_bindings(table: MatchTable, bindings) -> MatchTable:
     violating that for any column can therefore never contribute to an
     answer.  Earlier-explored STwig tables were built against weaker binding
     information, so this backward pass can shrink them substantially before
-    the join.  One sorted-membership mask per bound column replaces the old
-    per-row set probes.
+    the join.  One sorted-membership mask per bound column runs on the
+    zero-copy column views; only surviving rows are ever copied.
     """
     if table.row_count == 0:
         return table
+    mask_fn = getattr(bindings, "membership_mask", None)
     keep: Optional[np.ndarray] = None
     for column in table.columns:
         candidates = bindings.candidates_array(column)
         if candidates is None:
             continue
-        mask = membership_mask(candidates, table.column_array(column))
+        column_values = table.column_array(column)
+        if mask_fn is not None:
+            mask = mask_fn(column, column_values)
+        else:
+            mask = membership_mask(candidates, column_values)
         keep = mask if keep is None else keep & mask
     if keep is None or keep.all():
         return table
     return MatchTable.from_array(table.columns, table.to_array()[keep])
+
+
+def _filtered_table(
+    exploration: ExplorationOutcome,
+    machine_id: int,
+    stwig_index: int,
+    bindings,
+    cache: FilteredTables,
+) -> MatchTable:
+    """``G_k(q_i)`` with the final binding filter applied on its machine.
+
+    Cached per (machine, STwig): every receiver whose load set includes this
+    source reuses the same filtered table instead of re-deriving the masks.
+    With ``bindings`` disabled the raw table passes through untouched.
+    """
+    table = exploration.tables[machine_id][stwig_index]
+    if bindings is None or table.row_count == 0:
+        return table
+    key = (machine_id, stwig_index)
+    cached = cache.get(key)
+    if cached is None:
+        cached = _filter_by_bindings(table, bindings)
+        cache[key] = cached
+    return cached
 
 
 def _gather_machine_tables(
@@ -142,22 +182,39 @@ def _gather_machine_tables(
     plan: QueryPlan,
     exploration: ExplorationOutcome,
     machine_id: int,
+    bindings,
+    filtered_cache: FilteredTables,
 ) -> List[MatchTable]:
     """Build ``R_k(q_t)`` for every STwig ``t`` on machine ``machine_id``.
 
-    Remote fetches are charged to the cloud metrics as result transfers.
+    Every part — local and remote — is binding-filtered *before* the union,
+    so the concatenation copies only surviving rows.  Remote fetches are
+    charged as result transfers for the rows actually shipped; rows the
+    sender-side filter removed are charged to ``result_rows_filtered``.
     The union over the load set is one array concatenation instead of a
     chain of pairwise copies.
     """
     tables: List[MatchTable] = []
     for stwig_index in range(len(plan.stwigs)):
-        local = exploration.tables[machine_id][stwig_index]
+        local = _filtered_table(
+            exploration, machine_id, stwig_index, bindings, filtered_cache
+        )
         if stwig_index == plan.head_index:
             tables.append(local)
             continue
         parts = [local]
         for remote_machine in sorted(plan.load_set(machine_id, stwig_index)):
-            remote = exploration.tables[remote_machine][stwig_index]
+            raw_rows = exploration.tables[remote_machine][stwig_index].row_count
+            if raw_rows == 0:
+                continue
+            remote = _filtered_table(
+                exploration, remote_machine, stwig_index, bindings, filtered_cache
+            )
+            cloud.metrics.record_result_filter(
+                sender=remote_machine,
+                receiver=machine_id,
+                rows=raw_rows - remote.row_count,
+            )
             if remote.row_count:
                 cloud.metrics.record_result_transfer(
                     sender=remote_machine,

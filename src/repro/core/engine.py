@@ -128,5 +128,6 @@ def _simulated_seconds(delta: dict, cloud: MemoryCloud) -> float:
         messages=delta.get("messages", 0),
         bytes_transferred=delta.get("bytes_transferred", 0),
         result_rows_shipped=delta.get("result_rows_shipped", 0),
+        result_rows_filtered=delta.get("result_rows_filtered", 0),
     )
     return scratch.simulated_total_seconds(cloud.config.network)

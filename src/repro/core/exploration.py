@@ -10,18 +10,22 @@ The per-machine, per-STwig result tables ``G_k(q_i)`` are kept on their
 machines; only the (much smaller) binding sets travel through the proxy, and
 that traffic is charged to the cloud metrics.
 
-The inner loop rides on the CSR substrate: ``match_stwig`` reads zero-copy
-neighbor slices and filters them with one vectorized label probe per
-machine, and the binding sets it consumes are served as cached sorted arrays
-by :meth:`~repro.core.bindings.BindingTable.candidates_array`, so the
-per-stage cost is dominated by a handful of ``numpy`` operations instead of
-one Python ``hasLabel`` call per neighbor.  The communication *accounting*
-is unchanged: one probe is still charged per neighbor per unbound leaf.
+The phase is *array-native and batched*: bindings live as sorted
+``NODE_DTYPE`` arrays inside :class:`~repro.core.bindings.BindingTable`
+(narrowed via ``np.intersect1d``), and each stage's root candidates are
+partitioned by owner **once** — one ``owners_of_array`` call and one stable
+argsort — instead of every machine re-scanning the full binding array.  The
+per-machine ``match_stwig`` calls then run off shared per-stage arrays.
+The communication *accounting* is unchanged and identical to the per-node
+execution model: one index lookup per (machine, unbound-root stage), one
+load per root cell, one probe per neighbor per unbound leaf, and one
+binding-delta message per contributing machine per stage.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+import inspect
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -30,6 +34,8 @@ from repro.core.bindings import BindingTable
 from repro.core.matcher import match_stwig
 from repro.core.planner import QueryPlan
 from repro.core.result import MatchTable
+from repro.core.stwig import STwig
+from repro.graph.labeled_graph import NODE_DTYPE
 
 #: Per-machine tables: explored[machine_id][stwig_index] -> MatchTable.
 ExplorationTables = List[List[MatchTable]]
@@ -41,10 +47,21 @@ class ExplorationOutcome:
     def __init__(self, tables: ExplorationTables, bindings: BindingTable) -> None:
         self.tables = tables
         self.bindings = bindings
+        self._empty: Optional[bool] = None
 
     @property
     def empty(self) -> bool:
-        """True if some STwig matched nothing anywhere (the query has no answers)."""
+        """True if some STwig matched nothing anywhere (the query has no answers).
+
+        Computed once over the (immutable after exploration) tables and
+        cached: the join phase consults this per query, and re-scanning
+        every (machine, STwig) pair on each access is pure waste.
+        """
+        if self._empty is None:
+            self._empty = self._compute_empty()
+        return self._empty
+
+    def _compute_empty(self) -> bool:
         machine_count = len(self.tables)
         if machine_count == 0:
             return True
@@ -78,24 +95,39 @@ def explore(
             :func:`~repro.core.matcher.match_stwig`.  Benchmarks inject
             alternative matchers (e.g. the pre-CSR per-node-probe matcher)
             to compare substrates under the identical exploration driver.
+            A matcher that accepts a ``roots`` keyword receives each
+            stage's owner-partitioned root array; one that does not (a
+            legacy baseline) derives its own roots per machine.
     """
     query = plan.query
     config = plan.config
     machine_count = cloud.machine_count
     bindings = BindingTable(query)
     tables: ExplorationTables = [[] for _ in range(machine_count)]
+    batch_roots = _supports_roots(match_fn)
 
     for stwig in plan.stwigs:
         stage_filter = bindings if config.use_binding_filter else None
+        stage_roots = (
+            _stage_root_partition(cloud, stwig, query.label(stwig.root), stage_filter)
+            if batch_roots
+            else None
+        )
         per_machine: List[MatchTable] = []
         for machine_id in range(machine_count):
-            table = match_fn(
-                cloud,
-                machine_id,
-                stwig,
-                query,
-                bindings=stage_filter,
-            )
+            if stage_roots is None:
+                table = match_fn(
+                    cloud, machine_id, stwig, query, bindings=stage_filter
+                )
+            else:
+                table = match_fn(
+                    cloud,
+                    machine_id,
+                    stwig,
+                    query,
+                    bindings=stage_filter,
+                    roots=stage_roots[machine_id],
+                )
             per_machine.append(table)
             tables[machine_id].append(table)
 
@@ -112,6 +144,58 @@ def explore(
     return ExplorationOutcome(tables, bindings)
 
 
+def _supports_roots(match_fn) -> bool:
+    """True if ``match_fn`` accepts the precomputed ``roots`` keyword.
+
+    Only an explicitly *named* ``roots`` parameter opts in: a ``**kwargs``
+    matcher that silently swallowed (and ignored) the partitioned roots
+    would derive its own root candidates again and double-charge the
+    per-stage index lookups, breaking the identical-counters contract.
+    """
+    if match_fn is match_stwig:
+        return True
+    try:
+        parameters = inspect.signature(match_fn).parameters.values()
+    except (TypeError, ValueError):
+        return False
+    return any(parameter.name == "roots" for parameter in parameters)
+
+
+def _stage_root_partition(
+    cloud: MemoryCloud,
+    stwig: STwig,
+    root_label: str,
+    bindings: Optional[BindingTable],
+) -> List[np.ndarray]:
+    """Per-machine root candidate arrays for one stage, partitioned once.
+
+    For a bound root the binding array is split by owner with a single
+    ``owners_of_array`` + stable argsort (ascending IDs within each machine,
+    exactly the order the per-machine scans produced); for an unbound root
+    each machine's label index answers locally, charged one index lookup per
+    machine as in the per-node model.  Owner resolution is proxy-side
+    partition-map arithmetic and is not charged, same as before.
+    """
+    machine_count = cloud.machine_count
+    if bindings is not None and bindings.is_bound(stwig.root):
+        bound = bindings.candidates_array(stwig.root)
+        if bound is None or len(bound) == 0:
+            empty = np.empty(0, dtype=NODE_DTYPE)
+            return [empty] * machine_count
+        owners = cloud.owners_of_array(bound)
+        order = np.argsort(owners, kind="stable")
+        cuts = np.searchsorted(owners[order], np.arange(machine_count + 1))
+        partitioned = bound[order]
+        return [
+            partitioned[cuts[machine_id] : cuts[machine_id + 1]]
+            for machine_id in range(machine_count)
+        ]
+    return [
+        cloud.get_local_ids_array(machine_id, root_label)
+        for machine_id in range(machine_count)
+    ]
+
+
 def _update_bindings(
     cloud: MemoryCloud,
     bindings: BindingTable,
@@ -125,8 +209,10 @@ def _update_bindings(
     binding deltas are charged as (small) proxy messages.
 
     Distinct values come straight off the columnar storage: one
-    ``np.unique`` per (machine, column) and one merging ``np.unique`` over
-    the per-machine chunks, never a per-row Python set.
+    ``np.unique`` per (machine, column), one merging ``np.unique`` over the
+    per-machine chunks, and the merged sorted-unique array feeds
+    :meth:`BindingTable.bind` directly — the narrowing intersection runs on
+    arrays end to end, never through a Python set.
     """
     union_per_node: Dict[str, List[np.ndarray]] = {node: [] for node in stwig_nodes}
     for machine_id, table in enumerate(per_machine):
@@ -146,5 +232,5 @@ def _update_bindings(
         if chunks:
             merged = np.unique(np.concatenate(chunks))
         else:
-            merged = np.empty(0, dtype=np.int64)
+            merged = np.empty(0, dtype=NODE_DTYPE)
         bindings.bind(node, merged)

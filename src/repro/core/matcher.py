@@ -48,6 +48,7 @@ def match_stwig(
     query: QueryGraph,
     bindings: Optional[BindingTable] = None,
     row_limit: Optional[int] = None,
+    roots: Optional[np.ndarray] = None,
 ) -> MatchTable:
     """Find all matches of ``stwig`` rooted on ``machine_id``.
 
@@ -58,6 +59,11 @@ def match_stwig(
         query: the query graph (provides label constraints).
         bindings: optional binding table from previously processed STwigs.
         row_limit: optional cap on produced rows (used by pipelined execution).
+        roots: optional precomputed local root candidates (a sorted
+            ``NODE_DTYPE`` array).  The exploration driver partitions each
+            stage's candidates by owner once and hands every machine its
+            slice, so the binding array is not re-scanned per machine; when
+            omitted the candidates are derived here.
 
     Returns:
         A :class:`MatchTable` with columns ``(root, *leaves)`` whose rows are
@@ -66,7 +72,8 @@ def match_stwig(
     """
     table = MatchTable(stwig.nodes)
     root_label = query.label(stwig.root)
-    roots = _root_candidates(cloud, machine_id, stwig, root_label, bindings)
+    if roots is None:
+        roots = _root_candidates(cloud, machine_id, stwig, root_label, bindings)
     if len(roots) == 0:
         return table
 
@@ -81,17 +88,20 @@ def match_stwig(
         # reflect only the work performed before the limit hit — the same
         # accounting as the per-node execution model.
         return _match_stwig_limited(
-            cloud, machine_id, table, roots, leaf_labels, leaf_bindings, row_limit
+            cloud, machine_id, table, stwig, bindings, roots,
+            leaf_labels, leaf_bindings, row_limit,
         )
 
     # Load every root's cell once (one Cloud.Load each, as in Algorithm 1),
-    # gathered in a single batched call into one flat neighbor array.
-    root_array = np.asarray(roots, dtype=NODE_DTYPE)
-    neighbors, counts = cloud.load_neighbors_batch(root_array, requester=machine_id)
+    # gathered in a single batched call into one flat neighbor array.  Roots
+    # are local to this machine by construction, so the owner is known.
+    neighbors, counts = cloud.load_neighbors_batch(
+        roots, requester=machine_id, owner=machine_id
+    )
     if not leaf_labels:
         # Leafless STwig: every root matches by itself (the loads above are
         # still part of Algorithm 1's accounting).
-        table.add_rows(root_array.reshape(-1, 1))
+        table.add_rows(roots.reshape(-1, 1))
         return table
     offsets = np.zeros(len(roots) + 1, dtype=OFFSET_DTYPE)
     np.cumsum(counts, out=offsets[1:])
@@ -105,12 +115,12 @@ def match_stwig(
     alive = np.ones(len(roots), dtype=bool)
     slot_values: List[np.ndarray] = []
     slot_bounds: List[np.ndarray] = []
-    for leaf_label, bound in zip(leaf_labels, leaf_bindings):
+    for leaf, leaf_label, bound in zip(stwig.leaves, leaf_labels, leaf_bindings):
         entry_alive = alive[entry_root]
         if bound is not None:
             # Membership in the binding set already implies the right label,
             # so no label probe (and no network traffic) is needed.
-            kept = entry_alive & membership_mask(bound, neighbors)
+            kept = entry_alive & _binding_mask(bindings, leaf, bound, neighbors)
         else:
             if owners is None:
                 owners = cloud.owners_of_array(neighbors)
@@ -136,7 +146,7 @@ def match_stwig(
         # whole row block in one shot: the kept entries of dead roots are
         # empty by construction, so repeat() drops them for free.
         values = slot_values[0]
-        root_column = np.repeat(root_array, np.diff(slot_bounds[0]))
+        root_column = np.repeat(roots, np.diff(slot_bounds[0]))
         keep = values != root_column
         block = np.empty((int(keep.sum()), 2), dtype=NODE_DTYPE)
         block[:, 0] = root_column[keep]
@@ -146,7 +156,7 @@ def match_stwig(
 
     blocks: List[np.ndarray] = []
     for index in np.flatnonzero(alive).tolist():
-        root_node = int(root_array[index])
+        root_node = int(roots[index])
         slots = [
             values[bounds[index] : bounds[index + 1]]
             for values, bounds in zip(slot_values, slot_bounds)
@@ -159,22 +169,39 @@ def match_stwig(
     return table
 
 
+def _binding_mask(
+    bindings, leaf: str, bound: np.ndarray, values: np.ndarray
+) -> np.ndarray:
+    """Membership of ``values`` in the binding of ``leaf``.
+
+    The engine's :class:`BindingTable` answers from its cached dense lookup
+    table; duck-typed binding tables (benchmark baselines) fall back to the
+    generic binary search over their sorted array.
+    """
+    mask_fn = getattr(bindings, "membership_mask", None)
+    if mask_fn is not None:
+        return mask_fn(leaf, values)
+    return membership_mask(bound, values)
+
+
 def _match_stwig_limited(
     cloud: MemoryCloud,
     machine_id: int,
     table: MatchTable,
-    roots: Sequence[int],
+    stwig: STwig,
+    bindings,
+    roots: np.ndarray,
     leaf_labels: Sequence[str],
     leaf_bindings: Sequence[Optional[np.ndarray]],
     row_limit: int,
 ) -> MatchTable:
     """Row-limited matching: one root at a time, stopping at the limit."""
-    for root_node in roots:
+    for root_node in roots.tolist():
         neighbors = cloud.load_neighbors(root_node, requester=machine_id)
         slots: Optional[List[np.ndarray]] = []
-        for leaf_label, bound in zip(leaf_labels, leaf_bindings):
+        for leaf, leaf_label, bound in zip(stwig.leaves, leaf_labels, leaf_bindings):
             if bound is not None:
-                candidates = neighbors[membership_mask(bound, neighbors)]
+                candidates = neighbors[_binding_mask(bindings, leaf, bound, neighbors)]
             else:
                 candidates = cloud.filter_neighbors_by_label(
                     neighbors, leaf_label, requester=machine_id
@@ -237,15 +264,20 @@ def _root_candidates(
     stwig: STwig,
     root_label: str,
     bindings: Optional[BindingTable],
-) -> Sequence[int]:
-    """Local root candidates, using the binding set when the root is bound."""
+) -> np.ndarray:
+    """Local root candidates as a sorted ``NODE_DTYPE`` array.
+
+    Uses the binding array when the root is bound; the owner-restricted
+    slice is returned directly (no list round-trip), so the batched loads
+    consume it as-is.
+    """
     if bindings is not None and bindings.is_bound(stwig.root):
         bound = bindings.candidates_array(stwig.root)
         if bound is None or len(bound) == 0:
-            return ()
+            return np.empty(0, dtype=NODE_DTYPE)
         owners = cloud.owners_of_array(bound)
-        return bound[owners == machine_id].tolist()
-    return cloud.get_local_ids(machine_id, root_label)
+        return bound[owners == machine_id]
+    return cloud.get_local_ids_array(machine_id, root_label)
 
 
 def _injective_products(slots: List[List[int]]):

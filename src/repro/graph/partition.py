@@ -19,7 +19,12 @@ import numpy as np
 
 from repro.errors import PartitionError
 from repro.graph.labeled_graph import NODE_DTYPE, LabeledGraph
-from repro.utils.arrays import sorted_lookup
+from repro.utils.arrays import (
+    dense_table_profitable,
+    dense_value_table,
+    sorted_lookup,
+    table_position_lookup,
+)
 from repro.utils.validation import require_positive
 
 
@@ -33,10 +38,24 @@ class PartitionAssignment:
     def machine_array_for(self, node_ids: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`machine_of` over an array of node IDs.
 
+        Dense (0..n-ish) ID domains — every generator produces them — are
+        answered with one fancy-indexing gather off a node->machine table;
+        sparse domains fall back to binary search.
+
         Raises:
             PartitionError: if any ID in ``node_ids`` has no assignment.
         """
         sorted_ids, machines = self._sorted_arrays()
+        dense = self._dense_table()
+        if dense is not None and len(node_ids):
+            values = np.asarray(node_ids)
+            owners, found = table_position_lookup(dense, values)
+            if found.all():
+                return owners
+            missing = values[~found]
+            raise PartitionError(
+                f"node {int(missing[0])} has no machine assignment"
+            )
         positions, found = sorted_lookup(sorted_ids, node_ids)
         if len(node_ids) and not found.all():
             missing = np.asarray(node_ids)[~found]
@@ -57,6 +76,18 @@ class PartitionAssignment:
             cached = (sorted_ids, machines)
             object.__setattr__(self, "_array_cache", cached)
         return cached
+
+    def _dense_table(self):
+        """Lazy node->machine table (-1 = unassigned), None when too sparse."""
+        cached = getattr(self, "_dense_cache", None)
+        if cached is None:
+            sorted_ids, machines = self._sorted_arrays()
+            if dense_table_profitable(sorted_ids, probe_count=0):
+                cached = (dense_value_table(sorted_ids, machines, dtype=np.int32),)
+            else:
+                cached = (None,)
+            object.__setattr__(self, "_dense_cache", cached)
+        return cached[0]
 
     def nodes_of(self, machine_id: int) -> List[int]:
         """Return the sorted node IDs assigned to ``machine_id``."""

@@ -37,3 +37,103 @@ def membership_mask(sorted_ids: np.ndarray, values: np.ndarray) -> np.ndarray:
     """Boolean mask marking which ``values`` appear in ``sorted_ids``."""
     _, found = sorted_lookup(sorted_ids, values)
     return found
+
+
+def dense_table_profitable(
+    sorted_ids: np.ndarray, probe_count: int, factor: int = 16
+) -> bool:
+    """Whether a dense O(1) lookup table beats binary search for ``sorted_ids``.
+
+    A dense table costs O(max_id) to build and O(1) per probe; binary search
+    costs O(log n) per probe.  The table pays off when the ID domain is not
+    too sparse relative to the work: ``max_id`` within ``factor`` times the
+    combined table/probe size.  Negative IDs (never produced by the
+    generators, but allowed by the graph API) always fall back.
+    """
+    if len(sorted_ids) == 0:
+        return False
+    low = int(sorted_ids[0])
+    high = int(sorted_ids[-1])
+    if low < 0:
+        return False
+    return high + 1 <= factor * (len(sorted_ids) + probe_count)
+
+
+def dense_membership_table(sorted_ids: np.ndarray) -> np.ndarray:
+    """Dense boolean table ``t`` with ``t[i] == (i in sorted_ids)``.
+
+    Only call when :func:`dense_table_profitable` approved the domain; the
+    table spans ``[0, sorted_ids[-1]]`` and answers membership with one
+    fancy-indexing gather instead of a binary search per probe.
+    """
+    table = np.zeros(int(sorted_ids[-1]) + 1, dtype=bool)
+    table[sorted_ids] = True
+    return table
+
+
+def dense_value_table(
+    sorted_ids: np.ndarray, values: np.ndarray, dtype=np.int64
+) -> np.ndarray:
+    """Dense table mapping an ID to its parallel value (-1 = absent).
+
+    The single home of the ``full(-1); table[ids] = values`` idiom: the
+    table spans ``[0, sorted_ids[-1]]`` and the -1 sentinel marks IDs with
+    no entry.  Only call when :func:`dense_table_profitable` approved the
+    domain.
+    """
+    table = np.full(int(sorted_ids[-1]) + 1, -1, dtype=dtype)
+    table[sorted_ids] = values
+    return table
+
+
+def dense_position_table(sorted_ids: np.ndarray) -> np.ndarray:
+    """Dense table mapping an ID to its row in ``sorted_ids`` (-1 = absent).
+
+    The positional counterpart of :func:`dense_membership_table`, for
+    callers that need the row index (CSR offset lookups, parallel-array
+    gathers) rather than a membership bit.
+    """
+    return dense_value_table(
+        sorted_ids, np.arange(len(sorted_ids), dtype=np.int64)
+    )
+
+
+def table_membership_mask(table: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Membership of ``values`` in a :func:`dense_membership_table` table.
+
+    Values outside the table's domain (including negatives) are absent.
+    """
+    if len(values) == 0:
+        return np.zeros(0, dtype=bool)
+    within = (values >= 0) & (values < len(table))
+    if within.all():
+        # The overwhelmingly common case: every probe lands in-domain
+        # (neighbor IDs of a loaded graph), one gather and done.
+        return table[values]
+    mask = np.zeros(len(values), dtype=bool)
+    mask[within] = table[values[within]]
+    return mask
+
+
+def table_position_lookup(
+    table: np.ndarray, values: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(entries, found)`` of ``values`` via a :func:`dense_value_table`.
+
+    Works for any -1-sentinel dense table (row positions, machine IDs,
+    label IDs).  Entries of absent values are clamped to 0 with ``found``
+    False, the same contract as :func:`sorted_lookup`.
+    """
+    if len(values) == 0:
+        return (
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=bool),
+        )
+    within = (values >= 0) & (values < len(table))
+    if within.all():
+        positions = table[values]
+    else:
+        positions = np.full(len(values), -1, dtype=np.int64)
+        positions[within] = table[values[within]]
+    found = positions >= 0
+    return np.where(found, positions, 0), found

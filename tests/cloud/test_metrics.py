@@ -55,6 +55,38 @@ class TestResultTransfer:
         assert metrics.bytes_transferred == 16 + 10 * 3 * 8
 
 
+class TestResultFilterAccounting:
+    def test_filtered_rows_counted_without_traffic(self):
+        metrics = CloudMetrics()
+        metrics.record_result_filter(sender=1, receiver=0, rows=25)
+        assert metrics.result_rows_filtered == 25
+        assert metrics.result_rows_shipped == 0
+        assert metrics.messages == 0
+        assert metrics.bytes_transferred == 0
+
+    def test_same_machine_filter_not_counted(self):
+        # Local gathers never shipped, so local filtering saves no traffic.
+        metrics = CloudMetrics()
+        metrics.record_result_filter(sender=2, receiver=2, rows=25)
+        assert metrics.result_rows_filtered == 0
+
+    def test_zero_rows_ignored(self):
+        metrics = CloudMetrics()
+        metrics.record_result_filter(sender=1, receiver=0, rows=0)
+        assert metrics.result_rows_filtered == 0
+
+    def test_in_snapshot_merge_and_reset(self):
+        metrics = CloudMetrics()
+        metrics.record_result_filter(sender=1, receiver=0, rows=7)
+        assert metrics.snapshot()["result_rows_filtered"] == 7
+        other = CloudMetrics()
+        other.record_result_filter(sender=0, receiver=1, rows=3)
+        metrics.merge(other)
+        assert metrics.result_rows_filtered == 10
+        metrics.reset()
+        assert metrics.result_rows_filtered == 0
+
+
 class TestAggregation:
     def test_merge(self):
         a = CloudMetrics()

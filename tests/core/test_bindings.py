@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.core.bindings import BindingTable
 from repro.errors import QueryError
+from repro.graph.labeled_graph import NODE_DTYPE
 from repro.query.query_graph import QueryGraph
 
 
@@ -97,3 +99,59 @@ class TestUnionAndState:
         bindings = BindingTable(query)
         bindings.bind("a", [1, 2])
         assert "a" in repr(bindings)
+
+
+class TestArrayNativeStorage:
+    def test_candidates_array_is_sorted_unique_node_dtype(self, query):
+        bindings = BindingTable(query)
+        bindings.bind("a", [5, 1, 3, 1, 5])
+        array = bindings.candidates_array("a")
+        assert array.dtype == NODE_DTYPE
+        assert array.tolist() == [1, 3, 5]
+
+    def test_unbound_candidates_array_is_none(self, query):
+        assert BindingTable(query).candidates_array("a") is None
+
+    def test_narrowing_result_is_reused_not_rebuilt(self, query):
+        # The intersection output IS the stored binding: candidates_array
+        # hands back the same object, so downstream membership filters never
+        # re-materialize or re-sort it per STwig.
+        bindings = BindingTable(query)
+        bindings.bind("a", np.array([1, 2, 3, 4], dtype=NODE_DTYPE))
+        bindings.bind("a", np.array([2, 3, 9], dtype=NODE_DTYPE))
+        first = bindings.candidates_array("a")
+        assert first.tolist() == [2, 3]
+        assert bindings.candidates_array("a") is first
+
+    def test_sorted_array_input_adopted_without_resort(self, query):
+        merged = np.array([4, 8, 15], dtype=NODE_DTYPE)
+        bindings = BindingTable(query)
+        bindings.bind("a", merged)
+        assert bindings.candidates_array("a") is merged
+
+    def test_unsorted_array_input_normalized(self, query):
+        bindings = BindingTable(query)
+        bindings.bind("a", np.array([9, 2, 9, 4], dtype=np.int64))
+        assert bindings.candidates_array("a").tolist() == [2, 4, 9]
+
+    def test_merge_union_keeps_sorted_unique(self, query):
+        bindings = BindingTable(query)
+        bindings.merge_union("a", [5, 3])
+        bindings.merge_union("a", np.array([4, 3, 99], dtype=NODE_DTYPE))
+        assert bindings.candidates_array("a").tolist() == [3, 4, 5, 99]
+        assert bindings.candidates("a") == {3, 4, 5, 99}
+
+    def test_set_view_is_cached_until_binding_changes(self, query):
+        bindings = BindingTable(query)
+        bindings.bind("a", [1, 2])
+        first = bindings.candidates("a")
+        assert bindings.candidates("a") is first
+        bindings.bind("a", [2])
+        assert bindings.candidates("a") == {2}
+
+    def test_allows_uses_binary_search(self, query):
+        bindings = BindingTable(query)
+        bindings.bind("a", [10, 20, 30])
+        assert bindings.allows("a", 20)
+        assert not bindings.allows("a", 25)
+        assert not bindings.allows("a", 35)
