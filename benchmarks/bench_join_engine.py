@@ -41,6 +41,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from report_io import add_report_arguments, save_report
+
 from repro.baselines.vf2 import vf2_match
 from repro.cloud.cluster import MemoryCloud
 from repro.cloud.config import ClusterConfig
@@ -483,10 +485,7 @@ def run_cross_validation(quick: bool) -> Dict[str, object]:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true", help="CI-sized smoke run")
-    parser.add_argument(
-        "--no-save", action="store_true", help="skip writing the results JSON"
-    )
+    add_report_arguments(parser)
     args = parser.parse_args(argv)
 
     report = run_join_comparison(quick=args.quick)
@@ -512,10 +511,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     print(f"cross-validation vs VF2: {report['cross_validation']['cases']} cases equal")
 
-    if not args.no_save:
-        RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-        RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-        print(f"[saved to {RESULTS_PATH}]")
+    save_report(report, RESULTS_PATH, no_save=args.no_save, out=args.out)
 
     if aggregate["speedup"] < 2.0 and not args.quick:
         print("WARNING: aggregate join speedup below 2x target", file=sys.stderr)

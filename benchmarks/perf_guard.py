@@ -1,0 +1,84 @@
+"""CI perf-regression guard over the quick-mode benchmark reports.
+
+The bench-smoke CI job runs every comparison benchmark in ``--quick`` mode
+and writes each report JSON into an artifact directory.  This guard checks
+the headline speedup of every report against the checked-in expectations in
+``benchmarks/results/quick_baselines.json``: a quick-mode speedup more than
+``tolerance`` (default 30%) below its baseline fails the job, so a scalar
+regression in any rewritten subsystem (CSR substrate, columnar join,
+array-native exploration, vectorized generators) is caught on the PR that
+introduces it rather than in the next full benchmark run.
+
+Speedups — not absolute seconds — are compared, so the guard is stable
+across CI hardware generations.
+
+Usage:
+    python benchmarks/perf_guard.py --quick-dir bench-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+BASELINES_PATH = Path(__file__).parent / "results" / "quick_baselines.json"
+
+
+def extract(report: dict, path: Sequence[str]) -> float:
+    value = report
+    for key in path:
+        value = value[key]
+    return float(value)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick-dir", type=Path, required=True,
+        help="directory holding the <name>.quick.json reports",
+    )
+    parser.add_argument(
+        "--baselines", type=Path, default=BASELINES_PATH,
+        help="checked-in quick-mode speedup expectations",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=None,
+        help="allowed fractional regression (default: the baselines file's)",
+    )
+    args = parser.parse_args(argv)
+
+    config = json.loads(args.baselines.read_text(encoding="utf-8"))
+    tolerance = args.tolerance if args.tolerance is not None else config["tolerance"]
+    failures = []
+    for name, baseline in config["baselines"].items():
+        report_path = args.quick_dir / f"{name}.quick.json"
+        if not report_path.exists():
+            failures.append(f"{name}: missing quick report {report_path}")
+            continue
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        measured = extract(report, baseline["metric"])
+        floor = baseline["speedup"] * (1.0 - tolerance)
+        status = "ok" if measured >= floor else "REGRESSED"
+        print(
+            f"{name}: quick speedup {measured}x "
+            f"(baseline {baseline['speedup']}x, floor {floor:.2f}x) {status}"
+        )
+        if measured < floor:
+            failures.append(
+                f"{name}: quick speedup {measured}x fell below the "
+                f"{floor:.2f}x floor (baseline {baseline['speedup']}x "
+                f"- {tolerance:.0%} tolerance)"
+            )
+    if failures:
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("perf guard passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

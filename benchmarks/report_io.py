@@ -1,0 +1,44 @@
+"""Shared CLI/report-saving helpers for the standalone benchmark scripts.
+
+Every comparison benchmark supports the same three knobs — ``--quick`` for
+a CI-sized run, ``--no-save`` to skip the canonical results JSON, and
+``--out`` to drop a copy where CI collects artifacts.  The argument wiring
+and the save logic live here once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Optional
+
+
+def add_report_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the standard ``--quick`` / ``--no-save`` / ``--out`` options."""
+    parser.add_argument("--quick", action="store_true", help="CI-sized smoke run")
+    parser.add_argument(
+        "--no-save", action="store_true", help="skip writing the results JSON"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="also write the report JSON to this path (e.g. a CI artifact dir)",
+    )
+
+
+def save_report(
+    report: dict,
+    default_path: Path,
+    no_save: bool = False,
+    out: Optional[Path] = None,
+) -> None:
+    """Write ``report`` to its canonical path and/or an explicit ``--out``."""
+    payload = json.dumps(report, indent=2) + "\n"
+    if not no_save:
+        default_path.parent.mkdir(parents=True, exist_ok=True)
+        default_path.write_text(payload, encoding="utf-8")
+        print(f"[saved to {default_path}]")
+    if out is not None:
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(payload, encoding="utf-8")
+        print(f"[saved to {out}]")

@@ -1,0 +1,116 @@
+"""Nightly scale gate: million-node generate -> load -> query, end to end.
+
+Exercises the full pipeline at the scale the paper's Table 2 sweep starts
+at: generate a 1M-node power-law and a 1M-node R-MAT graph with the
+vectorized generators, bulk-load each into a simulated memory cloud, and
+run one end-to-end STwig query.  Fails (non-zero exit) if generation
+undershoots its edge target by more than 2%, if loading or matching raises,
+or if any stage exceeds a generous wall-clock budget — the symptom of a
+scalar path sneaking back into the pipeline.
+
+Run ``python benchmarks/scale_smoke.py`` for the 1M gate (used by the
+scheduled ``scale-smoke`` CI job), or ``--nodes 50000`` for a local spot
+check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from report_io import save_report
+
+from repro.bench.harness import build_cloud
+from repro.core.engine import SubgraphMatcher
+from repro.core.planner import MatcherConfig
+from repro.graph.generators.power_law import generate_power_law
+from repro.graph.generators.rmat import generate_rmat
+from repro.graph.stats import generation_report
+from repro.query.generators import dfs_query
+from repro.workloads.datasets import DEFAULT_SEED
+
+#: Per-stage wall-clock budgets at 1M nodes (seconds).  The vectorized
+#: pipeline runs each stage in single-digit seconds; the budgets are ~10x
+#: that so CI hardware noise never trips them, while a reverted scalar path
+#: (minutes per stage) always does.
+STAGE_BUDGET_SECONDS = 120.0
+
+MODELS = (
+    ("power_law", lambda n, seed: generate_power_law(n, 8.0, label_density=1e-3, seed=seed)),
+    ("rmat", lambda n, seed: generate_rmat(n, 8.0, label_density=1e-3, seed=seed)),
+)
+
+
+def run_model(name: str, factory, node_count: int, machine_count: int) -> Dict[str, object]:
+    started = time.perf_counter()
+    graph = factory(node_count, DEFAULT_SEED)
+    generate_seconds = time.perf_counter() - started
+    report = generation_report(graph)
+    if report.achieved_ratio < 0.98:
+        raise SystemExit(
+            f"{name}: generation undershot its edge target "
+            f"({report.achieved_edges}/{report.target_edges})"
+        )
+
+    started = time.perf_counter()
+    cloud = build_cloud(graph, machine_count=machine_count)
+    load_seconds = time.perf_counter() - started
+
+    query = dfs_query(graph, 5, seed=3)
+    matcher = SubgraphMatcher(cloud, MatcherConfig(max_stwig_leaves=3))
+    started = time.perf_counter()
+    result = matcher.match(query, limit=1024)
+    query_seconds = time.perf_counter() - started
+
+    row = {
+        "model": name,
+        "nodes": graph.node_count,
+        "edges": graph.edge_count,
+        "achieved_edge_ratio": round(report.achieved_ratio, 4),
+        "generate_seconds": round(generate_seconds, 2),
+        "load_seconds": round(load_seconds, 2),
+        "query_seconds": round(query_seconds, 2),
+        "query_nodes": query.node_count,
+        "matches": result.match_count,
+    }
+    print(
+        f"{name}: {row['nodes']} nodes / {row['edges']} edges "
+        f"gen {row['generate_seconds']}s load {row['load_seconds']}s "
+        f"query {row['query_seconds']}s -> {row['matches']} matches"
+    )
+    for stage in ("generate_seconds", "load_seconds", "query_seconds"):
+        if row[stage] > STAGE_BUDGET_SECONDS:
+            raise SystemExit(
+                f"{name}: {stage} = {row[stage]}s exceeds the "
+                f"{STAGE_BUDGET_SECONDS}s scale budget"
+            )
+    return row
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=1_000_000)
+    parser.add_argument("--machines", type=int, default=4)
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the report JSON to this path"
+    )
+    args = parser.parse_args(argv)
+
+    rows = [
+        run_model(name, factory, args.nodes, args.machines)
+        for name, factory in MODELS
+    ]
+    report = {"nodes": args.nodes, "machines": args.machines, "models": rows}
+    if args.out is not None:
+        save_report(report, args.out, no_save=True, out=args.out)
+    print("scale smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,7 @@ from repro.graph.partition import PartitionAssignment
 from repro.utils.arrays import (
     dense_table_profitable,
     dense_value_table,
+    fast_unique,
     sorted_lookup,
     table_position_lookup,
 )
@@ -50,7 +51,12 @@ class MemoryCloud:
         self.metrics = CloudMetrics()
         self.loading_seconds: float = 0.0
         self._assignment: PartitionAssignment | None = None
-        self._label_pairs: Dict[Tuple[int, int], Set[FrozenSet[str]]] = {}
+        # Per machine pair: sorted packed (label_lo * base + label_hi) keys.
+        # Decoded into label-string sets lazily (see label_pairs_between);
+        # the packed form is what the cluster-graph probe binary-searches.
+        self._label_pairs_packed: Dict[Tuple[int, int], np.ndarray] = {}
+        self._label_pairs_cache: Dict[Tuple[int, int], Set[FrozenSet[str]]] = {}
+        self._label_pair_base = 1
         self._graph_node_count = 0
         self._graph_edge_count = 0
         # Cluster-wide sorted node IDs + parallel label IDs (set by
@@ -166,18 +172,26 @@ class MemoryCloud:
 
         machine_count = max(self.config.machine_count, 1)
         label_count = max(len(graph.label_table), 1)
-        packed = (
-            (machine_lo * machine_count + machine_hi) * label_count + label_lo
-        ) * label_count + label_hi
-        names = graph.label_table.labels()
-        pairs = self._label_pairs
-        for value in np.unique(packed).tolist():
-            value, hi = divmod(value, label_count)
-            value, lo = divmod(value, label_count)
-            pair_lo, pair_hi = divmod(value, machine_count)
-            pairs.setdefault((pair_lo, pair_hi), set()).add(
-                frozenset((names[lo], names[hi]))
+        pair_span = label_count * label_count
+        packed = fast_unique(
+            (machine_lo * machine_count + machine_hi) * pair_span
+            + label_lo * label_count
+            + label_hi
+        )
+        # ``packed`` is sorted, so all keys of one machine pair are one
+        # contiguous run; slice per distinct machine pair instead of looping
+        # over every (machine pair, label pair) combination in Python.
+        machine_keys = packed // pair_span
+        label_keys = packed % pair_span
+        self._label_pairs_packed = {}
+        self._label_pairs_cache = {}
+        self._label_pair_base = label_count
+        for machine_key in np.unique(machine_keys).tolist():
+            start, stop = np.searchsorted(
+                machine_keys, [machine_key, machine_key + 1]
             )
+            pair = (machine_key // machine_count, machine_key % machine_count)
+            self._label_pairs_packed[pair] = label_keys[start:stop]
 
     # -- Trinity-style operators ----------------------------------------------
 
@@ -432,10 +446,52 @@ class MemoryCloud:
         """Label pairs connected by at least one edge between two machines.
 
         Includes ``machine_a == machine_b`` (intra-machine edges).  Returns
-        an empty set when label-pair tracking is disabled.
+        an empty set when label-pair tracking is disabled.  The packed keys
+        are decoded to label-string sets on first access and cached.
         """
         key = (machine_a, machine_b) if machine_a <= machine_b else (machine_b, machine_a)
-        return set(self._label_pairs.get(key, set()))
+        cached = self._label_pairs_cache.get(key)
+        if cached is None:
+            packed = self._label_pairs_packed.get(key)
+            if packed is None or self._label_table is None:
+                cached = set()
+            else:
+                names = self._label_table.labels()
+                base = self._label_pair_base
+                cached = {
+                    frozenset((names[value // base], names[value % base]))
+                    for value in packed.tolist()
+                }
+            self._label_pairs_cache[key] = cached
+        return set(cached)
+
+    def machines_share_label_pairs(
+        self, machine_a: int, machine_b: int, label_pairs: Set[FrozenSet[str]]
+    ) -> bool:
+        """True if any of ``label_pairs`` crosses between the two machines.
+
+        The membership probe the cluster-graph build runs per machine pair:
+        a handful of query label pairs binary-searched against the packed
+        key array, without ever decoding the (potentially huge) pair set.
+        """
+        key = (machine_a, machine_b) if machine_a <= machine_b else (machine_b, machine_a)
+        packed = self._label_pairs_packed.get(key)
+        if packed is None or len(packed) == 0 or self._label_table is None:
+            return False
+        base = self._label_pair_base
+        probes = []
+        for pair in label_pairs:
+            items = tuple(pair)
+            first = self._label_table.id_of(items[0])
+            second = self._label_table.id_of(items[-1])
+            if first < 0 or second < 0:
+                continue
+            lo, hi = (first, second) if first <= second else (second, first)
+            probes.append(lo * base + hi)
+        if not probes:
+            return False
+        _, found = sorted_lookup(packed, np.asarray(probes, dtype=np.int64))
+        return bool(found.any())
 
     @property
     def machine_count(self) -> int:

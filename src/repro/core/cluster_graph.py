@@ -40,8 +40,7 @@ def build_cluster_graph(cloud: MemoryCloud, query: QueryGraph) -> Dict[int, Set[
     adjacency: Dict[int, Set[int]] = {m: set() for m in range(cloud.machine_count)}
     for i in range(cloud.machine_count):
         for j in range(i + 1, cloud.machine_count):
-            pairs = cloud.label_pairs_between(i, j)
-            if pairs & relevant:
+            if cloud.machines_share_label_pairs(i, j, relevant):
                 adjacency[i].add(j)
                 adjacency[j].add(i)
     return adjacency

@@ -1,15 +1,16 @@
 """Incremental construction of :class:`~repro.graph.labeled_graph.LabeledGraph`.
 
-Nodes and edges are accumulated in Python dicts/sets (cheap to mutate, with
-duplicate-edge collapsing and validation), and :meth:`GraphBuilder.build`
-assembles the final CSR arrays in one vectorized pass: endpoints are dumped
-into flat arrays, lexsorted into row order, and handed to
-:meth:`LabeledGraph.from_csr` without any per-node Python objects.
+Nodes and scalar edges are accumulated in Python dicts/sets (cheap to
+mutate, with duplicate-edge collapsing and validation); bulk edges arrive as
+``(src, dst)`` numpy blocks via :meth:`GraphBuilder.add_edges_array` with no
+per-edge Python work.  :meth:`GraphBuilder.build` merges both sources and
+hands one flat edge list to :meth:`LabeledGraph.from_arrays`, which
+assembles the CSR columns with a single sort + ``np.unique``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 import numpy as np
 
@@ -18,7 +19,6 @@ from repro.graph.label_table import LabelTable
 from repro.graph.labeled_graph import (
     LABEL_DTYPE,
     NODE_DTYPE,
-    OFFSET_DTYPE,
     LabeledGraph,
 )
 
@@ -34,6 +34,10 @@ class GraphBuilder:
     def __init__(self) -> None:
         self._labels: Dict[int, str] = {}
         self._neighbors: Dict[int, Set[int]] = {}
+        self._edge_blocks: List[np.ndarray] = []
+        # Cached distinct-edge count once bulk blocks exist (computing it
+        # means a full dedup pass); invalidated by every edge mutation.
+        self._edge_count_cache: int | None = None
 
     def add_node(self, node_id: int, label: str) -> "GraphBuilder":
         """Register ``node_id`` with ``label``; relabeling is an error."""
@@ -60,12 +64,41 @@ class GraphBuilder:
             raise GraphError(f"self-loop on node {u} is not allowed")
         self._neighbors.setdefault(u, set()).add(v)
         self._neighbors.setdefault(v, set()).add(u)
+        self._edge_count_cache = None
         return self
 
     def add_edges(self, edges: Iterable[Tuple[int, int]]) -> "GraphBuilder":
         """Add many undirected edges."""
         for u, v in edges:
             self.add_edge(u, v)
+        return self
+
+    def add_edges_array(self, src: np.ndarray, dst: np.ndarray) -> "GraphBuilder":
+        """Add a block of undirected edges from parallel endpoint arrays.
+
+        The bulk counterpart of :meth:`add_edges`: the block is validated
+        vectorized (no self-loops, parallel shapes) and kept as arrays until
+        :meth:`build`, so ingesting millions of edges costs no per-edge
+        Python call.  Duplicates — inside the block, across blocks, and
+        against scalar :meth:`add_edge` calls — are collapsed at build time.
+        """
+        src = np.asarray(src, dtype=NODE_DTYPE).ravel()
+        dst = np.asarray(dst, dtype=NODE_DTYPE).ravel()
+        if src.shape != dst.shape:
+            raise GraphError(
+                f"src and dst must be parallel, got {len(src)} vs {len(dst)}"
+            )
+        loops = src == dst
+        if loops.any():
+            raise GraphError(
+                f"self-loop on node {int(src[np.argmax(loops)])} is not allowed"
+            )
+        if len(src):
+            block = np.empty((len(src), 2), dtype=NODE_DTYPE)
+            np.minimum(src, dst, out=block[:, 0])
+            np.maximum(src, dst, out=block[:, 1])
+            self._edge_blocks.append(block)
+            self._edge_count_cache = None
         return self
 
     def has_node(self, node_id: int) -> bool:
@@ -79,8 +112,51 @@ class GraphBuilder:
 
     @property
     def edge_count(self) -> int:
-        """Number of distinct undirected edges added so far."""
-        return sum(len(n) for n in self._neighbors.values()) // 2
+        """Number of distinct undirected edges added so far.
+
+        With bulk blocks pending this needs a dedup pass over all
+        accumulated edges; the result is cached until the next mutation.
+        """
+        if not self._edge_blocks:
+            return sum(len(n) for n in self._neighbors.values()) // 2
+        if self._edge_count_cache is None:
+            self._edge_count_cache = len(self._distinct_canonical_edges())
+        return self._edge_count_cache
+
+    def _scalar_edge_array(self) -> np.ndarray:
+        """Canonical ``(lo, hi)`` pairs accumulated via :meth:`add_edge`."""
+        pairs = [
+            (node, neighbor)
+            for node, adjacent in self._neighbors.items()
+            for neighbor in adjacent
+            if node < neighbor
+        ]
+        return np.array(pairs, dtype=NODE_DTYPE).reshape(-1, 2)
+
+    def _distinct_canonical_edges(self) -> np.ndarray:
+        """All distinct canonical edges across scalar adds and bulk blocks.
+
+        Deduped via the same packed-key scheme ``from_arrays`` uses (one
+        flat sort instead of ``np.unique(axis=0)``'s row lexsort); extreme
+        ID spans that would overflow the packed int64 fall back to the
+        row-wise unique.
+        """
+        from repro.utils.arrays import fast_unique
+
+        edges = np.concatenate(
+            [self._scalar_edge_array(), *self._edge_blocks], axis=0
+        )
+        if not len(edges):
+            return edges
+        low = int(edges.min())
+        span = int(edges.max()) - low + 1
+        if span >= np.iinfo(np.int64).max // span:
+            return np.unique(edges, axis=0)
+        keys = fast_unique((edges[:, 0] - low) * span + (edges[:, 1] - low))
+        out = np.empty((len(keys), 2), dtype=NODE_DTYPE)
+        out[:, 0] = keys // span + low
+        out[:, 1] = keys % span + low
+        return out
 
     def build(self) -> LabeledGraph:
         """Finalize and return an immutable CSR :class:`LabeledGraph`.
@@ -101,26 +177,15 @@ class GraphBuilder:
             [table.intern(self._labels[node]) for node in ordered], dtype=LABEL_DTYPE
         )
 
-        entry_count = sum(len(n) for n in self._neighbors.values())
-        sources = np.empty(entry_count, dtype=NODE_DTYPE)
-        targets = np.empty(entry_count, dtype=NODE_DTYPE)
-        cursor = 0
-        for node, adjacent in self._neighbors.items():
-            span = len(adjacent)
-            sources[cursor : cursor + span] = node
-            targets[cursor : cursor + span] = list(adjacent)
-            cursor += span
-
-        # One lexsort puts the adjacency into row order with each row's
-        # neighbor IDs ascending, which is the CSR invariant.
-        order = np.lexsort((targets, sources))
-        sources = sources[order]
-        targets = targets[order]
-        rows = np.searchsorted(node_ids, sources)
-        counts = np.bincount(rows, minlength=len(node_ids))
-        offsets = np.zeros(len(node_ids) + 1, dtype=OFFSET_DTYPE)
-        np.cumsum(counts, out=offsets[1:])
-
-        return LabeledGraph.from_csr(
-            table, node_ids, label_ids, offsets, targets, entry_count // 2
+        scalar_edges = self._scalar_edge_array()
+        edges = np.concatenate([scalar_edges, *self._edge_blocks], axis=0)
+        return LabeledGraph.from_arrays(
+            table,
+            node_ids,
+            label_ids,
+            edges[:, 0],
+            edges[:, 1],
+            # Scalar-only edge sets are already distinct (dict-of-sets);
+            # blocks may collide with anything, so let from_arrays dedup.
+            assume_unique=not self._edge_blocks,
         )

@@ -6,6 +6,16 @@ number of distinct labels relative to the number of nodes.  A density of
 the same knob: given a node count and a density, build a label collection
 and draw a label for every node, either uniformly or with a Zipfian skew
 (real datasets such as US Patents have highly skewed label frequencies).
+
+Two implementations coexist:
+
+* the scalar ``assign_*_labels`` functions (dict of node -> label string,
+  one ``random.Random`` draw per node) are the seeded reference baselines;
+* the vectorized ``assign_*_label_ids`` functions draw a whole ``int32``
+  label-index array from a ``numpy.random.Generator`` in one shot — an
+  inverse-CDF ``np.searchsorted`` over the same cumulative weights the
+  scalar binary search walks, so both map identical uniforms to identical
+  labels (the parity tests assert exactly that).
 """
 
 from __future__ import annotations
@@ -14,7 +24,10 @@ import math
 import random
 from typing import Dict, List, Sequence
 
-from repro.utils.rng import ensure_rng
+import numpy as np
+
+from repro.graph.labeled_graph import LABEL_DTYPE
+from repro.utils.rng import SeedLike, ensure_generator, ensure_rng
 from repro.utils.validation import require, require_positive
 
 
@@ -35,12 +48,66 @@ def label_count_for_density(node_count: int, label_density: float) -> int:
     return max(1, min(node_count, round(node_count * label_density)))
 
 
+def zipf_cumulative(label_count: int, exponent: float = 1.0) -> np.ndarray:
+    """Cumulative Zipf weights: rank ``r`` has weight ``r ** -exponent``.
+
+    Shared by the scalar and vectorized assignment paths so both sample the
+    exact same distribution (the last entry is exactly 1.0).
+    """
+    require_positive(label_count, "label_count")
+    require_positive(exponent, "exponent")
+    weights = np.arange(1, label_count + 1, dtype=np.float64) ** -exponent
+    cumulative = np.cumsum(weights)
+    cumulative /= cumulative[-1]
+    cumulative[-1] = 1.0
+    return cumulative
+
+
+def label_ids_from_uniforms(cumulative: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+    """Inverse-CDF mapping of ``uniforms`` through ``cumulative`` weights.
+
+    ``np.searchsorted(cumulative, x, side="left")`` returns the first rank
+    whose cumulative weight reaches ``x`` — the vectorized twin of the
+    scalar draw loop's binary search.
+    """
+    return np.searchsorted(cumulative, uniforms, side="left").astype(LABEL_DTYPE)
+
+
+def assign_uniform_label_ids(
+    node_count: int,
+    label_count: int,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Draw one uniform label index per node, vectorized (``int32`` array)."""
+    require_positive(node_count, "node_count")
+    require_positive(label_count, "label_count")
+    gen = ensure_generator(seed)
+    return gen.integers(0, label_count, size=node_count, dtype=LABEL_DTYPE)
+
+
+def assign_zipf_label_ids(
+    node_count: int,
+    label_count: int,
+    exponent: float = 1.0,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Draw one Zipf-skewed label index per node, vectorized.
+
+    Label index 0 is the most frequent rank, matching
+    :func:`assign_zipf_labels`.
+    """
+    require_positive(node_count, "node_count")
+    gen = ensure_generator(seed)
+    cumulative = zipf_cumulative(label_count, exponent)
+    return label_ids_from_uniforms(cumulative, gen.random(node_count))
+
+
 def assign_uniform_labels(
     node_ids: Sequence[int],
     labels: Sequence[str],
     seed: int | random.Random | None = None,
 ) -> Dict[int, str]:
-    """Assign each node a label drawn uniformly from ``labels``."""
+    """Assign each node a label drawn uniformly from ``labels`` (scalar)."""
     require(len(labels) > 0, "labels must be non-empty")
     rng = ensure_rng(seed)
     return {node: labels[rng.randrange(len(labels))] for node in node_ids}
@@ -52,7 +119,7 @@ def assign_zipf_labels(
     exponent: float = 1.0,
     seed: int | random.Random | None = None,
 ) -> Dict[int, str]:
-    """Assign labels with Zipfian frequencies (rank ``r`` has weight ``r**-exponent``).
+    """Assign labels with Zipfian frequencies, one scalar draw per node.
 
     The first label in ``labels`` is the most frequent.
     """

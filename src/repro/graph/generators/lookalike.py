@@ -18,11 +18,9 @@ the two workloads (dense labels vs. sparse labels).
 
 from __future__ import annotations
 
-import random
-
 from repro.graph.generators.power_law import generate_power_law
 from repro.graph.labeled_graph import LabeledGraph
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import SeedLike, ensure_generator
 from repro.utils.validation import require
 
 #: Published sizes of the original datasets (nodes, edges, labels).
@@ -32,7 +30,7 @@ WORDNET_FULL = (82_670, 133_445, 5)
 
 def patents_like(
     scale: float = 0.005,
-    seed: int | random.Random | None = None,
+    seed: SeedLike = None,
 ) -> LabeledGraph:
     """Generate a scaled-down US-Patents-like citation graph.
 
@@ -46,7 +44,7 @@ def patents_like(
     nodes share each label).
     """
     require(0 < scale <= 1.0, "scale must be in (0, 1]")
-    rng = ensure_rng(seed)
+    rng = ensure_generator(seed)
     full_nodes, full_edges, label_count = PATENTS_FULL
     node_count = max(200, round(full_nodes * scale))
     average_degree = 2.0 * full_edges / full_nodes  # ≈ 8.75
@@ -64,7 +62,7 @@ def patents_like(
 
 def wordnet_like(
     scale: float = 0.25,
-    seed: int | random.Random | None = None,
+    seed: SeedLike = None,
 ) -> LabeledGraph:
     """Generate a scaled-down WordNet-like lexical graph.
 
@@ -78,7 +76,7 @@ def wordnet_like(
     is what Figure 8 exercises, and it is preserved here.
     """
     require(0 < scale <= 1.0, "scale must be in (0, 1]")
-    rng = ensure_rng(seed)
+    rng = ensure_generator(seed)
     full_nodes, full_edges, label_count = WORDNET_FULL
     node_count = max(200, round(full_nodes * scale))
     average_degree = 2.0 * full_edges / full_nodes  # ≈ 3.23

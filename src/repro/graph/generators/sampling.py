@@ -1,0 +1,87 @@
+"""Shared vectorized rejection sampling for the edge generators.
+
+Every generator follows the same loop: draw an oversampled block of
+endpoint pairs, reject self-loops, canonicalize to packed ``lo * n + hi``
+keys, merge-dedup against the accepted set, and resample until the edge
+target is met or the retry budget runs out.  The loop lives here once;
+each generator supplies only its endpoint sampler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.arrays import fast_unique
+
+#: Total endpoint-pair draws allowed, as a multiple of the edge target (the
+#: retry budget both the scalar and the vectorized samplers honour).
+SAMPLING_BUDGET = 20
+
+#: An endpoint sampler: block size -> (u, v) int64 arrays of that length.
+EndpointSampler = Callable[[int], Tuple[np.ndarray, np.ndarray]]
+
+
+@dataclass(frozen=True)
+class SamplingOutcome:
+    """Accepted edges plus the tallies the :class:`GenerationReport` records.
+
+    ``keys`` holds sorted distinct packed ``lo * node_count + hi`` edge keys.
+    """
+
+    keys: np.ndarray
+    rounds: int
+    rejected_self_loops: int
+    rejected_duplicates: int
+
+
+def sample_unique_edges(
+    draw: EndpointSampler,
+    node_count: int,
+    target_edges: int,
+    gen: np.random.Generator,
+    oversample: float = 1.25,
+    max_draws: Optional[int] = None,
+) -> SamplingOutcome:
+    """Collect ``target_edges`` distinct canonical edges from ``draw``.
+
+    Args:
+        draw: endpoint sampler returning ``(u, v)`` arrays for a block size.
+        node_count: ID domain; keys are packed as ``lo * node_count + hi``.
+        target_edges: distinct undirected edges to collect.
+        gen: generator used for the final random trim when a round
+            overshoots the target.
+        oversample: per-round block inflation absorbing the expected
+            self-loop/duplicate losses (skewed samplers want more).
+        max_draws: total draw budget; ``None`` means sample until the
+            target is met (only safe when duplicates stay rare, e.g.
+            uniform sampling well below the complete graph).
+    """
+    keys = np.empty(0, dtype=np.int64)
+    drawn = 0
+    rounds = 0
+    rejected_loops = 0
+    rejected_duplicates = 0
+    while len(keys) < target_edges and (max_draws is None or drawn < max_draws):
+        need = target_edges - len(keys)
+        block = int(need * oversample) + 32
+        if max_draws is not None:
+            block = min(block, max_draws - drawn)
+        drawn += block
+        rounds += 1
+        u, v = draw(block)
+        keep = u != v
+        rejected_loops += block - int(keep.sum())
+        lo = np.minimum(u, v)[keep]
+        hi = np.maximum(u, v)[keep]
+        fresh = lo * node_count + hi
+        candidates = len(keys) + len(fresh)
+        keys = fast_unique(np.concatenate((keys, fresh)))
+        rejected_duplicates += candidates - len(keys)
+    if len(keys) > target_edges:
+        keys = keys[
+            np.sort(gen.choice(len(keys), size=target_edges, replace=False))
+        ]
+    return SamplingOutcome(keys, rounds, rejected_loops, rejected_duplicates)

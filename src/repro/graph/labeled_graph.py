@@ -122,6 +122,9 @@ class LabeledGraph:
             node: row for row, node in enumerate(node_ids.tolist())
         }
         self._nodes_by_label: Dict[int, np.ndarray] = {}
+        #: Optional provenance record set by the synthetic generators (see
+        #: :class:`repro.graph.stats.GenerationReport`).
+        self.generation = None
 
     # -- construction -----------------------------------------------------
 
@@ -143,6 +146,110 @@ class LabeledGraph:
         graph = cls.__new__(cls)
         graph._init_csr(label_table, node_ids, label_ids, offsets, neighbors, edge_count)
         return graph
+
+    @classmethod
+    def from_arrays(
+        cls,
+        label_table: LabelTable,
+        node_ids: np.ndarray,
+        label_ids: np.ndarray,
+        src: np.ndarray,
+        dst: np.ndarray,
+        assume_unique: bool = False,
+    ) -> "LabeledGraph":
+        """Bulk-ingest a graph from ``(src, dst)`` edge arrays.
+
+        This is the array-native loading path the vectorized generators feed:
+        the CSR offset/neighbor columns are assembled with one sort and one
+        ``np.unique`` over the whole edge set instead of a Python call per
+        edge.
+
+        Args:
+            label_table: shared label-interning table for ``label_ids``.
+            node_ids: node IDs (any order, duplicates rejected).
+            label_ids: interned label IDs, parallel to ``node_ids``.
+            src / dst: endpoint arrays of the undirected edge list (each
+                edge listed once, either direction).
+            assume_unique: skip duplicate-edge collapsing when the caller
+                guarantees the canonicalized edge list is duplicate-free.
+
+        Raises:
+            GraphError: on self-loops, duplicate node IDs, mismatched array
+                lengths, or edge endpoints missing from ``node_ids``.
+        """
+        from repro.utils.arrays import fast_unique, sorted_lookup
+
+        node_ids = np.asarray(node_ids, dtype=NODE_DTYPE)
+        label_ids = np.asarray(label_ids, dtype=LABEL_DTYPE)
+        if node_ids.shape != label_ids.shape:
+            raise GraphError(
+                f"node_ids and label_ids must be parallel, got "
+                f"{len(node_ids)} vs {len(label_ids)}"
+            )
+        order = np.argsort(node_ids, kind="stable")
+        node_ids = node_ids[order]
+        label_ids = label_ids[order]
+        if len(node_ids) > 1 and not (node_ids[1:] > node_ids[:-1]).all():
+            duplicate = node_ids[1:][node_ids[1:] == node_ids[:-1]]
+            raise GraphError(f"duplicate node ID {int(duplicate[0])}")
+
+        src = np.asarray(src, dtype=NODE_DTYPE).ravel()
+        dst = np.asarray(dst, dtype=NODE_DTYPE).ravel()
+        if src.shape != dst.shape:
+            raise GraphError(
+                f"src and dst must be parallel, got {len(src)} vs {len(dst)}"
+            )
+        loops = src == dst
+        if loops.any():
+            raise GraphError(
+                f"self-loop on node {int(src[np.argmax(loops)])} is not allowed"
+            )
+
+        n = len(node_ids)
+        if n and node_ids[0] == 0 and node_ids[-1] == n - 1:
+            # Contiguous 0..n-1 domain (every generator): rows ARE the IDs.
+            rows_u, rows_v = src, dst
+            bad_mask = (src < 0) | (src >= n) | (dst < 0) | (dst >= n)
+            if bad_mask.any():
+                at = int(np.argmax(bad_mask))
+                bad = int(src[at]) if not 0 <= src[at] < n else int(dst[at])
+                raise GraphError(f"edge endpoint {bad} has no label")
+        else:
+            rows_u, found_u = sorted_lookup(node_ids, src)
+            rows_v, found_v = sorted_lookup(node_ids, dst)
+            missing = ~(found_u & found_v)
+            if missing.any():
+                at = int(np.argmax(missing))
+                bad = int(src[at]) if not found_u[at] else int(dst[at])
+                raise GraphError(f"edge endpoint {bad} has no label")
+
+        # Canonicalize to (low row, high row) and collapse duplicates with a
+        # single packed-key unique; rows (not IDs) keep the key < n**2.
+        lo = np.minimum(rows_u, rows_v).astype(np.int64)
+        hi = np.maximum(rows_u, rows_v).astype(np.int64)
+        keys = lo * n + hi
+        if not assume_unique:
+            keys = fast_unique(keys)
+        edge_count = len(keys)
+        lo = keys // n
+        hi = keys % n
+
+        # Mirror each edge and sort once into CSR row order: the packed
+        # (source * n + target) key orders by source row first, then by
+        # target row — and target rows ascend with neighbor IDs, which is
+        # exactly the CSR invariant.  One flat int64 sort beats a two-key
+        # lexsort roughly 2x at the million-edge scale.
+        packed = np.concatenate((keys, hi * n + lo))
+        packed.sort()
+        sources = packed // n
+        targets = packed % n
+        counts = np.bincount(sources, minlength=n)
+        offsets = np.zeros(n + 1, dtype=OFFSET_DTYPE)
+        np.cumsum(counts, out=offsets[1:])
+        neighbors = node_ids[targets]
+        return cls.from_csr(
+            label_table, node_ids, label_ids, offsets, neighbors, edge_count
+        )
 
     @classmethod
     def from_edges(

@@ -7,13 +7,17 @@ hashing function)".  :class:`HashPartitioner` reproduces that policy;
 :class:`RoundRobinPartitioner` and :class:`BlockPartitioner` are provided so
 ablation benchmarks can check that the engine's results are partition
 invariant.
+
+Assignments are array-backed (one sorted node-ID array + one parallel
+machine array, computed vectorized from the graph's CSR columns) so loading
+a million-node graph does not spend seconds building Python dicts; the
+``node_to_machine`` dict view is materialized lazily for callers that want
+it.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -27,13 +31,58 @@ from repro.utils.arrays import (
 )
 from repro.utils.validation import require_positive
 
+#: dtype of machine-ID arrays.
+MACHINE_DTYPE = np.int32
 
-@dataclass(frozen=True)
+
 class PartitionAssignment:
-    """The result of partitioning: node -> machine, plus per-machine lists."""
+    """The result of partitioning: node -> machine, array-backed."""
 
-    machine_count: int
-    node_to_machine: Dict[int, int]
+    def __init__(
+        self,
+        machine_count: int,
+        node_to_machine: Optional[Dict[int, int]] = None,
+        *,
+        sorted_ids: Optional[np.ndarray] = None,
+        machines: Optional[np.ndarray] = None,
+    ) -> None:
+        """Build from a dict (legacy) or from parallel arrays (fast path).
+
+        Array construction requires ``sorted_ids`` ascending and
+        duplicate-free with ``machines`` parallel to it.
+        """
+        self.machine_count = machine_count
+        if node_to_machine is not None:
+            items = sorted(node_to_machine.items())
+            sorted_ids = np.array([node for node, _ in items], dtype=NODE_DTYPE)
+            machines = np.array(
+                [machine for _, machine in items], dtype=MACHINE_DTYPE
+            )
+            self._dict_cache: Optional[Dict[int, int]] = dict(node_to_machine)
+        else:
+            if sorted_ids is None or machines is None:
+                sorted_ids = np.empty(0, dtype=NODE_DTYPE)
+                machines = np.empty(0, dtype=MACHINE_DTYPE)
+            self._dict_cache = None
+        self._sorted_ids = np.asarray(sorted_ids, dtype=NODE_DTYPE)
+        self._machines = np.asarray(machines, dtype=MACHINE_DTYPE)
+        self._dense_cache: Optional[tuple] = None
+
+    @classmethod
+    def from_arrays(
+        cls, machine_count: int, sorted_ids: np.ndarray, machines: np.ndarray
+    ) -> "PartitionAssignment":
+        """Adopt pre-built (sorted node IDs, machine IDs) arrays (no copies)."""
+        return cls(machine_count, sorted_ids=sorted_ids, machines=machines)
+
+    @property
+    def node_to_machine(self) -> Dict[int, int]:
+        """Dict view of the assignment (materialized lazily, then cached)."""
+        if self._dict_cache is None:
+            self._dict_cache = dict(
+                zip(self._sorted_ids.tolist(), self._machines.tolist())
+            )
+        return self._dict_cache
 
     def machine_array_for(self, node_ids: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`machine_of` over an array of node IDs.
@@ -45,7 +94,6 @@ class PartitionAssignment:
         Raises:
             PartitionError: if any ID in ``node_ids`` has no assignment.
         """
-        sorted_ids, machines = self._sorted_arrays()
         dense = self._dense_table()
         if dense is not None and len(node_ids):
             values = np.asarray(node_ids)
@@ -56,38 +104,30 @@ class PartitionAssignment:
             raise PartitionError(
                 f"node {int(missing[0])} has no machine assignment"
             )
-        positions, found = sorted_lookup(sorted_ids, node_ids)
+        positions, found = sorted_lookup(self._sorted_ids, node_ids)
         if len(node_ids) and not found.all():
             missing = np.asarray(node_ids)[~found]
             raise PartitionError(
                 f"node {int(missing[0])} has no machine assignment"
             )
-        return machines[positions]
+        return self._machines[positions]
 
     def _sorted_arrays(self):
-        """Lazily build (sorted node IDs, parallel machine IDs) arrays."""
-        cached = getattr(self, "_array_cache", None)
-        if cached is None:
-            items = sorted(self.node_to_machine.items())
-            sorted_ids = np.array([node for node, _ in items], dtype=NODE_DTYPE)
-            machines = np.array(
-                [machine for _, machine in items], dtype=np.int32
-            )
-            cached = (sorted_ids, machines)
-            object.__setattr__(self, "_array_cache", cached)
-        return cached
+        """(sorted node IDs, parallel machine IDs) arrays."""
+        return self._sorted_ids, self._machines
 
     def _dense_table(self):
         """Lazy node->machine table (-1 = unassigned), None when too sparse."""
-        cached = getattr(self, "_dense_cache", None)
-        if cached is None:
-            sorted_ids, machines = self._sorted_arrays()
-            if dense_table_profitable(sorted_ids, probe_count=0):
-                cached = (dense_value_table(sorted_ids, machines, dtype=np.int32),)
+        if self._dense_cache is None:
+            if dense_table_profitable(self._sorted_ids, probe_count=0):
+                self._dense_cache = (
+                    dense_value_table(
+                        self._sorted_ids, self._machines, dtype=MACHINE_DTYPE
+                    ),
+                )
             else:
-                cached = (None,)
-            object.__setattr__(self, "_dense_cache", cached)
-        return cached[0]
+                self._dense_cache = (None,)
+        return self._dense_cache[0]
 
     def nodes_of(self, machine_id: int) -> List[int]:
         """Return the sorted node IDs assigned to ``machine_id``."""
@@ -95,31 +135,37 @@ class PartitionAssignment:
             raise PartitionError(
                 f"machine {machine_id} out of range [0, {self.machine_count})"
             )
-        return sorted(
-            node for node, machine in self.node_to_machine.items() if machine == machine_id
-        )
+        return self._sorted_ids[self._machines == machine_id].tolist()
 
     def machine_of(self, node_id: int) -> int:
-        """Return the machine that owns ``node_id``."""
-        try:
-            return self.node_to_machine[node_id]
-        except KeyError:
-            raise PartitionError(f"node {node_id} has no machine assignment") from None
+        """Return the machine that owns ``node_id`` (O(1) on dense domains)."""
+        dense = self._dense_table()
+        if dense is not None:
+            if 0 <= node_id < len(dense):
+                machine = int(dense[node_id])
+                if machine >= 0:
+                    return machine
+            raise PartitionError(f"node {node_id} has no machine assignment")
+        positions, found = sorted_lookup(
+            self._sorted_ids, np.array([node_id], dtype=NODE_DTYPE)
+        )
+        if not found[0]:
+            raise PartitionError(f"node {node_id} has no machine assignment")
+        return int(self._machines[positions[0]])
 
     def sizes(self) -> List[int]:
         """Return the number of nodes on each machine, indexed by machine ID."""
-        sizes = [0] * self.machine_count
-        for machine in self.node_to_machine.values():
-            sizes[machine] += 1
-        return sizes
+        return np.bincount(
+            self._machines, minlength=self.machine_count
+        ).tolist()
 
 
-class Partitioner(ABC):
+class Partitioner:
     """Strategy interface mapping every node of a graph to a machine."""
 
-    @abstractmethod
     def assign(self, graph: LabeledGraph, machine_count: int) -> PartitionAssignment:
         """Assign every node of ``graph`` to one of ``machine_count`` machines."""
+        raise NotImplementedError
 
 
 class HashPartitioner(Partitioner):
@@ -133,11 +179,11 @@ class HashPartitioner(Partitioner):
 
     def assign(self, graph: LabeledGraph, machine_count: int) -> PartitionAssignment:
         require_positive(machine_count, "machine_count")
-        node_to_machine = {
-            node: ((node * self._MULTIPLIER) >> 16) % machine_count
-            for node in graph.nodes()
-        }
-        return PartitionAssignment(machine_count, node_to_machine)
+        node_ids = graph.node_id_array()
+        machines = (
+            ((node_ids * self._MULTIPLIER) >> 16) % machine_count
+        ).astype(MACHINE_DTYPE)
+        return PartitionAssignment.from_arrays(machine_count, node_ids, machines)
 
 
 class RoundRobinPartitioner(Partitioner):
@@ -145,11 +191,11 @@ class RoundRobinPartitioner(Partitioner):
 
     def assign(self, graph: LabeledGraph, machine_count: int) -> PartitionAssignment:
         require_positive(machine_count, "machine_count")
-        node_to_machine = {
-            node: index % machine_count
-            for index, node in enumerate(sorted(graph.nodes()))
-        }
-        return PartitionAssignment(machine_count, node_to_machine)
+        node_ids = graph.node_id_array()
+        machines = (
+            np.arange(len(node_ids), dtype=np.int64) % machine_count
+        ).astype(MACHINE_DTYPE)
+        return PartitionAssignment.from_arrays(machine_count, node_ids, machines)
 
 
 class BlockPartitioner(Partitioner):
@@ -157,12 +203,11 @@ class BlockPartitioner(Partitioner):
 
     def assign(self, graph: LabeledGraph, machine_count: int) -> PartitionAssignment:
         require_positive(machine_count, "machine_count")
-        ordered = sorted(graph.nodes())
-        if not ordered:
+        node_ids = graph.node_id_array()
+        if not len(node_ids):
             return PartitionAssignment(machine_count, {})
-        block = max(1, (len(ordered) + machine_count - 1) // machine_count)
-        node_to_machine = {
-            node: min(index // block, machine_count - 1)
-            for index, node in enumerate(ordered)
-        }
-        return PartitionAssignment(machine_count, node_to_machine)
+        block = max(1, (len(node_ids) + machine_count - 1) // machine_count)
+        machines = np.minimum(
+            np.arange(len(node_ids), dtype=np.int64) // block, machine_count - 1
+        ).astype(MACHINE_DTYPE)
+        return PartitionAssignment.from_arrays(machine_count, node_ids, machines)

