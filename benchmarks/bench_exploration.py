@@ -140,7 +140,7 @@ class SetBindingTable:
 
 def baseline_owners_of_array(cloud, node_ids: np.ndarray) -> np.ndarray:
     """The pre-dense owner lookup: binary search over the partition map."""
-    sorted_ids, machines = cloud._assignment._sorted_arrays()
+    sorted_ids, machines = cloud._assignment.as_arrays()
     positions, _ = sorted_lookup(sorted_ids, node_ids)
     return machines[positions]
 
@@ -617,7 +617,7 @@ def run_gather_comparison(
         cache: Dict[Tuple[int, int], MatchTable] = {}
         return [
             _gather_machine_tables(
-                cloud, plan, outcome, machine_id, outcome.bindings, cache
+                cloud, plan, outcome.tables, machine_id, outcome.bindings, cache
             )
             for machine_id in range(cloud.machine_count)
         ]

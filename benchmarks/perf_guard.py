@@ -12,6 +12,13 @@ introduces it rather than in the next full benchmark run.
 Speedups — not absolute seconds — are compared, so the guard is stable
 across CI hardware generations.
 
+The matching between baselines and reports is *total*, and loudly so, in
+both directions: a baseline entry whose quick report is missing (a renamed
+or dropped benchmark would otherwise lose its regression guard without
+anyone noticing), a report whose recorded metric path no longer exists,
+and a ``*.quick.json`` report with no baseline entry (a new benchmark
+running unguarded) are all failures — never silent skips.
+
 Usage:
     python benchmarks/perf_guard.py --quick-dir bench-artifacts
 """
@@ -30,6 +37,10 @@ BASELINES_PATH = Path(__file__).parent / "results" / "quick_baselines.json"
 def extract(report: dict, path: Sequence[str]) -> float:
     value = report
     for key in path:
+        if not isinstance(value, dict) or key not in value:
+            raise KeyError(
+                f"metric path {list(path)} missing from report (failed at {key!r})"
+            )
         value = value[key]
     return float(value)
 
@@ -56,10 +67,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for name, baseline in config["baselines"].items():
         report_path = args.quick_dir / f"{name}.quick.json"
         if not report_path.exists():
-            failures.append(f"{name}: missing quick report {report_path}")
+            failures.append(
+                f"{name}: missing quick report {report_path} — a renamed or "
+                f"dropped benchmark must rename/drop its baseline entry too"
+            )
             continue
         report = json.loads(report_path.read_text(encoding="utf-8"))
-        measured = extract(report, baseline["metric"])
+        try:
+            measured = extract(report, baseline["metric"])
+        except (KeyError, TypeError, ValueError) as error:
+            failures.append(f"{name}: cannot read guarded metric: {error}")
+            continue
         floor = baseline["speedup"] * (1.0 - tolerance)
         status = "ok" if measured >= floor else "REGRESSED"
         print(
@@ -71,6 +89,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"{name}: quick speedup {measured}x fell below the "
                 f"{floor:.2f}x floor (baseline {baseline['speedup']}x "
                 f"- {tolerance:.0%} tolerance)"
+            )
+    for report_path in sorted(args.quick_dir.glob("*.quick.json")):
+        name = report_path.name[: -len(".quick.json")]
+        if name not in config["baselines"]:
+            failures.append(
+                f"{name}: quick report {report_path} has no baseline entry — "
+                f"add one to {args.baselines} so the benchmark is guarded"
             )
     if failures:
         for failure in failures:

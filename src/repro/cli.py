@@ -29,7 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.bench import experiments, future_work
 from repro.bench.reporting import format_table
 from repro.cloud.cluster import MemoryCloud
-from repro.cloud.config import ClusterConfig
+from repro.cloud.config import EXECUTOR_BACKENDS, ClusterConfig, RuntimeConfig
 from repro.core.engine import SubgraphMatcher
 from repro.core.planner import MatcherConfig
 from repro.graph.generators import (
@@ -90,6 +90,18 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--query-file", required=True, help="query in the textual node/edge format")
     query.add_argument("--machines", type=int, default=4)
     query.add_argument("--limit", type=int, default=1024)
+    query.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_BACKENDS),
+        default=None,
+        help="cluster runtime backend (default: REPRO_EXECUTOR env or serial)",
+    )
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="thread/process pool size (default: min(machines, CPU cores))",
+    )
     query.add_argument("--max-stwig-leaves", type=int, default=None)
     query.add_argument("--show", type=int, default=5, help="number of matches to print")
     query.add_argument("--explain", action="store_true", help="print the query plan")
@@ -126,14 +138,22 @@ def _command_generate(args: argparse.Namespace) -> int:
 def _command_query(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
     query = parse_query(Path(args.query_file).read_text(encoding="utf-8"))
-    cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=args.machines))
-    matcher = SubgraphMatcher(cloud, MatcherConfig(max_stwig_leaves=args.max_stwig_leaves))
-    if args.explain:
-        print(matcher.explain(query).describe())
-    result = matcher.match(query, limit=args.limit)
+    runtime = RuntimeConfig(backend=args.executor, max_workers=args.workers)
+    with MemoryCloud.from_graph(
+        graph, ClusterConfig(machine_count=args.machines)
+    ) as cloud:
+        with SubgraphMatcher(
+            cloud,
+            MatcherConfig(max_stwig_leaves=args.max_stwig_leaves),
+            executor=runtime,
+        ) as matcher:
+            if args.explain:
+                print(matcher.explain(query).describe())
+            result = matcher.match(query, limit=args.limit)
     print(
         f"{result.match_count} matches in {result.wall_seconds * 1000:.1f} ms wall "
-        f"({result.simulated_seconds * 1000:.1f} ms simulated cluster time)"
+        f"({result.simulated_seconds * 1000:.1f} ms simulated cluster time, "
+        f"{matcher.executor.name} executor)"
     )
     print(
         f"communication: {result.metrics['messages']} messages, "

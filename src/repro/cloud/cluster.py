@@ -19,8 +19,9 @@ at query time (Section 5.3).
 
 from __future__ import annotations
 
+import copy
 import time
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -28,6 +29,7 @@ from repro.cloud.config import ClusterConfig
 from repro.cloud.machine import Machine
 from repro.cloud.metrics import CloudMetrics
 from repro.errors import CloudError, NodeNotFoundError
+from repro.graph.label_table import LabelTable
 from repro.graph.labeled_graph import NODE_DTYPE, OFFSET_DTYPE, LabeledGraph, NodeCell
 from repro.graph.partition import PartitionAssignment
 from repro.utils.arrays import (
@@ -70,6 +72,13 @@ class MemoryCloud:
         # Dense node->label-ID table (-1 = absent) for O(1) batched probes
         # on the usual contiguous ID domains; None when IDs are too sparse.
         self._label_by_node: np.ndarray | None = None
+        # Runtime resources (process pools, shared-memory publications)
+        # registered against this cloud; close() tears them down.
+        self._runtime_resources: List = []
+        # Bumped by every load_graph so runtime publications keyed on this
+        # cloud can detect a reload and republish instead of serving the
+        # previous graph's shared-memory state.
+        self._load_generation = 0
 
     # -- construction --------------------------------------------------------
 
@@ -91,6 +100,7 @@ class MemoryCloud:
         recording cross-machine label-pair metadata.
         """
         started = time.perf_counter()
+        self._load_generation += 1
         assignment = self.config.partitioner.assign(graph, self.config.machine_count)
         self._assignment = assignment
         self._graph_node_count = graph.node_count
@@ -139,6 +149,53 @@ class MemoryCloud:
 
         self.loading_seconds = time.perf_counter() - started
         return self.loading_seconds
+
+    @classmethod
+    def from_partition_state(
+        cls,
+        config: ClusterConfig,
+        label_table: LabelTable,
+        machine_arrays: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]],
+        assignment: PartitionAssignment,
+        global_node_ids: np.ndarray,
+        global_label_ids: np.ndarray,
+        node_count: int,
+        edge_count: int,
+    ) -> "MemoryCloud":
+        """Reconstruct a cloud from already-partitioned CSR state.
+
+        This is the worker-side constructor of the multiprocess runtime:
+        ``machine_arrays`` holds one ``(ids, label_ids, offsets, neighbors)``
+        tuple per machine — typically zero-copy shared-memory views published
+        by :meth:`~repro.cloud.machine.Machine.csr_arrays` — and the arrays
+        are adopted without copying.  Label-pair metadata is not rebuilt
+        (cluster graphs are planned on the driver), and the dense
+        node->label table is re-derived lazily per process so every worker
+        owns its own caches.
+        """
+        if len(machine_arrays) != config.machine_count:
+            raise CloudError(
+                f"{len(machine_arrays)} machine partitions for "
+                f"{config.machine_count} machines"
+            )
+        cloud = cls(config)
+        for machine, (ids, label_ids, offsets, neighbors) in zip(
+            cloud.machines, machine_arrays
+        ):
+            machine.label_table = label_table
+            machine.label_index.label_table = label_table
+            machine.adopt_partition(ids, label_ids, offsets, neighbors)
+        cloud._assignment = assignment
+        cloud._global_node_ids = global_node_ids
+        cloud._global_label_ids = global_label_ids
+        cloud._label_table = label_table
+        cloud._graph_node_count = node_count
+        cloud._graph_edge_count = edge_count
+        if dense_table_profitable(global_node_ids, probe_count=0):
+            cloud._label_by_node = dense_value_table(
+                global_node_ids, global_label_ids, dtype=np.int32
+            )
+        return cloud
 
     def _record_label_pairs(
         self, graph: LabeledGraph, machine_of_row: np.ndarray
@@ -530,9 +587,97 @@ class MemoryCloud:
                 )
         return frequencies
 
+    @property
+    def label_table(self) -> LabelTable | None:
+        """The label table shared by every machine (None before loading)."""
+        return self._label_table
+
+    @property
+    def load_generation(self) -> int:
+        """Monotonic counter of :meth:`load_graph` calls.
+
+        Runtime publications snapshot this value; a mismatch later means
+        the cloud was reloaded and the published state is stale.
+        """
+        return self._load_generation
+
+    @property
+    def assignment(self) -> PartitionAssignment:
+        """The node -> machine assignment of the loaded graph."""
+        if self._assignment is None:
+            raise CloudError("no graph has been loaded into the cloud")
+        return self._assignment
+
+    def global_label_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cluster-wide ``(sorted node IDs, parallel label IDs)`` arrays.
+
+        The batched ``hasLabel`` substrate; published to worker processes by
+        the multiprocess runtime.  Treat as read-only.
+        """
+        if self._global_node_ids is None or self._global_label_ids is None:
+            raise CloudError("no graph has been loaded into the cloud")
+        return self._global_node_ids, self._global_label_ids
+
+    def with_metrics(self, metrics: CloudMetrics) -> "MemoryCloud":
+        """A shallow view of this cloud recording into ``metrics``.
+
+        Machines, the partition map, and every cached array are shared; only
+        the metrics sink differs.  The executors run each per-machine task
+        against its own scoped view and merge the isolated counters back in
+        machine-ID order, so concurrent backends aggregate to exactly the
+        serial model's metrics.
+        """
+        clone = copy.copy(self)
+        clone.metrics = metrics
+        return clone
+
     def reset_metrics(self) -> None:
         """Zero the communication counters (between benchmark runs)."""
         self.metrics.reset()
+
+    def flush_staged(self) -> None:
+        """Flush every machine's staged cell/index data into CSR arrays.
+
+        Concurrency-safety barrier for the thread executor: the lazy merges
+        reassign arrays non-atomically, so they must complete before
+        machines are read in parallel.
+        """
+        for machine in self.machines:
+            machine.flush_staged()
+
+    # -- runtime lifecycle ---------------------------------------------------
+
+    def register_runtime_resource(self, resource) -> None:
+        """Register a closeable runtime resource (executor, shm publication).
+
+        Registered resources are closed by :meth:`close`; each must expose
+        an idempotent ``close()``.
+        """
+        if resource not in self._runtime_resources:
+            self._runtime_resources.append(resource)
+
+    def deregister_runtime_resource(self, resource) -> None:
+        """Forget a runtime resource that now belongs to another cloud."""
+        if resource in self._runtime_resources:
+            self._runtime_resources.remove(resource)
+
+    def close(self) -> None:
+        """Tear down every registered runtime resource (idempotent).
+
+        Process pools are terminated and all shared-memory segments the
+        runtime published for this cloud are unlinked — after ``close()``
+        returns, no segment created on this cloud's behalf remains in the
+        system.  The cloud itself stays usable for serial execution.
+        """
+        resources, self._runtime_resources = self._runtime_resources, []
+        for resource in resources:
+            resource.close()
+
+    def __enter__(self) -> "MemoryCloud":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _machine(self, machine_id: int) -> Machine:
         if not 0 <= machine_id < len(self.machines):

@@ -1,11 +1,73 @@
-"""Configuration of the simulated memory cloud."""
+"""Configuration of the simulated memory cloud and its execution runtime."""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
+from repro.errors import ConfigurationError
 from repro.graph.partition import HashPartitioner, Partitioner
 from repro.utils.validation import require_non_negative, require_positive
+
+#: Executor backends of the cluster runtime (see :mod:`repro.runtime`).
+EXECUTOR_BACKENDS: Tuple[str, ...] = ("serial", "thread", "process")
+
+#: Environment variable selecting the default executor backend.
+EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve an executor backend name, falling back to the environment.
+
+    ``None`` reads :data:`EXECUTOR_ENV_VAR` (``REPRO_EXECUTOR``) and
+    defaults to ``"serial"``; any explicit or environment value must be one
+    of :data:`EXECUTOR_BACKENDS`.  This is the single knob the CI matrix
+    turns to run the whole test suite against each backend.
+    """
+    if backend is None:
+        backend = os.environ.get(EXECUTOR_ENV_VAR) or "serial"
+    if backend not in EXECUTOR_BACKENDS:
+        raise ConfigurationError(
+            f"unknown executor backend {backend!r}; expected one of {EXECUTOR_BACKENDS}"
+        )
+    return backend
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Execution-runtime knobs: which executor runs the per-machine fan-outs.
+
+    Attributes:
+        backend: ``"serial"`` (in-process, the parity oracle), ``"thread"``
+            (thread pool over the shared store), or ``"process"`` (worker
+            processes over shared-memory CSR partitions).  ``None`` defers
+            to the ``REPRO_EXECUTOR`` environment variable.
+        max_workers: pool size for the thread/process backends; ``None``
+            sizes the pool to ``min(machine_count, cpu_count)``.
+        start_method: multiprocessing start method (``"fork"``, ``"spawn"``,
+            ``"forkserver"``); ``None`` uses the platform default.
+    """
+
+    backend: Optional[str] = None
+    max_workers: Optional[int] = None
+    start_method: Optional[str] = None
+
+    def validate(self) -> None:
+        if self.backend is not None:
+            resolve_backend(self.backend)
+        if self.max_workers is not None:
+            require_positive(self.max_workers, "max_workers")
+        if self.start_method is not None and self.start_method not in (
+            "fork",
+            "spawn",
+            "forkserver",
+        ):
+            raise ConfigurationError(f"unknown start method {self.start_method!r}")
+
+    def resolved_backend(self) -> str:
+        """The effective backend after environment fallback."""
+        return resolve_backend(self.backend)
 
 
 @dataclass(frozen=True)

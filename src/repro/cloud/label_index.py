@@ -63,6 +63,15 @@ class LabelIndex:
         self._pending_labels.clear()
         self._by_label.clear()
 
+    def flush_staged(self) -> None:
+        """Merge any staged ``add`` calls into the index arrays now.
+
+        Concurrent runtime backends call this before fanning out: the lazy
+        merge reassigns several arrays non-atomically, which is safe only
+        when no other thread is reading.
+        """
+        self._ensure()
+
     def _ensure(self) -> None:
         if not self._pending_ids:
             return

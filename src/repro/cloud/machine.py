@@ -85,6 +85,17 @@ class Machine:
         self._dense_rows = None
         self.label_index.adopt(node_ids, label_ids)
 
+    def flush_staged(self) -> None:
+        """Merge any staged ``store_cell`` data into the CSR arrays now.
+
+        The lazy merge reassigns the four CSR arrays non-atomically, so a
+        concurrent reader could pair new IDs with old offsets.  The thread
+        executor flushes every machine (store + label index) before fanning
+        out, making the subsequent parallel reads safe.
+        """
+        self._ensure()
+        self.label_index.flush_staged()
+
     def _ensure(self) -> None:
         if not self._pending:
             return
@@ -209,6 +220,19 @@ class Machine:
         return self.label_index.has_label(node_id, label)
 
     # -- introspection -------------------------------------------------------
+
+    def csr_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The partition's CSR columns ``(ids, label_ids, offsets, neighbors)``.
+
+        This is the publication surface of the multiprocess runtime: the
+        four arrays fully describe the partition store, so publishing them
+        into shared memory and re-adopting views via
+        :meth:`adopt_partition` reconstructs an equivalent machine in a
+        worker process without pickling any per-node data.  Treat the
+        returned arrays as read-only.
+        """
+        self._ensure()
+        return self._ids, self._label_ids, self._offsets, self._neighbors
 
     @property
     def node_count(self) -> int:

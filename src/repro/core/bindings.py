@@ -208,6 +208,22 @@ class BindingTable:
         clone._bindings = dict(self._bindings)
         return clone
 
+    def __getstate__(self) -> dict:
+        """Pickle only the query and the binding arrays.
+
+        The materialized-set and dense-mask caches are per-process
+        acceleration structures: shipping them to runtime workers would
+        inflate every task payload, and each worker rebuilds them lazily
+        against its own memory anyway.
+        """
+        return {"query": self._query, "bindings": self._bindings}
+
+    def __setstate__(self, state: dict) -> None:
+        self._query = state["query"]
+        self._bindings = state["bindings"]
+        self._set_cache = {}
+        self._mask_cache = {}
+
     def _check(self, node: str) -> None:
         if node not in self._bindings:
             raise QueryError(f"unknown query node {node!r} in binding table")

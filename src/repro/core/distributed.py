@@ -36,10 +36,11 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.cloud.cluster import MemoryCloud
-from repro.core.exploration import ExplorationOutcome
+from repro.core.exploration import ExplorationOutcome, ExplorationTables
 from repro.core.join import multiway_join
 from repro.core.planner import QueryPlan
 from repro.core.result import MatchTable
+from repro.graph.labeled_graph import NODE_DTYPE
 from repro.utils.arrays import membership_mask
 
 #: Cache of binding-filtered tables, keyed by (machine, stwig_index).
@@ -64,6 +65,7 @@ def assemble_results(
     plan: QueryPlan,
     exploration: ExplorationOutcome,
     result_limit: Optional[int] = None,
+    executor=None,
 ) -> JoinOutcome:
     """Run the distributed join phase and return the global result table.
 
@@ -72,6 +74,13 @@ def assemble_results(
         plan: the query plan being executed.
         exploration: per-machine STwig tables from the exploration phase.
         result_limit: stop once this many global matches are assembled.
+        executor: optional :class:`~repro.runtime.Executor` running the
+            per-machine gather+join fan-out concurrently.  Unlimited
+            queries route through it; limited queries always run the
+            sequential loop below (on every backend) because the remaining
+            row budget of machine ``k+1`` depends on machine ``k``'s
+            output — early exit is part of the execution model, and running
+            cut-off machines anyway would change the metrics.
 
     Returns:
         A :class:`JoinOutcome` whose table has the query nodes in sorted
@@ -88,39 +97,88 @@ def assemble_results(
 
     config = plan.config
     bindings = exploration.bindings if config.use_final_binding_filter else None
-    filtered_cache: FilteredTables = {}
     # Probe for one row beyond the limit: reaching limit+1 proves a real
     # match was cut, while a query with exactly `limit` matches runs the
     # same joins it would have anyway and comes back un-truncated.
     probe_limit = None if result_limit is None else result_limit + 1
+
+    if executor is not None and probe_limit is None:
+        for rows in executor.map_join(cloud, plan, exploration.tables, bindings):
+            if len(rows):
+                final.add_rows(rows)
+        return JoinOutcome(final, False)
+
+    filtered_cache: FilteredTables = {}
     for machine_id in range(cloud.machine_count):
         remaining = None if probe_limit is None else probe_limit - final.row_count
         if remaining is not None and remaining <= 0:
             break
-        machine_tables = _gather_machine_tables(
-            cloud, plan, exploration, machine_id, bindings, filtered_cache
+        rows = machine_result_rows(
+            cloud,
+            plan,
+            exploration.tables,
+            machine_id,
+            bindings,
+            remaining=remaining,
+            filtered_cache=filtered_cache,
         )
-        if any(table.row_count == 0 for table in machine_tables):
-            # An empty R_k(q_t) (in particular an empty local head table)
-            # makes the whole join empty: this machine contributes nothing.
-            continue
-        joined = multiway_join(
-            machine_tables,
-            row_limit=remaining,
-            block_size=config.block_size,
-            sample_size=config.sample_size,
-            rng=config.seed,
-        )
-        if joined.row_count == 0:
-            continue
-        normalized = joined.reorder(final_columns)
-        take = normalized.row_count if remaining is None else min(normalized.row_count, remaining)
-        final.add_rows(normalized.to_array()[:take])
+        if len(rows):
+            final.add_rows(rows)
 
     truncated = result_limit is not None and final.row_count > result_limit
     if truncated:
         final.truncate(result_limit)
     return JoinOutcome(final, truncated)
+
+
+def machine_result_rows(
+    cloud: MemoryCloud,
+    plan: QueryPlan,
+    tables: ExplorationTables,
+    machine_id: int,
+    bindings,
+    remaining: Optional[int] = None,
+    filtered_cache: Optional[FilteredTables] = None,
+) -> np.ndarray:
+    """One machine's share of the answer, as final-column-ordered rows.
+
+    The per-machine unit of the join phase: gather ``R_k(q_t)`` for every
+    STwig, run the cost-ordered multi-way join, and normalize the surviving
+    rows to the query's sorted column order.  The sequential driver above
+    and every runtime executor backend (thread pool, process pool) call
+    exactly this function, so the communication accounting — result
+    transfers, sender-side filter counts — is structurally identical across
+    backends.
+
+    ``filtered_cache`` may be shared across machines when calls run
+    sequentially (each source table is binding-filtered once); concurrent
+    callers pass per-task caches and recompute, which changes wall-clock
+    only, never the counters.
+    """
+    query = plan.query
+    config = plan.config
+    final_columns = query.nodes()
+    if filtered_cache is None:
+        filtered_cache = {}
+    machine_tables = _gather_machine_tables(
+        cloud, plan, tables, machine_id, bindings, filtered_cache
+    )
+    if any(table.row_count == 0 for table in machine_tables):
+        # An empty R_k(q_t) (in particular an empty local head table)
+        # makes the whole join empty: this machine contributes nothing.
+        return np.empty((0, len(final_columns)), dtype=NODE_DTYPE)
+    joined = multiway_join(
+        machine_tables,
+        row_limit=remaining,
+        block_size=config.block_size,
+        sample_size=config.sample_size,
+        rng=config.seed,
+    )
+    if joined.row_count == 0:
+        return np.empty((0, len(final_columns)), dtype=NODE_DTYPE)
+    normalized = joined.reorder(final_columns)
+    take = normalized.row_count if remaining is None else min(normalized.row_count, remaining)
+    return normalized.to_array()[:take]
 
 
 def _filter_by_bindings(table: MatchTable, bindings) -> MatchTable:
@@ -154,7 +212,7 @@ def _filter_by_bindings(table: MatchTable, bindings) -> MatchTable:
 
 
 def _filtered_table(
-    exploration: ExplorationOutcome,
+    tables: ExplorationTables,
     machine_id: int,
     stwig_index: int,
     bindings,
@@ -166,7 +224,7 @@ def _filtered_table(
     source reuses the same filtered table instead of re-deriving the masks.
     With ``bindings`` disabled the raw table passes through untouched.
     """
-    table = exploration.tables[machine_id][stwig_index]
+    table = tables[machine_id][stwig_index]
     if bindings is None or table.row_count == 0:
         return table
     key = (machine_id, stwig_index)
@@ -180,7 +238,7 @@ def _filtered_table(
 def _gather_machine_tables(
     cloud: MemoryCloud,
     plan: QueryPlan,
-    exploration: ExplorationOutcome,
+    exploration_tables: ExplorationTables,
     machine_id: int,
     bindings,
     filtered_cache: FilteredTables,
@@ -197,18 +255,18 @@ def _gather_machine_tables(
     tables: List[MatchTable] = []
     for stwig_index in range(len(plan.stwigs)):
         local = _filtered_table(
-            exploration, machine_id, stwig_index, bindings, filtered_cache
+            exploration_tables, machine_id, stwig_index, bindings, filtered_cache
         )
         if stwig_index == plan.head_index:
             tables.append(local)
             continue
         parts = [local]
         for remote_machine in sorted(plan.load_set(machine_id, stwig_index)):
-            raw_rows = exploration.tables[remote_machine][stwig_index].row_count
+            raw_rows = exploration_tables[remote_machine][stwig_index].row_count
             if raw_rows == 0:
                 continue
             remote = _filtered_table(
-                exploration, remote_machine, stwig_index, bindings, filtered_cache
+                exploration_tables, remote_machine, stwig_index, bindings, filtered_cache
             )
             cloud.metrics.record_result_filter(
                 sender=remote_machine,

@@ -28,6 +28,7 @@ from repro.core.exploration import explore
 from repro.core.planner import MatcherConfig, QueryPlan, QueryPlanner
 from repro.core.result import MatchResult, StageStats
 from repro.query.query_graph import QueryGraph
+from repro.runtime import Executor, ExecutorSpec, create_executor
 
 
 class SubgraphMatcher:
@@ -38,6 +39,7 @@ class SubgraphMatcher:
         cloud: MemoryCloud,
         config: MatcherConfig | None = None,
         statistics=None,
+        executor: ExecutorSpec = None,
     ) -> None:
         """Create a matcher.
 
@@ -48,10 +50,40 @@ class SubgraphMatcher:
                 :class:`~repro.core.statistics.EdgeStatistics` enabling the
                 statistics-aware edge selection when
                 ``config.use_edge_statistics`` is set.
+            executor: runtime backend driving the per-machine fan-outs — a
+                backend name (``"serial"``/``"thread"``/``"process"``), a
+                :class:`~repro.cloud.config.RuntimeConfig`, or an existing
+                :class:`~repro.runtime.Executor` (shared executors are not
+                closed by this matcher).  ``None`` resolves the
+                ``REPRO_EXECUTOR`` environment variable, defaulting to
+                serial execution.
         """
         self.cloud = cloud
         self.config = config or MatcherConfig()
         self._planner = QueryPlanner(cloud, self.config, statistics=statistics)
+        self._owns_executor = not isinstance(executor, Executor)
+        self._executor = create_executor(executor)
+
+    @property
+    def executor(self) -> Executor:
+        """The runtime executor backing this matcher's fan-outs."""
+        return self._executor
+
+    def close(self) -> None:
+        """Release the matcher's runtime resources (pools, shared memory).
+
+        Only executors this matcher created are closed; a shared executor
+        passed in by the caller is left running.  ``MemoryCloud.close()``
+        also tears down any process executor that published against it.
+        """
+        if self._owns_executor:
+            self._executor.close()
+
+    def __enter__(self) -> "SubgraphMatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def explain(self, query: QueryGraph) -> QueryPlan:
         """Return the plan (decomposition, order, head, load sets) without executing."""
@@ -82,12 +114,14 @@ class SubgraphMatcher:
         stats.head_stwig_root = plan.head_stwig.root
 
         explore_started = time.perf_counter()
-        exploration = explore(self.cloud, plan)
+        exploration = explore(self.cloud, plan, executor=self._executor)
         stats.exploration_seconds = time.perf_counter() - explore_started
         stats.stwig_result_rows = exploration.total_rows()
 
         join_started = time.perf_counter()
-        join_outcome = assemble_results(self.cloud, plan, exploration, result_limit)
+        join_outcome = assemble_results(
+            self.cloud, plan, exploration, result_limit, executor=self._executor
+        )
         matches = join_outcome.table
         stats.join_seconds = time.perf_counter() - join_started
         # Truncation is what the join phase observed, not an after-the-fact

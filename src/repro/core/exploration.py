@@ -84,7 +84,7 @@ class ExplorationOutcome:
 
 
 def explore(
-    cloud: MemoryCloud, plan: QueryPlan, match_fn=match_stwig
+    cloud: MemoryCloud, plan: QueryPlan, match_fn=match_stwig, executor=None
 ) -> ExplorationOutcome:
     """Run the exploration phase of ``plan`` over ``cloud``.
 
@@ -98,6 +98,12 @@ def explore(
             A matcher that accepts a ``roots`` keyword receives each
             stage's owner-partitioned root array; one that does not (a
             legacy baseline) derives its own roots per machine.
+        executor: optional :class:`~repro.runtime.Executor` running each
+            stage's per-machine ``match_stwig`` fan-out concurrently
+            (thread or process pool).  Only the default matcher routes
+            through it — injected matchers keep the inline loop.  Stage
+            root partitioning, binding merges, and their accounting stay on
+            the driver (the query proxy), exactly as in the serial model.
     """
     query = plan.query
     config = plan.config
@@ -105,6 +111,7 @@ def explore(
     bindings = BindingTable(query)
     tables: ExplorationTables = [[] for _ in range(machine_count)]
     batch_roots = _supports_roots(match_fn)
+    use_executor = executor is not None and match_fn is match_stwig
 
     for stwig in plan.stwigs:
         stage_filter = bindings if config.use_binding_filter else None
@@ -113,23 +120,30 @@ def explore(
             if batch_roots
             else None
         )
-        per_machine: List[MatchTable] = []
-        for machine_id in range(machine_count):
-            if stage_roots is None:
-                table = match_fn(
-                    cloud, machine_id, stwig, query, bindings=stage_filter
-                )
-            else:
-                table = match_fn(
-                    cloud,
-                    machine_id,
-                    stwig,
-                    query,
-                    bindings=stage_filter,
-                    roots=stage_roots[machine_id],
-                )
-            per_machine.append(table)
-            tables[machine_id].append(table)
+        if use_executor:
+            per_machine = executor.map_explore(
+                cloud, stwig, query, stage_filter, stage_roots
+            )
+            for machine_id, table in enumerate(per_machine):
+                tables[machine_id].append(table)
+        else:
+            per_machine = []
+            for machine_id in range(machine_count):
+                if stage_roots is None:
+                    table = match_fn(
+                        cloud, machine_id, stwig, query, bindings=stage_filter
+                    )
+                else:
+                    table = match_fn(
+                        cloud,
+                        machine_id,
+                        stwig,
+                        query,
+                        bindings=stage_filter,
+                        roots=stage_roots[machine_id],
+                    )
+                per_machine.append(table)
+                tables[machine_id].append(table)
 
         _update_bindings(cloud, bindings, stwig.nodes, per_machine)
         if config.use_binding_filter and bindings.any_empty():

@@ -17,7 +17,7 @@ it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -112,8 +112,14 @@ class PartitionAssignment:
             )
         return self._machines[positions]
 
-    def _sorted_arrays(self):
-        """(sorted node IDs, parallel machine IDs) arrays."""
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Public ``(sorted node IDs, machine IDs)`` view of the assignment.
+
+        The arrays are the assignment's backing storage — treat them as
+        read-only.  Together with :meth:`from_arrays` they round-trip an
+        assignment through any serialization that can carry two arrays
+        (the multiprocess runtime ships them via shared memory).
+        """
         return self._sorted_ids, self._machines
 
     def _dense_table(self):

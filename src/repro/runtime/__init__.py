@@ -1,0 +1,53 @@
+"""Cluster execution runtime: pluggable per-machine fan-out executors.
+
+The engine's two distributed phases — STwig exploration and the per-machine
+gather+join — fan out over every machine of the simulated memory cloud.
+This package makes that fan-out pluggable (serial / thread pool / process
+pool over shared-memory CSR partitions) while preserving, exactly, the
+serial model's results and communication counters.  See
+:mod:`repro.runtime.executors` for the backends and
+:mod:`repro.runtime.shared_cloud` for the zero-copy publication layer.
+
+Backend selection::
+
+    matcher = SubgraphMatcher(cloud, executor="process")        # explicit
+    matcher = SubgraphMatcher(cloud)        # REPRO_EXECUTOR env, or serial
+"""
+
+from repro.cloud.config import (
+    EXECUTOR_BACKENDS,
+    EXECUTOR_ENV_VAR,
+    RuntimeConfig,
+    resolve_backend,
+)
+from repro.runtime.executors import (
+    Executor,
+    ExecutorSpec,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    create_executor,
+)
+from repro.runtime.shared_cloud import (
+    CloudHandle,
+    publish_cloud,
+    publish_tables,
+    rebuild_cloud,
+)
+
+__all__ = [
+    "EXECUTOR_BACKENDS",
+    "EXECUTOR_ENV_VAR",
+    "CloudHandle",
+    "Executor",
+    "ExecutorSpec",
+    "ProcessExecutor",
+    "RuntimeConfig",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "create_executor",
+    "publish_cloud",
+    "publish_tables",
+    "rebuild_cloud",
+    "resolve_backend",
+]

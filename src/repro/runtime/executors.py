@@ -1,0 +1,542 @@
+"""Pluggable executors for the cluster's two per-machine fan-out sites.
+
+The paper's query engine is distributed: every machine matches STwigs over
+its partition *concurrently*, and every machine assembles its share of the
+answer concurrently.  The reproduction models that cluster with one process,
+so the fan-outs used to be plain ``for machine_id in range(...)`` loops.
+The executors here make the fan-out pluggable:
+
+* :class:`SerialExecutor` — runs tasks inline, in machine order.  This is
+  the parity oracle: the other backends must produce row-for-row identical
+  results **and** identical communication counters.
+* :class:`ThreadExecutor` — a thread pool over the shared in-process store.
+  Numpy kernels release the GIL, so batched matching overlaps.
+* :class:`ProcessExecutor` — a process pool over shared-memory CSR
+  partitions (see :mod:`repro.runtime.shared_cloud`).  The graph is
+  published once; workers rebuild zero-copy views lazily and keep their own
+  dense-table caches, which is the closest single-host model of the paper's
+  memory cloud: partition-parallel workers over shared immutable storage
+  with a thin merge layer on the proxy.
+
+Metric faithfulness is structural: every task runs against a
+metrics-scoped view of the cloud (:meth:`MemoryCloud.with_metrics`), and
+the isolated counters are merged back **in machine-ID order**.  Counter
+totals are sums, so any schedule aggregates to exactly the serial model's
+metrics — the invariant the parity suite asserts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import weakref
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cloud.cluster import MemoryCloud
+from repro.cloud.config import RuntimeConfig, resolve_backend
+from repro.cloud.metrics import CloudMetrics
+from repro.core.bindings import BindingTable
+from repro.core.distributed import machine_result_rows
+from repro.core.matcher import match_stwig
+from repro.core.planner import QueryPlan
+from repro.core.result import MatchTable
+from repro.core.stwig import STwig
+from repro.graph.labeled_graph import NODE_DTYPE
+from repro.query.query_graph import QueryGraph
+from repro.runtime.shared_cloud import (
+    BindingsHandle,
+    CloudHandle,
+    attached_bindings,
+    attached_tables,
+    publish_bindings,
+    publish_cloud,
+    publish_tables,
+    rebuild_cloud,
+)
+from repro.utils.shm import SharedArraySpec, attach_array, publish_array
+
+#: Result arrays at or above this entry count return to the driver through a
+#: one-shot shared-memory block instead of the pool's pickle pipe (two
+#: memcpys instead of serialize -> pipe -> deserialize).  256 KiB of int64.
+_SHIP_THRESHOLD_ENTRIES = 32_768
+
+
+def _ship_array(array: np.ndarray):
+    """Worker-side: large result arrays go back via shared memory."""
+    if array.size < _SHIP_THRESHOLD_ENTRIES:
+        return array
+    segment, spec = publish_array(array)
+    # Drop the worker's mapping; the block lives until the driver unlinks.
+    segment.close()
+    return spec
+
+
+def _receive_array(shipped) -> np.ndarray:
+    """Driver-side: materialize a shipped array and retire its block."""
+    if not isinstance(shipped, SharedArraySpec):
+        return shipped
+    segment, view = attach_array(shipped)
+    try:
+        return view.copy()
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def _ship_bindings(bindings, query):
+    """Driver-side: large binding tables go to workers via shared memory.
+
+    Returns ``(payload, registry)``: small (or absent) bindings pass
+    through as the pickled object with no registry; large ones are
+    published once and replaced by a :class:`BindingsHandle`, so the pool
+    pipe never carries the same multi-megabyte arrays once per machine.
+    The caller closes the registry after the fan-out completes.
+    """
+    if bindings is None:
+        return None, None
+    total = sum(
+        len(array)
+        for node in query.nodes()
+        if (array := bindings.candidates_array(node)) is not None
+    )
+    if total < _SHIP_THRESHOLD_ENTRIES:
+        return bindings, None
+    handle, registry = publish_bindings(bindings, query)
+    return handle, registry
+
+
+@contextmanager
+def _resolved_bindings(payload, query):
+    """Worker-side counterpart of :func:`_ship_bindings`."""
+    if isinstance(payload, BindingsHandle):
+        with attached_bindings(payload, query) as bindings:
+            yield bindings
+    else:
+        yield payload
+
+
+def _discard_shipped(shipped) -> None:
+    """Driver-side: retire a shipped block without materializing it."""
+    if isinstance(shipped, SharedArraySpec):
+        try:
+            segment, _ = attach_array(shipped)
+        except FileNotFoundError:  # pragma: no cover - already retired
+            return
+        segment.close()
+        segment.unlink()
+
+
+def _collect_shipped(outcomes):
+    """Unwrap guarded worker outcomes, leaking no shipped block on error.
+
+    Workers return ``("ok", (shipped, metrics))`` or ``("error", exc)`` —
+    they never raise through the pool, because ``Pool.map`` discards the
+    sibling results of a failed map and any shared-memory blocks those
+    siblings shipped would stay linked forever.  On failure every
+    successfully shipped block is unlinked before the first error is
+    re-raised.
+    """
+    errors = [payload for status, payload in outcomes if status == "error"]
+    if errors:
+        for status, payload in outcomes:
+            if status == "ok":
+                _discard_shipped(payload[0])
+        raise errors[0]
+    return [
+        (_receive_array(shipped), metrics) for _, (shipped, metrics) in outcomes
+    ]
+
+
+class Executor(ABC):
+    """Runs the engine's per-machine fan-outs and merges their metrics."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def map_explore(
+        self,
+        cloud: MemoryCloud,
+        stwig: STwig,
+        query: QueryGraph,
+        bindings: Optional[BindingTable],
+        stage_roots: Sequence[np.ndarray],
+    ) -> List[MatchTable]:
+        """Run one exploration stage's ``match_stwig`` on every machine.
+
+        Returns the per-machine tables in machine-ID order and merges each
+        task's isolated metrics into ``cloud.metrics`` in the same order.
+        """
+
+    @abstractmethod
+    def map_join(
+        self,
+        cloud: MemoryCloud,
+        plan: QueryPlan,
+        tables,
+        bindings,
+    ) -> List[np.ndarray]:
+        """Run the gather+join of every machine, returning its result rows.
+
+        Per-machine row blocks come back in machine-ID order (the serial
+        concatenation order), already normalized to the query's sorted
+        column order.
+        """
+
+    def close(self) -> None:
+        """Release pools and shared-memory publications (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _merge_ordered(cloud: MemoryCloud, outcomes: Sequence[Tuple[object, CloudMetrics]]):
+    """Fold per-task metrics into the cloud in task order; return results."""
+    results = []
+    for result, metrics in outcomes:
+        cloud.metrics.merge(metrics)
+        results.append(result)
+    return results
+
+
+def _pool_size(requested: Optional[int], machine_count: int) -> int:
+    """Default pool sizing: one worker per machine, capped at the host CPUs."""
+    if requested is not None:
+        return max(1, requested)
+    return max(1, min(machine_count, os.cpu_count() or 1))
+
+
+class SerialExecutor(Executor):
+    """Inline execution in machine order — today's behavior, the oracle."""
+
+    name = "serial"
+
+    def map_explore(self, cloud, stwig, query, bindings, stage_roots):
+        outcomes = []
+        for machine_id in range(cloud.machine_count):
+            metrics = CloudMetrics()
+            table = match_stwig(
+                cloud.with_metrics(metrics),
+                machine_id,
+                stwig,
+                query,
+                bindings=bindings,
+                roots=stage_roots[machine_id],
+            )
+            outcomes.append((table, metrics))
+        return _merge_ordered(cloud, outcomes)
+
+    def map_join(self, cloud, plan, tables, bindings):
+        # Sequential tasks share one filtered-table cache, exactly like the
+        # historical single-loop assembly.
+        filtered_cache: dict = {}
+        outcomes = []
+        for machine_id in range(cloud.machine_count):
+            metrics = CloudMetrics()
+            rows = machine_result_rows(
+                cloud.with_metrics(metrics),
+                plan,
+                tables,
+                machine_id,
+                bindings,
+                filtered_cache=filtered_cache,
+            )
+            outcomes.append((rows, metrics))
+        return _merge_ordered(cloud, outcomes)
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool execution over the shared in-process partition store."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self._max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_workers = 0
+
+    def _ensure_pool(self, machine_count: int) -> ThreadPoolExecutor:
+        wanted = _pool_size(self._max_workers, machine_count)
+        if self._pool is not None and wanted > self._pool_workers:
+            # A later cloud has more machines than the pool was sized for
+            # (shared executors outlive their first cloud): resize up.
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=wanted, thread_name_prefix="repro-runtime"
+            )
+            self._pool_workers = wanted
+        return self._pool
+
+    def map_explore(self, cloud, stwig, query, bindings, stage_roots):
+        pool = self._ensure_pool(cloud.machine_count)
+        # Safety barrier: complete any staged-store lazy merges before the
+        # machines are read from several threads (the merge reassigns the
+        # CSR arrays non-atomically).
+        cloud.flush_staged()
+
+        def task(machine_id: int):
+            metrics = CloudMetrics()
+            table = match_stwig(
+                cloud.with_metrics(metrics),
+                machine_id,
+                stwig,
+                query,
+                bindings=bindings,
+                roots=stage_roots[machine_id],
+            )
+            return table, metrics
+
+        outcomes = list(pool.map(task, range(cloud.machine_count)))
+        return _merge_ordered(cloud, outcomes)
+
+    def map_join(self, cloud, plan, tables, bindings):
+        pool = self._ensure_pool(cloud.machine_count)
+        # Threads share the filtered-table cache: values are immutable
+        # tables keyed by (machine, STwig), so the worst race is a
+        # duplicated computation, never a wrong entry — and the counters
+        # never depend on cache hits.
+        filtered_cache: dict = {}
+
+        def task(machine_id: int):
+            metrics = CloudMetrics()
+            rows = machine_result_rows(
+                cloud.with_metrics(metrics),
+                plan,
+                tables,
+                machine_id,
+                bindings,
+                filtered_cache=filtered_cache,
+            )
+            return rows, metrics
+
+        outcomes = list(pool.map(task, range(cloud.machine_count)))
+        return _merge_ordered(cloud, outcomes)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# -- process backend ---------------------------------------------------------
+
+#: Worker-process state: the cloud handle arrives via the pool initializer
+#: and the cloud itself is rebuilt lazily on the first task, so workers that
+#: never run a task never map the segments.
+_WORKER_CONTEXT: dict = {"handle": None, "cloud": None}
+
+
+def _worker_initialize(handle: CloudHandle) -> None:
+    _WORKER_CONTEXT["handle"] = handle
+    _WORKER_CONTEXT["cloud"] = None
+
+
+def _worker_cloud() -> MemoryCloud:
+    cloud = _WORKER_CONTEXT["cloud"]
+    if cloud is None:
+        cloud = rebuild_cloud(_WORKER_CONTEXT["handle"])
+        _WORKER_CONTEXT["cloud"] = cloud
+    return cloud
+
+
+def _worker_explore(payload):
+    try:
+        machine_id, stwig, query, shipped_bindings, roots = payload
+        metrics = CloudMetrics()
+        with _resolved_bindings(shipped_bindings, query) as bindings:
+            table = match_stwig(
+                _worker_cloud().with_metrics(metrics),
+                machine_id,
+                stwig,
+                query,
+                bindings=bindings,
+                roots=roots,
+            )
+        return "ok", (_ship_array(table.to_array()), metrics)
+    except Exception as error:  # noqa: BLE001 - transported to the driver
+        return "error", error
+
+
+def _worker_join(payload):
+    try:
+        machine_id, plan, tables_handle, shipped_bindings = payload
+        metrics = CloudMetrics()
+        scoped = _worker_cloud().with_metrics(metrics)
+        with _resolved_bindings(shipped_bindings, plan.query) as bindings:
+            with attached_tables(tables_handle, plan) as tables:
+                rows = machine_result_rows(
+                    scoped, plan, tables, machine_id, bindings
+                )
+                # The attachments close on exit; detach the result from
+                # the shared pages before they do.
+                rows = np.array(rows, dtype=NODE_DTYPE, copy=True)
+        return "ok", (_ship_array(rows), metrics)
+    except Exception as error:  # noqa: BLE001 - transported to the driver
+        return "error", error
+
+
+class _ProcessState:
+    """Pool + publication owned by one :class:`ProcessExecutor`.
+
+    Kept outside the executor so a ``weakref.finalize`` can tear it down
+    without keeping the executor alive: dropping the last reference to an
+    unclosed executor (or interpreter exit) still terminates the workers
+    and unlinks every published segment.
+    """
+
+    def __init__(self) -> None:
+        self.pool = None
+        self.registry = None
+        self.cloud_ref = lambda: None
+        self.load_generation = -1
+
+    def teardown(self) -> None:
+        pool, self.pool = self.pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        registry, self.registry = self.registry, None
+        if registry is not None:
+            registry.close()
+        self.cloud_ref = lambda: None
+
+
+class ProcessExecutor(Executor):
+    """Process-pool execution over shared-memory CSR partition views."""
+
+    name = "process"
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self._max_workers = max_workers
+        self._start_method = start_method
+        self._state = _ProcessState()
+        self._finalizer = weakref.finalize(self, _ProcessState.teardown, self._state)
+
+    def _ensure_pool(self, cloud: MemoryCloud):
+        state = self._state
+        if state.pool is not None:
+            if (
+                state.cloud_ref() is cloud
+                and state.load_generation == cloud.load_generation
+            ):
+                return state.pool
+            # A different cloud — or the same cloud reloaded with a new
+            # graph: republish and restart the workers (their cached
+            # rebuild views the old segments).  A previous *other* cloud
+            # must forget this executor, or closing it later would tear
+            # down the new cloud's live pool and segments.
+            previous = state.cloud_ref()
+            state.teardown()
+            if previous is not None and previous is not cloud:
+                previous.deregister_runtime_resource(self)
+        handle, registry = publish_cloud(cloud)
+        state.registry = registry
+        state.cloud_ref = weakref.ref(cloud)
+        state.load_generation = cloud.load_generation
+        context = multiprocessing.get_context(self._start_method)
+        state.pool = context.Pool(
+            processes=_pool_size(self._max_workers, cloud.machine_count),
+            initializer=_worker_initialize,
+            initargs=(handle,),
+        )
+        # The cloud tears this executor down (pool + segment unlink) on
+        # close(), which is what the shared-memory leak check exercises.
+        cloud.register_runtime_resource(self)
+        return state.pool
+
+    def map_explore(self, cloud, stwig, query, bindings, stage_roots):
+        pool = self._ensure_pool(cloud)
+        shipped_bindings, bindings_registry = _ship_bindings(bindings, query)
+        try:
+            payloads = [
+                (machine_id, stwig, query, shipped_bindings, stage_roots[machine_id])
+                for machine_id in range(cloud.machine_count)
+            ]
+            received = _collect_shipped(
+                pool.map(_worker_explore, payloads, chunksize=1)
+            )
+        finally:
+            if bindings_registry is not None:
+                bindings_registry.close()
+        outcomes = [
+            (MatchTable.from_array(stwig.nodes, array), metrics)
+            for array, metrics in received
+        ]
+        return _merge_ordered(cloud, outcomes)
+
+    def map_join(self, cloud, plan, tables, bindings):
+        pool = self._ensure_pool(cloud)
+        handle, registry = publish_tables(tables)
+        shipped_bindings, bindings_registry = _ship_bindings(bindings, plan.query)
+        try:
+            payloads = [
+                (machine_id, plan, handle, shipped_bindings)
+                for machine_id in range(cloud.machine_count)
+            ]
+            outcomes = _collect_shipped(
+                pool.map(_worker_join, payloads, chunksize=1)
+            )
+        finally:
+            registry.close()
+            if bindings_registry is not None:
+                bindings_registry.close()
+        return _merge_ordered(cloud, outcomes)
+
+    def published_segment_names(self) -> List[str]:
+        """Names of the live graph segments (empty after close)."""
+        if self._state.registry is None:
+            return []
+        return self._state.registry.segment_names()
+
+    def close(self) -> None:
+        # Tear down directly (idempotent) rather than through the one-shot
+        # finalizer: an executor reused after close() rebuilds its pool and
+        # publication, and those must be closeable again.  The finalizer
+        # stays armed as the GC/interpreter-exit backstop.
+        self._state.teardown()
+
+
+#: Backend name -> executor class.
+_EXECUTORS = {
+    SerialExecutor.name: SerialExecutor,
+    ThreadExecutor.name: ThreadExecutor,
+    ProcessExecutor.name: ProcessExecutor,
+}
+
+ExecutorSpec = Union[None, str, RuntimeConfig, Executor]
+
+
+def create_executor(spec: ExecutorSpec = None) -> Executor:
+    """Build an executor from a backend name, a RuntimeConfig, or nothing.
+
+    ``None`` resolves the backend from the ``REPRO_EXECUTOR`` environment
+    variable (default ``serial``); an existing :class:`Executor` instance
+    passes through unchanged.
+    """
+    if isinstance(spec, Executor):
+        return spec
+    if isinstance(spec, RuntimeConfig):
+        spec.validate()
+        backend = spec.resolved_backend()
+        if backend == "thread":
+            return ThreadExecutor(max_workers=spec.max_workers)
+        if backend == "process":
+            return ProcessExecutor(
+                max_workers=spec.max_workers, start_method=spec.start_method
+            )
+        return SerialExecutor()
+    backend = resolve_backend(spec)
+    return _EXECUTORS[backend]()

@@ -1,0 +1,264 @@
+"""Publishing a loaded :class:`MemoryCloud` into shared memory, and back.
+
+The process executor's contract is that the graph is **never pickled per
+task**.  Instead:
+
+* :func:`publish_cloud` pushes every machine's CSR columns (sorted node
+  IDs, label IDs, offsets, flat neighbor IDs), the cluster-wide label
+  arrays, and the partition assignment into ``multiprocessing``
+  shared-memory blocks — one copy, made once per cloud;
+* :func:`rebuild_cloud` runs inside each worker process and reconstructs a
+  fully functional :class:`~repro.cloud.cluster.MemoryCloud` whose arrays
+  are zero-copy views over those same pages (via
+  :meth:`MemoryCloud.from_partition_state`).  Dense lookup tables — the
+  node->row, node->machine, and node->label acceleration structures — are
+  deliberately *not* shipped: each worker derives its own lazily, so the
+  caches live in per-process memory while the billion-edge-shaped payload
+  stays shared.
+
+Exploration result tables take the same road for the join phase:
+:func:`publish_tables` exports the per-(machine, STwig) ``G_k(q_i)``
+relations once per query, and :func:`attached_tables` maps them back into
+columnar :class:`~repro.core.result.MatchTable` views for the worker-side
+gather+join.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.cloud.cluster import MemoryCloud
+from repro.cloud.config import ClusterConfig
+from repro.core.bindings import BindingTable
+from repro.core.planner import QueryPlan
+from repro.core.result import MatchTable
+from repro.graph.label_table import LabelTable
+from repro.graph.partition import PartitionAssignment
+from repro.query.query_graph import QueryGraph
+from repro.utils.shm import SegmentRegistry, SharedArraySpec, attach_array
+
+#: Per-machine CSR publication: (ids, label_ids, offsets, neighbors).
+MachineSpec = Tuple[SharedArraySpec, SharedArraySpec, SharedArraySpec, SharedArraySpec]
+
+
+@dataclass(frozen=True)
+class CloudHandle:
+    """Picklable description of a published cloud (names, shapes, scalars).
+
+    Everything a worker needs to rebuild the cloud: the shared-memory specs
+    of every array plus the small plain-data state (label strings, machine
+    count, graph size).  The handle itself is a few hundred bytes — it is
+    shipped once per worker via the pool initializer.
+    """
+
+    machine_count: int
+    labels: Tuple[str, ...]
+    node_count: int
+    edge_count: int
+    machines: Tuple[MachineSpec, ...]
+    global_nodes: SharedArraySpec
+    global_labels: SharedArraySpec
+    assignment_ids: SharedArraySpec
+    assignment_machines: SharedArraySpec
+
+
+@dataclass(frozen=True)
+class BindingsHandle:
+    """Published binding table: one spec per *bound* query node.
+
+    The proxy ships each stage's bindings to every machine; for large
+    binding sets the process backend publishes the arrays once per stage
+    and sends only this handle per task, instead of re-pickling identical
+    multi-megabyte arrays ``machine_count`` times through the pool pipe.
+    """
+
+    specs: Tuple[Tuple[str, SharedArraySpec], ...]
+
+
+@dataclass(frozen=True)
+class TableSetHandle:
+    """Published exploration tables: one optional spec per (machine, STwig).
+
+    ``None`` marks an empty table (re-created worker-side from the plan's
+    STwig columns; POSIX shared memory cannot hold zero bytes anyway).
+    """
+
+    specs: Tuple[Tuple[Optional[SharedArraySpec], ...], ...]
+
+
+def publish_cloud(cloud: MemoryCloud) -> Tuple[CloudHandle, SegmentRegistry]:
+    """Publish ``cloud``'s partitioned CSR state into shared memory.
+
+    Returns the worker-facing :class:`CloudHandle` and the
+    :class:`SegmentRegistry` owning the blocks; closing the registry
+    unlinks every segment.  Called once per (executor, cloud) pair.
+    """
+    registry = SegmentRegistry()
+    try:
+        machine_specs: List[MachineSpec] = []
+        for machine in cloud.machines:
+            ids, label_ids, offsets, neighbors = machine.csr_arrays()
+            machine_specs.append(
+                (
+                    registry.publish(ids),
+                    registry.publish(label_ids),
+                    registry.publish(offsets),
+                    registry.publish(neighbors),
+                )
+            )
+        global_nodes, global_labels = cloud.global_label_arrays()
+        assignment_ids, assignment_machines = cloud.assignment.as_arrays()
+        label_table = cloud.label_table
+        handle = CloudHandle(
+            machine_count=cloud.machine_count,
+            labels=label_table.labels() if label_table is not None else (),
+            node_count=cloud.node_count,
+            edge_count=cloud.edge_count,
+            machines=tuple(machine_specs),
+            global_nodes=registry.publish(global_nodes),
+            global_labels=registry.publish(global_labels),
+            assignment_ids=registry.publish(assignment_ids),
+            assignment_machines=registry.publish(assignment_machines),
+        )
+    except Exception:
+        registry.close()
+        raise
+    return handle, registry
+
+
+def rebuild_cloud(handle: CloudHandle) -> MemoryCloud:
+    """Worker-side: reconstruct a cloud over zero-copy shared-memory views.
+
+    The rebuilt cloud holds references to its attached segments (they stay
+    mapped for the worker's lifetime) and owns fresh per-process lazy
+    caches; label-pair metadata is absent because plans — including load
+    sets — are computed on the driver and shipped with each task.
+    """
+    segments = []
+
+    def attach(spec: SharedArraySpec):
+        segment, view = attach_array(spec)
+        segments.append(segment)
+        return view
+
+    machine_arrays = [
+        tuple(attach(spec) for spec in machine_spec)
+        for machine_spec in handle.machines
+    ]
+    assignment = PartitionAssignment.from_arrays(
+        handle.machine_count,
+        attach(handle.assignment_ids),
+        attach(handle.assignment_machines),
+    )
+    cloud = MemoryCloud.from_partition_state(
+        config=ClusterConfig(
+            machine_count=handle.machine_count, track_label_pairs=False
+        ),
+        label_table=LabelTable(handle.labels),
+        machine_arrays=machine_arrays,
+        assignment=assignment,
+        global_node_ids=attach(handle.global_nodes),
+        global_label_ids=attach(handle.global_labels),
+        node_count=handle.node_count,
+        edge_count=handle.edge_count,
+    )
+    # Keep the mappings alive as long as the cloud: every array above is a
+    # view into these segments.
+    cloud._attached_segments = segments  # type: ignore[attr-defined]
+    return cloud
+
+
+def publish_tables(tables) -> Tuple[TableSetHandle, SegmentRegistry]:
+    """Publish per-(machine, STwig) exploration tables for one join phase.
+
+    One shared-memory block per non-empty table, owned by the returned
+    registry; the caller closes it (unlinking everything) as soon as the
+    join tasks have completed.
+    """
+    registry = SegmentRegistry()
+    try:
+        specs = tuple(
+            tuple(
+                registry.publish(table.to_array()) if table.row_count else None
+                for table in machine_tables
+            )
+            for machine_tables in tables
+        )
+    except Exception:
+        registry.close()
+        raise
+    return TableSetHandle(specs), registry
+
+
+def publish_bindings(
+    bindings: BindingTable, query: QueryGraph
+) -> Tuple[BindingsHandle, SegmentRegistry]:
+    """Publish every bound node's candidate array for one fan-out.
+
+    The registry owns the blocks; close it once the tasks that received
+    the handle have completed.
+    """
+    registry = SegmentRegistry()
+    try:
+        specs = []
+        for node in query.nodes():
+            array = bindings.candidates_array(node)
+            if array is not None:
+                specs.append((node, registry.publish(array)))
+    except Exception:
+        registry.close()
+        raise
+    return BindingsHandle(tuple(specs)), registry
+
+
+@contextmanager
+def attached_bindings(
+    handle: BindingsHandle, query: QueryGraph
+) -> Iterator[BindingTable]:
+    """Worker-side binding table over zero-copy views, attachment-scoped.
+
+    The rebuilt table adopts the sorted views without copying; on exit the
+    attachments close, so the table must not outlive the ``with`` block.
+    """
+    segments = []
+    try:
+        bindings = BindingTable(query)
+        for node, spec in handle.specs:
+            segment, view = attach_array(spec)
+            segments.append(segment)
+            bindings.bind(node, view)
+        yield bindings
+    finally:
+        for segment in segments:
+            segment.close()
+
+
+@contextmanager
+def attached_tables(
+    handle: TableSetHandle, plan: QueryPlan
+) -> Iterator[List[List[MatchTable]]]:
+    """Worker-side view of published exploration tables, attachment-scoped.
+
+    Yields ``tables[machine][stwig_index]`` backed by zero-copy views; on
+    exit the attachments are closed, so the caller must copy anything it
+    returns out of the ``with`` block.
+    """
+    segments = []
+    try:
+        tables: List[List[MatchTable]] = []
+        for machine_specs in handle.specs:
+            machine_tables: List[MatchTable] = []
+            for stwig, spec in zip(plan.stwigs, machine_specs):
+                if spec is None:
+                    machine_tables.append(MatchTable(stwig.nodes))
+                else:
+                    segment, view = attach_array(spec)
+                    segments.append(segment)
+                    machine_tables.append(MatchTable.from_array(stwig.nodes, view))
+            tables.append(machine_tables)
+        yield tables
+    finally:
+        for segment in segments:
+            segment.close()

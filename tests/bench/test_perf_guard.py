@@ -1,0 +1,108 @@
+"""The CI perf-regression guard must never skip a mismatch silently."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent.parent / "benchmarks"
+sys.path.insert(0, str(BENCHMARKS_DIR))
+
+import perf_guard  # noqa: E402
+
+
+def write_baselines(path: Path, baselines: dict, tolerance: float = 0.3) -> Path:
+    config = {"tolerance": tolerance, "baselines": baselines}
+    file = path / "baselines.json"
+    file.write_text(json.dumps(config), encoding="utf-8")
+    return file
+
+
+def write_report(quick_dir: Path, name: str, report: dict) -> None:
+    (quick_dir / f"{name}.quick.json").write_text(
+        json.dumps(report), encoding="utf-8"
+    )
+
+
+BASELINE = {"alpha": {"metric": ["aggregate", "speedup"], "speedup": 2.0}}
+
+
+class TestPerfGuard:
+    def test_passes_when_speedup_holds(self, tmp_path, capsys):
+        quick = tmp_path / "quick"
+        quick.mkdir()
+        write_report(quick, "alpha", {"aggregate": {"speedup": 2.1}})
+        baselines = write_baselines(tmp_path, BASELINE)
+        assert perf_guard.main(["--quick-dir", str(quick), "--baselines", str(baselines)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_fails_on_regression(self, tmp_path, capsys):
+        quick = tmp_path / "quick"
+        quick.mkdir()
+        write_report(quick, "alpha", {"aggregate": {"speedup": 0.5}})
+        baselines = write_baselines(tmp_path, BASELINE)
+        assert perf_guard.main(["--quick-dir", str(quick), "--baselines", str(baselines)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_fails_loudly_on_missing_report(self, tmp_path, capsys):
+        """A renamed/dropped benchmark must not lose its guard silently."""
+        quick = tmp_path / "quick"
+        quick.mkdir()
+        baselines = write_baselines(tmp_path, BASELINE)
+        assert perf_guard.main(["--quick-dir", str(quick), "--baselines", str(baselines)]) == 1
+        err = capsys.readouterr().err
+        assert "missing quick report" in err
+
+    def test_fails_loudly_on_unguarded_report(self, tmp_path, capsys):
+        """A new benchmark's report with no baseline entry fails the job."""
+        quick = tmp_path / "quick"
+        quick.mkdir()
+        write_report(quick, "alpha", {"aggregate": {"speedup": 2.5}})
+        write_report(quick, "newcomer", {"aggregate": {"speedup": 9.0}})
+        baselines = write_baselines(tmp_path, BASELINE)
+        assert perf_guard.main(["--quick-dir", str(quick), "--baselines", str(baselines)]) == 1
+        err = capsys.readouterr().err
+        assert "no baseline entry" in err
+        assert "newcomer" in err
+
+    def test_fails_cleanly_on_moved_metric_path(self, tmp_path, capsys):
+        """A report whose metric path changed is a failure, not a traceback."""
+        quick = tmp_path / "quick"
+        quick.mkdir()
+        write_report(quick, "alpha", {"totals": {"speedup": 2.5}})
+        baselines = write_baselines(tmp_path, BASELINE)
+        assert perf_guard.main(["--quick-dir", str(quick), "--baselines", str(baselines)]) == 1
+        err = capsys.readouterr().err
+        assert "cannot read guarded metric" in err
+
+    def test_tolerance_override(self, tmp_path):
+        quick = tmp_path / "quick"
+        quick.mkdir()
+        write_report(quick, "alpha", {"aggregate": {"speedup": 1.5}})
+        baselines = write_baselines(tmp_path, BASELINE, tolerance=0.3)
+        # 1.5 < 2.0 * (1 - 0.3) = 1.4 is false -> passes at 30% tolerance...
+        assert perf_guard.main(["--quick-dir", str(quick), "--baselines", str(baselines)]) == 0
+        # ...but fails at 10%.
+        assert (
+            perf_guard.main(
+                [
+                    "--quick-dir", str(quick),
+                    "--baselines", str(baselines),
+                    "--tolerance", "0.1",
+                ]
+            )
+            == 1
+        )
+
+    def test_checked_in_baselines_cover_real_reports(self):
+        """Every checked-in baseline has a runnable benchmark behind it."""
+        config = json.loads(
+            (BENCHMARKS_DIR / "results" / "quick_baselines.json").read_text(
+                encoding="utf-8"
+            )
+        )
+        for name in config["baselines"]:
+            assert (
+                BENCHMARKS_DIR / f"bench_{name}.py"
+            ).exists(), f"baseline {name} has no benchmarks/bench_{name}.py"

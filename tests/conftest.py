@@ -1,15 +1,39 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The suite runs against a configurable cluster-runtime backend: the
+``REPRO_EXECUTOR`` environment variable (``serial`` / ``thread`` /
+``process``) selects the executor every :class:`SubgraphMatcher` defaults
+to.  The CI matrix sets it per job (serial and process on every python,
+thread once on the newest) so the whole suite exercises each backend.
+Locally, plain ``pytest`` runs serial.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.cloud.cluster import MemoryCloud
-from repro.cloud.config import ClusterConfig
+from repro.cloud.config import EXECUTOR_BACKENDS, EXECUTOR_ENV_VAR, ClusterConfig
 from repro.graph.generators.erdos_renyi import generate_gnm
 from repro.graph.labeled_graph import LabeledGraph
 from repro.query.query_graph import QueryGraph
 from repro.workloads.datasets import paper_figure5_graph, tiny_example_graph
+
+#: Backend the suite runs under (validated at collection time so a typo in
+#: the CI matrix fails immediately instead of silently running serial).
+RUNTIME_BACKEND = os.environ.get(EXECUTOR_ENV_VAR) or "serial"
+if RUNTIME_BACKEND not in EXECUTOR_BACKENDS:
+    raise pytest.UsageError(
+        f"{EXECUTOR_ENV_VAR}={RUNTIME_BACKEND!r} is not one of {EXECUTOR_BACKENDS}"
+    )
+
+
+@pytest.fixture(scope="session")
+def runtime_backend() -> str:
+    """The executor backend this test session runs under."""
+    return RUNTIME_BACKEND
 
 
 @pytest.fixture

@@ -1,0 +1,381 @@
+"""Parity suite for the cluster runtime executors.
+
+The serial executor is the oracle: the thread and process backends must
+produce *identical* result rows (same order), identical communication
+metrics (scalar counters and per-machine-pair messages), and VF2-verified
+answers on seeded graphs.  The process backend must additionally leave no
+shared-memory segment behind once the cloud is closed.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.baselines.vf2 import vf2_match
+from repro.errors import ConfigurationError
+from repro.cloud.cluster import MemoryCloud
+from repro.cloud.config import (
+    EXECUTOR_ENV_VAR,
+    ClusterConfig,
+    RuntimeConfig,
+    resolve_backend,
+)
+from repro.core.engine import SubgraphMatcher
+from repro.core.planner import MatcherConfig
+from repro.graph.generators.power_law import generate_power_law
+from repro.query.generators import dfs_query
+from repro.runtime import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    create_executor,
+    publish_cloud,
+    rebuild_cloud,
+)
+from repro.utils.shm import SegmentRegistry, publish_array
+from tests.helpers import assert_same_matches
+
+BACKENDS = ("serial", "thread", "process")
+
+
+@pytest.fixture(scope="module")
+def parity_graph():
+    """Seeded 10k-node power-law graph with few labels (heavy exploration)."""
+    return generate_power_law(10_000, 6, label_density=2e-3, seed=41)
+
+
+@pytest.fixture(scope="module")
+def parity_queries(parity_graph):
+    return [dfs_query(parity_graph, 5, seed=seed) for seed in (3, 5, 11)]
+
+
+def run_backend(graph, queries, backend, limit=None):
+    """Fresh cloud + matcher per backend; returns rows/metrics/pair counts."""
+    cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=4))
+    executor = create_executor(RuntimeConfig(backend=backend, max_workers=2))
+    outputs = []
+    try:
+        with SubgraphMatcher(cloud, MatcherConfig(), executor=executor) as matcher:
+            for query in queries:
+                result = matcher.match(query, limit=limit)
+                outputs.append(
+                    {
+                        "rows": result.matches.rows,
+                        "dicts": result.as_dicts(),
+                        "metrics": result.metrics,
+                        "truncated": result.stats.truncated,
+                    }
+                )
+    finally:
+        executor.close()
+        cloud.close()
+    return outputs, dict(cloud.metrics.per_pair_messages)
+
+
+class TestBackendParity:
+    def test_rows_and_metrics_identical(self, parity_graph, parity_queries):
+        reference, reference_pairs = run_backend(
+            parity_graph, parity_queries, "serial"
+        )
+        for backend in ("thread", "process"):
+            outputs, pairs = run_backend(parity_graph, parity_queries, backend)
+            for serial_out, backend_out in zip(reference, outputs):
+                # Row-for-row: same rows in the same order, not just the
+                # same set — the merge is deterministic by machine ID.
+                assert backend_out["rows"] == serial_out["rows"], backend
+                assert backend_out["metrics"] == serial_out["metrics"], backend
+            assert pairs == reference_pairs, backend
+
+    def test_limited_queries_identical(self, parity_graph, parity_queries):
+        reference, _ = run_backend(parity_graph, parity_queries, "serial", limit=50)
+        for backend in ("thread", "process"):
+            outputs, _ = run_backend(parity_graph, parity_queries, backend, limit=50)
+            for serial_out, backend_out in zip(reference, outputs):
+                assert backend_out["rows"] == serial_out["rows"], backend
+                assert backend_out["truncated"] == serial_out["truncated"], backend
+                assert backend_out["metrics"] == serial_out["metrics"], backend
+
+    def test_vf2_cross_check(self, parity_graph, parity_queries):
+        expected = [
+            vf2_match(parity_graph, query) for query in parity_queries
+        ]
+        for backend in BACKENDS:
+            outputs, _ = run_backend(parity_graph, parity_queries, backend)
+            for backend_out, vf2_answers in zip(outputs, expected):
+                assert_same_matches(backend_out["dicts"], vf2_answers)
+
+
+class TestProcessRuntimeLifecycle:
+    def test_segments_unlinked_after_cloud_close(self, parity_graph, parity_queries):
+        cloud = MemoryCloud.from_graph(parity_graph, ClusterConfig(machine_count=4))
+        executor = ProcessExecutor(max_workers=2)
+        with SubgraphMatcher(cloud, MatcherConfig(), executor=executor) as matcher:
+            matcher.match(parity_queries[0])
+            names = executor.published_segment_names()
+        assert names, "process run should have published the graph"
+        # Graph arrays + global arrays + assignment arrays, all accounted.
+        assert len(names) == 4 * cloud.machine_count + 4
+        cloud.close()
+        assert executor.published_segment_names() == []
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                segment = shared_memory.SharedMemory(name=name)
+                segment.close()
+
+    def test_executor_close_is_idempotent(self, parity_graph, parity_queries):
+        cloud = MemoryCloud.from_graph(parity_graph, ClusterConfig(machine_count=4))
+        executor = ProcessExecutor(max_workers=1)
+        matcher = SubgraphMatcher(cloud, MatcherConfig(), executor=executor)
+        matcher.match(parity_queries[0])
+        executor.close()
+        executor.close()
+        cloud.close()
+
+    def test_executor_reused_after_close_cleans_up_again(
+        self, parity_graph, parity_queries
+    ):
+        """close() must stay effective after a close -> reuse cycle."""
+        cloud = MemoryCloud.from_graph(parity_graph, ClusterConfig(machine_count=4))
+        executor = ProcessExecutor(max_workers=1)
+        matcher = SubgraphMatcher(cloud, MatcherConfig(), executor=executor)
+        first = matcher.match(parity_queries[0])
+        executor.close()
+        assert executor.published_segment_names() == []
+        second = matcher.match(parity_queries[0])  # rebuilds pool + publication
+        assert second.matches.rows == first.matches.rows
+        names = executor.published_segment_names()
+        assert names
+        executor.close()
+        assert executor.published_segment_names() == []
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                segment = shared_memory.SharedMemory(name=name)
+                segment.close()
+        cloud.close()
+
+    def test_shared_executor_switching_clouds_reregisters(
+        self, parity_graph, parity_queries
+    ):
+        """Closing an executor's *former* cloud must not kill its new one."""
+        cloud_a = MemoryCloud.from_graph(parity_graph, ClusterConfig(machine_count=2))
+        cloud_b = MemoryCloud.from_graph(parity_graph, ClusterConfig(machine_count=2))
+        executor = ProcessExecutor(max_workers=1)
+        try:
+            matcher_a = SubgraphMatcher(cloud_a, MatcherConfig(), executor=executor)
+            expected = matcher_a.match(parity_queries[0]).matches.rows
+            matcher_b = SubgraphMatcher(cloud_b, MatcherConfig(), executor=executor)
+            matcher_b.match(parity_queries[0])
+            names_b = executor.published_segment_names()
+            cloud_a.close()  # must not tear down cloud B's runtime
+            assert executor.published_segment_names() == names_b
+            again = matcher_b.match(parity_queries[0]).matches.rows
+            assert again == expected
+        finally:
+            executor.close()
+            cloud_b.close()
+
+    def test_reloading_cloud_republishes_to_workers(self):
+        """load_graph on an already-published cloud must invalidate the
+        publication — workers would otherwise match the previous graph."""
+        graph_a = generate_power_law(2_000, 5, label_density=5e-3, seed=71)
+        graph_b = generate_power_law(3_000, 5, label_density=5e-3, seed=72)
+        cloud = MemoryCloud.from_graph(graph_a, ClusterConfig(machine_count=3))
+        executor = ProcessExecutor(max_workers=1)
+        try:
+            matcher = SubgraphMatcher(cloud, MatcherConfig(), executor=executor)
+            query_a = dfs_query(graph_a, 4, seed=9)
+            matcher.match(query_a)
+            names_before = executor.published_segment_names()
+            cloud.load_graph(graph_b)
+            query_b = dfs_query(graph_b, 4, seed=9)
+            expected = SubgraphMatcher(cloud, executor="serial").match(query_b)
+            cloud.reset_metrics()
+            actual = matcher.match(query_b)
+            assert actual.matches.rows == expected.matches.rows
+            assert actual.metrics == expected.metrics
+            assert executor.published_segment_names() != names_before
+        finally:
+            executor.close()
+            cloud.close()
+
+    def test_shm_shipped_bindings_parity(self, parity_graph, parity_queries, monkeypatch):
+        """Force every binding table and result through the shared-memory
+        ship path and assert exact parity with the serial oracle."""
+        import repro.runtime.executors as executors_module
+
+        reference, _ = run_backend(parity_graph, parity_queries, "serial")
+        monkeypatch.setattr(executors_module, "_SHIP_THRESHOLD_ENTRIES", 1)
+        outputs, _ = run_backend(parity_graph, parity_queries, "process")
+        for serial_out, process_out in zip(reference, outputs):
+            assert process_out["rows"] == serial_out["rows"]
+            assert process_out["metrics"] == serial_out["metrics"]
+
+    def test_worker_error_does_not_leak_shipped_blocks(self):
+        """A failed sibling task must not strand successfully shipped blocks."""
+        from repro.runtime.executors import _collect_shipped
+
+        array = np.arange(40_000, dtype=np.int64)
+        segment, spec = publish_array(array)
+        segment.close()
+        outcomes = [("ok", (spec, None)), ("error", ValueError("worker died"))]
+        with pytest.raises(ValueError, match="worker died"):
+            _collect_shipped(outcomes)
+        with pytest.raises(FileNotFoundError):
+            leftover = shared_memory.SharedMemory(name=spec.name)
+            leftover.close()
+
+    def test_rebuild_cloud_round_trip(self, parity_graph):
+        cloud = MemoryCloud.from_graph(parity_graph, ClusterConfig(machine_count=3))
+        handle, registry = publish_cloud(cloud)
+        try:
+            rebuilt = rebuild_cloud(handle)
+            assert rebuilt.machine_count == cloud.machine_count
+            assert rebuilt.node_count == cloud.node_count
+            assert rebuilt.edge_count == cloud.edge_count
+            assert rebuilt.partition_sizes() == cloud.partition_sizes()
+            node_ids = parity_graph.node_id_array()[:100]
+            np.testing.assert_array_equal(
+                rebuilt.owners_of_array(node_ids), cloud.owners_of_array(node_ids)
+            )
+            label = parity_graph.label(int(node_ids[0]))
+            np.testing.assert_array_equal(
+                rebuilt.batch_has_label(node_ids, label, requester=0),
+                cloud.batch_has_label(node_ids, label, requester=0),
+            )
+        finally:
+            registry.close()
+
+
+class TestBackendSelection:
+    def test_suite_backend_reaches_default_matchers(
+        self, runtime_backend, parity_graph
+    ):
+        """The CI matrix knob (REPRO_EXECUTOR, surfaced by the conftest
+        fixture) must be the backend every default-constructed matcher
+        actually runs on."""
+        cloud = MemoryCloud.from_graph(parity_graph, ClusterConfig(machine_count=2))
+        with SubgraphMatcher(cloud) as matcher:
+            assert matcher.executor.name == runtime_backend
+        cloud.close()
+
+    def test_env_variable_resolution(self, monkeypatch):
+        monkeypatch.delenv(EXECUTOR_ENV_VAR, raising=False)
+        assert resolve_backend() == "serial"
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "process")
+        assert resolve_backend() == "process"
+        assert isinstance(create_executor(), ProcessExecutor)
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "warp-drive")
+        with pytest.raises(ConfigurationError):
+            resolve_backend()
+
+    def test_explicit_backend_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "process")
+        assert resolve_backend("thread") == "thread"
+        assert isinstance(create_executor("serial"), SerialExecutor)
+        assert isinstance(create_executor("thread"), ThreadExecutor)
+
+    def test_runtime_config_validation(self):
+        RuntimeConfig(backend="process", max_workers=2).validate()
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(backend="bogus").validate()
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(max_workers=0).validate()
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(start_method="teleport").validate()
+
+    def test_matcher_owns_only_created_executors(self, parity_graph):
+        cloud = MemoryCloud.from_graph(parity_graph, ClusterConfig(machine_count=2))
+        shared = SerialExecutor()
+        with SubgraphMatcher(cloud, executor=shared) as matcher:
+            assert matcher.executor is shared
+        # Closing the matcher must not have closed the shared executor; a
+        # serial executor has no resources, so just assert it still works.
+        assert shared.name == "serial"
+
+
+class TestThreadStagedStores:
+    @staticmethod
+    def staged_cloud():
+        """A cloud loaded via the legacy per-cell path: everything pending."""
+        from repro.workloads.datasets import tiny_example_graph
+
+        graph = tiny_example_graph()
+        reference = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=2))
+        cloud = MemoryCloud(ClusterConfig(machine_count=2))
+        cloud._assignment = reference._assignment
+        cloud._graph_node_count = graph.node_count
+        cloud._graph_edge_count = graph.edge_count
+        for node_id in graph.nodes():
+            cell = graph.cell(node_id)
+            cloud.machines[cloud.owner_of(node_id)].store_cell(
+                node_id, cell.label, cell.neighbors
+            )
+        return cloud
+
+    def test_flush_staged_merges_everything(self):
+        cloud = self.staged_cloud()
+        cloud.flush_staged()
+        assert sum(machine.node_count for machine in cloud.machines) == 6
+        for machine in cloud.machines:
+            assert not machine._pending
+            assert not machine.label_index._pending_ids
+
+    def test_thread_backend_matches_serial_on_staged_cloud(self):
+        """The thread fan-out's flush barrier makes a freshly staged cloud
+        (where the first reads would otherwise race the lazy CSR merges)
+        behave exactly like the serial oracle."""
+        from repro.query.query_graph import QueryGraph
+
+        query = QueryGraph({"qa": "a", "qb": "b"}, [("qa", "qb")])
+        serial = SubgraphMatcher(self.staged_cloud(), executor="serial").match(query)
+        threaded = SubgraphMatcher(self.staged_cloud(), executor="thread").match(query)
+        assert serial.match_count > 0
+        assert threaded.matches.rows == serial.matches.rows
+        assert threaded.metrics == serial.metrics
+
+
+class TestSharedMemoryHelpers:
+    def test_publish_attach_round_trip(self):
+        from repro.utils.shm import attach_array
+
+        array = np.arange(1000, dtype=np.int64).reshape(100, 10)
+        segment, spec = publish_array(array)
+        try:
+            attached, view = attach_array(spec)
+            np.testing.assert_array_equal(view, array)
+            assert not view.flags.writeable
+            attached.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_empty_array_publication(self):
+        from repro.utils.shm import attach_array
+
+        array = np.empty(0, dtype=np.int64)
+        segment, spec = publish_array(array)
+        try:
+            attached, view = attach_array(spec)
+            assert view.shape == (0,)
+            attached.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_registry_close_unlinks_everything(self):
+        registry = SegmentRegistry()
+        specs = [registry.publish(np.arange(10)) for _ in range(3)]
+        names = registry.segment_names()
+        assert len(names) == 3
+        registry.close()
+        assert registry.closed
+        registry.close()  # idempotent
+        for spec in specs:
+            with pytest.raises(FileNotFoundError):
+                segment = shared_memory.SharedMemory(name=spec.name)
+                segment.close()
+        with pytest.raises(RuntimeError):
+            registry.publish(np.arange(4))
