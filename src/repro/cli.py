@@ -17,6 +17,17 @@ Three subcommands cover the common workflows without writing Python:
 
       python -m repro experiment table2
       python -m repro experiment fig10d
+
+* ``serve`` — keep the graph resident and answer a stream of queries read
+  from stdin (blank-line-separated blocks in the textual format, or a line
+  naming a query file)::
+
+      python -m repro serve --graph /tmp/g --machines 4 --executor process
+
+* ``bench-serve`` — drive an always-on service from N concurrent clients
+  and report throughput and latency percentiles::
+
+      python -m repro bench-serve --graph /tmp/g --clients 8 --rounds 3
 """
 
 from __future__ import annotations
@@ -24,7 +35,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.bench import experiments, future_work
 from repro.bench.reporting import format_table
@@ -109,6 +120,59 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = subparsers.add_parser("experiment", help="run one paper experiment")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
 
+    serve = subparsers.add_parser(
+        "serve", help="answer a stream of stdin queries over a resident graph"
+    )
+    serve.add_argument("--graph", required=True, help="graph path prefix (from 'generate')")
+    serve.add_argument("--machines", type=int, default=4)
+    serve.add_argument(
+        "--limit",
+        type=int,
+        default=1024,
+        help="default per-query row budget (0 = unlimited)",
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, default=8, help="admission control: concurrent queries"
+    )
+    serve.add_argument(
+        "--max-row-budget",
+        type=int,
+        default=None,
+        help="admission control: reject queries asking for more rows",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_BACKENDS),
+        default=None,
+        help="cluster runtime backend (default: REPRO_EXECUTOR env or serial)",
+    )
+    serve.add_argument("--workers", type=int, default=None)
+    serve.add_argument("--show", type=int, default=3, help="matches to print per query")
+
+    bench_serve = subparsers.add_parser(
+        "bench-serve", help="benchmark the always-on service with concurrent clients"
+    )
+    bench_serve.add_argument(
+        "--graph", default=None, help="graph path prefix (default: a generated R-MAT graph)"
+    )
+    bench_serve.add_argument("--nodes", type=int, default=20_000, help="generated-graph size")
+    bench_serve.add_argument("--degree", type=float, default=8.0)
+    bench_serve.add_argument("--label-density", type=float, default=0.01)
+    bench_serve.add_argument("--machines", type=int, default=4)
+    bench_serve.add_argument("--clients", type=int, default=4)
+    bench_serve.add_argument("--queries", type=int, default=12, help="distinct queries in the mix")
+    bench_serve.add_argument("--query-nodes", type=int, default=4, help="query size (nodes)")
+    bench_serve.add_argument("--rounds", type=int, default=2, help="passes over the query mix")
+    bench_serve.add_argument("--limit", type=int, default=1024)
+    bench_serve.add_argument("--seed", type=int, default=1)
+    bench_serve.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_BACKENDS),
+        default=None,
+        help="cluster runtime backend (default: REPRO_EXECUTOR env or serial)",
+    )
+    bench_serve.add_argument("--workers", type=int, default=None)
+
     return parser
 
 
@@ -170,6 +234,120 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_query_blocks(stream) -> Iterator[str]:
+    """Yield blank-line-separated query blocks from ``stream``.
+
+    A one-line block naming an existing file loads the query text from that
+    file, so an interactive session can mix inline patterns and saved ones.
+    """
+    pending: List[str] = []
+    for raw_line in stream:
+        if raw_line.strip():
+            pending.append(raw_line)
+            continue
+        if pending:
+            yield "".join(pending)
+            pending = []
+    if pending:
+        yield "".join(pending)
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.query.parser import format_query
+    from repro.serve import QueryService, ServiceConfig
+
+    graph = load_graph(args.graph)
+    runtime = RuntimeConfig(backend=args.executor, max_workers=args.workers)
+    service_config = ServiceConfig(
+        max_in_flight=args.max_in_flight,
+        default_limit=args.limit if args.limit > 0 else None,
+        max_row_budget=args.max_row_budget,
+    )
+    with QueryService(
+        graph=graph,
+        cluster_config=ClusterConfig(machine_count=args.machines),
+        executor=runtime,
+        service_config=service_config,
+    ) as service:
+        print(
+            f"serving {graph.node_count} nodes / {graph.edge_count} edges on "
+            f"{args.machines} machines ({service.matcher.executor.name} executor); "
+            "enter node/edge lines, blank line to run, Ctrl-D to quit",
+            flush=True,
+        )
+        served = 0
+        for block in _read_query_blocks(sys.stdin):
+            stripped = block.strip()
+            if "\n" not in stripped and Path(stripped).is_file():
+                stripped = Path(stripped).read_text(encoding="utf-8")
+            try:
+                query = parse_query(stripped)
+                result = service.submit(query)
+            except Exception as exc:  # noqa: BLE001 - interactive loop survives bad input
+                print(f"error: {exc}", flush=True)
+                continue
+            served += 1
+            cache = "hit" if result.stats.plan_cache_hit else "miss"
+            print(
+                f"[{served}] {result.match_count} matches in "
+                f"{result.wall_seconds * 1000:.1f} ms (plan cache {cache}) for:\n"
+                + "\n".join(f"    {line}" for line in format_query(query).splitlines()),
+                flush=True,
+            )
+            for assignment in result.as_dicts()[: args.show]:
+                print("   ", assignment, flush=True)
+        stats = service.stats()
+        print(
+            f"served {stats.completed} queries ({stats.rows_returned} rows, "
+            f"{stats.plan_cache_hits} plan-cache hits / {stats.plan_cache_misses} misses)",
+            flush=True,
+        )
+    return 0
+
+
+def _command_bench_serve(args: argparse.Namespace) -> int:
+    from repro.query.generators import query_workload
+    from repro.serve import QueryService, ServiceConfig, run_concurrent_clients
+
+    if args.graph:
+        graph = load_graph(args.graph)
+    else:
+        graph = generate_rmat(
+            args.nodes, args.degree, args.label_density, seed=args.seed
+        )
+    queries = query_workload(
+        graph, args.queries, kind="dfs", node_count=args.query_nodes, seed=args.seed
+    )
+    runtime = RuntimeConfig(backend=args.executor, max_workers=args.workers)
+    with QueryService(
+        graph=graph,
+        cluster_config=ClusterConfig(machine_count=args.machines),
+        executor=runtime,
+        service_config=ServiceConfig(max_in_flight=max(args.clients, 1)),
+    ) as service:
+        service.warm(queries[0])
+        run = run_concurrent_clients(
+            service, queries, clients=args.clients, limit=args.limit, rounds=args.rounds
+        )
+        summary = run.summary()
+        stats = service.stats()
+    for error in run.errors:
+        print(f"error: {error}")
+    print(
+        f"{summary['queries']} queries from {args.clients} clients in "
+        f"{summary['wall_seconds']:.3f} s -> {summary['queries_per_second']:.1f} qps"
+    )
+    print(
+        f"latency p50 {summary['latency_p50_seconds'] * 1000:.2f} ms, "
+        f"p99 {summary['latency_p99_seconds'] * 1000:.2f} ms, "
+        f"max {summary['latency_max_seconds'] * 1000:.2f} ms"
+    )
+    print(
+        f"plan cache: {stats.plan_cache_hits} hits / {stats.plan_cache_misses} misses"
+    )
+    return 1 if run.errors else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro`` / the ``repro`` console script."""
     args = build_parser().parse_args(argv)
@@ -179,6 +357,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_query(args)
     if args.command == "experiment":
         return _command_experiment(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "bench-serve":
+        return _command_bench_serve(args)
     return 2  # pragma: no cover - argparse enforces the choices above
 
 

@@ -20,6 +20,7 @@ at query time (Section 5.3).
 from __future__ import annotations
 
 import copy
+import threading
 import time
 from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
@@ -75,6 +76,11 @@ class MemoryCloud:
         # Runtime resources (process pools, shared-memory publications)
         # registered against this cloud; close() tears them down.
         self._runtime_resources: List = []
+        # Metrics-scoped views (with_metrics) point back at the cloud they
+        # were cloned from; runtime publications and locked metric merges
+        # key on that owner, never on a short-lived view.
+        self._metrics_parent: "MemoryCloud | None" = None
+        self._metrics_lock = threading.Lock()
         # Bumped by every load_graph so runtime publications keyed on this
         # cloud can detect a reload and republish instead of serving the
         # previous graph's shared-memory state.
@@ -625,11 +631,38 @@ class MemoryCloud:
         the metrics sink differs.  The executors run each per-machine task
         against its own scoped view and merge the isolated counters back in
         machine-ID order, so concurrent backends aggregate to exactly the
-        serial model's metrics.
+        serial model's metrics.  The engine gives every *query* such a view
+        too, so overlapping queries never read each other's counters.
+
+        Views remember their owning cloud (:attr:`runtime_owner`): runtime
+        publications key on the owner, not on the view.
         """
         clone = copy.copy(self)
         clone.metrics = metrics
+        clone._metrics_parent = self.runtime_owner
         return clone
+
+    @property
+    def runtime_owner(self) -> "MemoryCloud":
+        """The long-lived cloud behind this instance.
+
+        For a metrics-scoped view this is the cloud it was cloned from; for
+        a regular cloud it is the cloud itself.  Process executors key their
+        shared-memory publication on this identity so that per-query views
+        of one resident cloud reuse one publication.
+        """
+        return self if self._metrics_parent is None else self._metrics_parent
+
+    def merge_metrics(self, metrics: CloudMetrics) -> None:
+        """Fold an isolated per-query metrics sink into the shared counters.
+
+        Serialized by a lock on the owning cloud: concurrent queries each
+        record into their own sink and merge exactly once, so the shared
+        totals stay consistent (``CloudMetrics.merge`` is not atomic).
+        """
+        owner = self.runtime_owner
+        with owner._metrics_lock:
+            owner.metrics.merge(metrics)
 
     def reset_metrics(self) -> None:
         """Zero the communication counters (between benchmark runs)."""
@@ -638,12 +671,17 @@ class MemoryCloud:
     def flush_staged(self) -> None:
         """Flush every machine's staged cell/index data into CSR arrays.
 
-        Concurrency-safety barrier for the thread executor: the lazy merges
-        reassign arrays non-atomically, so they must complete before
-        machines are read in parallel.
+        Concurrency-safety barrier for the thread executor and the query
+        service: the lazy merges reassign arrays non-atomically, so they
+        must complete before machines are read in parallel.  Serialized on
+        the owning cloud so overlapping queries cannot run two merges of the
+        same machine at once (the common case — nothing staged — only takes
+        an uncontended lock).
         """
-        for machine in self.machines:
-            machine.flush_staged()
+        owner = self.runtime_owner
+        with owner._metrics_lock:
+            for machine in self.machines:
+                machine.flush_staged()
 
     # -- runtime lifecycle ---------------------------------------------------
 

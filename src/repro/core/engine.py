@@ -32,7 +32,15 @@ from repro.runtime import Executor, ExecutorSpec, create_executor
 
 
 class SubgraphMatcher:
-    """Distributed, index-free subgraph matcher over a memory cloud."""
+    """Distributed, index-free subgraph matcher over a memory cloud.
+
+    ``match`` is safe to call from several threads at once on one matcher:
+    every query runs against its own metrics-scoped view of the cloud
+    (:meth:`MemoryCloud.with_metrics`), so overlapping queries never read —
+    or corrupt — each other's communication counters, and the per-query
+    isolated counters are folded into the shared cloud totals exactly once,
+    under the cloud's metrics lock.
+    """
 
     def __init__(
         self,
@@ -69,12 +77,18 @@ class SubgraphMatcher:
         """The runtime executor backing this matcher's fan-outs."""
         return self._executor
 
+    @property
+    def planner(self) -> QueryPlanner:
+        """The planner (and its plan cache) backing this matcher."""
+        return self._planner
+
     def close(self) -> None:
         """Release the matcher's runtime resources (pools, shared memory).
 
-        Only executors this matcher created are closed; a shared executor
-        passed in by the caller is left running.  ``MemoryCloud.close()``
-        also tears down any process executor that published against it.
+        Idempotent, and safe in any order relative to ``MemoryCloud.close()``
+        — both may end up closing the same process executor, whose teardown
+        tolerates repetition.  Only executors this matcher created are
+        closed; a shared executor passed in by the caller is left running.
         """
         if self._owns_executor:
             self._executor.close()
@@ -103,24 +117,34 @@ class SubgraphMatcher:
             (wall-clock time, simulated cluster time, communication counters).
         """
         result_limit = limit if limit is not None else self.config.result_limit
-        metrics_before = self.cloud.metrics.snapshot()
         stats = StageStats()
         started = time.perf_counter()
 
         plan_started = time.perf_counter()
-        plan = self._planner.plan(query)
+        plan, cache_hit = self._planner.plan_cached(query)
         stats.decomposition_seconds = time.perf_counter() - plan_started
         stats.stwig_count = len(plan.stwigs)
         stats.head_stwig_root = plan.head_stwig.root
+        stats.plan_cache_hit = cache_hit
+        cache_info = self._planner.plan_cache_info()
+        stats.plan_cache_hits = cache_info["hits"]
+        stats.plan_cache_misses = cache_info["misses"]
+
+        # Every query records into its own isolated sink: diffing snapshots
+        # of the *shared* counters would attribute an overlapping query's
+        # traffic to this one.  The isolated counters are folded into the
+        # shared totals exactly once, at the end, under the cloud's lock.
+        query_metrics = CloudMetrics()
+        scoped = self.cloud.with_metrics(query_metrics)
 
         explore_started = time.perf_counter()
-        exploration = explore(self.cloud, plan, executor=self._executor)
+        exploration = explore(scoped, plan, executor=self._executor)
         stats.exploration_seconds = time.perf_counter() - explore_started
         stats.stwig_result_rows = exploration.total_rows()
 
         join_started = time.perf_counter()
         join_outcome = assemble_results(
-            self.cloud, plan, exploration, result_limit, executor=self._executor
+            scoped, plan, exploration, result_limit, executor=self._executor
         )
         matches = join_outcome.table
         stats.join_seconds = time.perf_counter() - join_started
@@ -129,8 +153,12 @@ class SubgraphMatcher:
         stats.truncated = join_outcome.truncated
 
         wall_seconds = time.perf_counter() - started
-        metrics_delta = _metrics_delta(metrics_before, self.cloud.metrics.snapshot())
-        simulated = _simulated_seconds(metrics_delta, self.cloud) + wall_seconds
+        metrics_delta = query_metrics.snapshot()
+        simulated = (
+            query_metrics.simulated_total_seconds(self.cloud.config.network)
+            + wall_seconds
+        )
+        self.cloud.merge_metrics(query_metrics)
 
         return MatchResult(
             query_nodes=query.nodes(),
@@ -147,8 +175,19 @@ class SubgraphMatcher:
 
 
 def _metrics_delta(before: dict, after: dict) -> dict:
-    """Per-query communication counters (difference of snapshots)."""
-    return {key: after[key] - before.get(key, 0) for key in after}
+    """Difference of two counter snapshots, over the *union* of their keys.
+
+    A counter present only in ``before`` (e.g. a snapshot taken by an older
+    schema, or a sink that was reset and re-snapshotted) must surface as a
+    negative delta, not silently vanish; one present only in ``after``
+    reads as starting from zero.  The engine's per-query accounting no
+    longer diffs shared snapshots (each query gets an isolated sink), but
+    benchmarks and tools diffing recorded snapshots still rely on this.
+    """
+    return {
+        key: after.get(key, 0) - before.get(key, 0)
+        for key in before.keys() | after.keys()
+    }
 
 
 def _simulated_seconds(delta: dict, cloud: MemoryCloud) -> float:

@@ -3,10 +3,21 @@
 The :class:`QueryPlanner` runs on the query proxy (it never touches the data
 graph, only the cloud's load-time statistics) and produces a
 :class:`QueryPlan` that the distributed executor follows.
+
+Planning is deterministic for a fixed (query, config, loaded graph), so the
+planner memoizes plans in an LRU **plan cache** keyed by the query's
+canonical fingerprint (:func:`query_fingerprint`).  An always-on service
+answering a stream of recurring query shapes then pays the decomposition /
+ordering / cluster-graph cost once per shape instead of once per call.  The
+cache is thread-safe and invalidates itself when the cloud is reloaded
+(plans embed load sets and label statistics of a specific graph).
 """
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -58,6 +69,9 @@ class MatcherConfig:
         result_limit: stop after this many matches (the paper uses 1024 with
             pipelined joins); None = enumerate all matches.
         seed: seed for the tie-breaking / sampling RNG.
+        plan_cache_size: maximum number of memoized plans the planner keeps
+            (LRU eviction).  ``0`` disables the plan cache entirely; every
+            call re-derives the decomposition and join order from scratch.
     """
 
     use_order_selection: bool = True
@@ -71,6 +85,7 @@ class MatcherConfig:
     sample_size: int = 64
     result_limit: Optional[int] = None
     seed: Optional[int] = 7
+    plan_cache_size: int = 128
 
 
 @dataclass
@@ -108,8 +123,32 @@ class QueryPlan:
         return "\n".join(lines)
 
 
+def query_fingerprint(query: QueryGraph) -> str:
+    """Canonical fingerprint of a query's label/edge structure.
+
+    Two queries with the same node names, the same node -> label mapping,
+    and the same undirected edge set fingerprint identically regardless of
+    construction order (label-mapping insertion order, edge order, edge
+    direction — :class:`QueryGraph` already canonicalizes those).  Queries
+    that differ only by a renaming of their query nodes hash differently:
+    plans are expressed in terms of the node names (STwig roots and leaves,
+    result columns), so a name-insensitive cache would have to remap every
+    cached plan through a graph-isomorphism test per lookup.
+    """
+    labels = ";".join(f"{node}={label}" for node, label in sorted(query.labels().items()))
+    edges = ";".join(f"{u}-{v}" for u, v in query.edges())
+    digest = hashlib.blake2b(f"{labels}|{edges}".encode("utf-8"), digest_size=16)
+    return digest.hexdigest()
+
+
 class QueryPlanner:
-    """Builds :class:`QueryPlan` objects for a given memory cloud."""
+    """Builds :class:`QueryPlan` objects for a given memory cloud.
+
+    Plans are memoized in a thread-safe LRU cache keyed by
+    :func:`query_fingerprint` (size set by ``config.plan_cache_size``).
+    Cached plans are shared objects — treat them as immutable, exactly as
+    the engine and executors already do.
+    """
 
     def __init__(
         self,
@@ -130,9 +169,68 @@ class QueryPlanner:
         self.config = config or MatcherConfig()
         self.statistics = statistics
         self._label_frequencies = cloud.global_label_frequencies()
+        self._plan_cache: "OrderedDict[str, QueryPlan]" = OrderedDict()
+        self._plan_lock = threading.Lock()
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_generation = cloud.load_generation
+
+    # -- plan cache ----------------------------------------------------------
+
+    def plan_cache_info(self) -> Dict[str, int]:
+        """Snapshot of the plan cache counters: hits, misses, entries."""
+        with self._plan_lock:
+            return {
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "entries": len(self._plan_cache),
+            }
+
+    def _validate_generation(self) -> None:
+        """Drop cached plans (and refresh label statistics) after a reload.
+
+        Must be called with ``_plan_lock`` held.  A cached plan embeds load
+        sets and an ordering derived from one specific loaded graph; serving
+        it against a reloaded cloud would silently plan for the old graph.
+        """
+        generation = self.cloud.load_generation
+        if generation != self._cache_generation:
+            self._plan_cache.clear()
+            self._cache_generation = generation
+            self._label_frequencies = self.cloud.global_label_frequencies()
 
     def plan(self, query: QueryGraph) -> QueryPlan:
-        """Produce the decomposition, ordering, head choice, and load sets."""
+        """Produce (or fetch from cache) the plan for ``query``."""
+        return self.plan_cached(query)[0]
+
+    def plan_cached(self, query: QueryGraph) -> Tuple[QueryPlan, bool]:
+        """Like :meth:`plan`, additionally reporting whether the cache hit."""
+        if self.config.plan_cache_size <= 0:
+            with self._plan_lock:
+                self._validate_generation()
+                self._cache_misses += 1
+            return self._compute_plan(query), False
+        fingerprint = query_fingerprint(query)
+        with self._plan_lock:
+            self._validate_generation()
+            cached = self._plan_cache.get(fingerprint)
+            if cached is not None:
+                self._plan_cache.move_to_end(fingerprint)
+                self._cache_hits += 1
+                return cached, True
+        # Plan outside the lock: planning is pure computation, and holding
+        # the lock across it would serialize concurrent first-time queries.
+        plan = self._compute_plan(query)
+        with self._plan_lock:
+            self._cache_misses += 1
+            if self._cache_generation == self.cloud.load_generation:
+                self._plan_cache.setdefault(fingerprint, plan)
+                while len(self._plan_cache) > self.config.plan_cache_size:
+                    self._plan_cache.popitem(last=False)
+        return plan, False
+
+    def _compute_plan(self, query: QueryGraph) -> QueryPlan:
+        """Derive the decomposition, ordering, head choice, and load sets."""
         config = self.config
         if config.use_order_selection:
             stwigs = stwig_order_selection(

@@ -250,7 +250,13 @@ class MatchTable:
 
 @dataclass
 class StageStats:
-    """Per-stage accounting of one query execution."""
+    """Per-stage accounting of one query execution.
+
+    ``plan_cache_hit`` says whether *this* query's plan came out of the
+    planner's plan cache (its decomposition and join order were memoized by
+    query fingerprint); ``plan_cache_hits``/``plan_cache_misses`` are the
+    planner's cumulative counters as of the end of this query.
+    """
 
     decomposition_seconds: float = 0.0
     exploration_seconds: float = 0.0
@@ -259,6 +265,9 @@ class StageStats:
     stwig_result_rows: int = 0
     head_stwig_root: str | None = None
     truncated: bool = False
+    plan_cache_hit: bool = False
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
 
 @dataclass

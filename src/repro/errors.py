@@ -60,3 +60,11 @@ class PartitionError(CloudError):
 
 class ConfigurationError(ReproError):
     """Raised for invalid cluster or engine configuration."""
+
+
+class ServiceError(ReproError):
+    """Raised for query-service lifecycle failures (closed, drain timeout)."""
+
+
+class AdmissionError(ServiceError):
+    """Raised when the query service's admission control rejects a query."""

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import weakref
 from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
@@ -261,20 +262,24 @@ class ThreadExecutor(Executor):
         self._max_workers = max_workers
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_workers = 0
+        self._lock = threading.Lock()
 
     def _ensure_pool(self, machine_count: int) -> ThreadPoolExecutor:
-        wanted = _pool_size(self._max_workers, machine_count)
-        if self._pool is not None and wanted > self._pool_workers:
-            # A later cloud has more machines than the pool was sized for
-            # (shared executors outlive their first cloud): resize up.
-            self._pool.shutdown(wait=True)
-            self._pool = None
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=wanted, thread_name_prefix="repro-runtime"
-            )
-            self._pool_workers = wanted
-        return self._pool
+        # Serialized: the query service submits fan-outs from many threads,
+        # and two of them must not both decide to (re)build the pool.
+        with self._lock:
+            wanted = _pool_size(self._max_workers, machine_count)
+            if self._pool is not None and wanted > self._pool_workers:
+                # A later cloud has more machines than the pool was sized for
+                # (shared executors outlive their first cloud): resize up.
+                self._pool.shutdown(wait=True)
+                self._pool = None
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=wanted, thread_name_prefix="repro-runtime"
+                )
+                self._pool_workers = wanted
+            return self._pool
 
     def map_explore(self, cloud, stwig, query, bindings, stage_roots):
         pool = self._ensure_pool(cloud.machine_count)
@@ -322,9 +327,10 @@ class ThreadExecutor(Executor):
         return _merge_ordered(cloud, outcomes)
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
 
 
 # -- process backend ---------------------------------------------------------
@@ -423,54 +429,84 @@ class ProcessExecutor(Executor):
         self._max_workers = max_workers
         self._start_method = start_method
         self._state = _ProcessState()
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._inflight = 0
         self._finalizer = weakref.finalize(self, _ProcessState.teardown, self._state)
 
+    @contextmanager
+    def _inflight_map(self):
+        """Track an in-flight fan-out so close() drains before teardown.
+
+        ``Pool.terminate()`` under an outstanding ``Pool.map`` leaves the
+        mapping thread blocked forever (its result never arrives), so a
+        concurrent close must wait for in-flight fan-outs to complete
+        before tearing the pool down.
+        """
+        with self._idle:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._idle:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.notify_all()
+
     def _ensure_pool(self, cloud: MemoryCloud):
+        # Key the publication on the *owning* cloud, never on the per-query
+        # metrics view the engine hands the fan-outs: one resident cloud is
+        # published once, no matter how many concurrent queries it serves.
+        owner = cloud.runtime_owner
         state = self._state
-        if state.pool is not None:
-            if (
-                state.cloud_ref() is cloud
-                and state.load_generation == cloud.load_generation
-            ):
-                return state.pool
-            # A different cloud — or the same cloud reloaded with a new
-            # graph: republish and restart the workers (their cached
-            # rebuild views the old segments).  A previous *other* cloud
-            # must forget this executor, or closing it later would tear
-            # down the new cloud's live pool and segments.
-            previous = state.cloud_ref()
-            state.teardown()
-            if previous is not None and previous is not cloud:
-                previous.deregister_runtime_resource(self)
-        handle, registry = publish_cloud(cloud)
-        state.registry = registry
-        state.cloud_ref = weakref.ref(cloud)
-        state.load_generation = cloud.load_generation
-        context = multiprocessing.get_context(self._start_method)
-        state.pool = context.Pool(
-            processes=_pool_size(self._max_workers, cloud.machine_count),
-            initializer=_worker_initialize,
-            initargs=(handle,),
-        )
-        # The cloud tears this executor down (pool + segment unlink) on
-        # close(), which is what the shared-memory leak check exercises.
-        cloud.register_runtime_resource(self)
-        return state.pool
+        # Serialized: concurrent queries from the service must not race the
+        # publish/pool construction (or double-publish the graph).
+        with self._lock:
+            if state.pool is not None:
+                if (
+                    state.cloud_ref() is owner
+                    and state.load_generation == owner.load_generation
+                ):
+                    return state.pool
+                # A different cloud — or the same cloud reloaded with a new
+                # graph: republish and restart the workers (their cached
+                # rebuild views the old segments).  A previous *other* cloud
+                # must forget this executor, or closing it later would tear
+                # down the new cloud's live pool and segments.
+                previous = state.cloud_ref()
+                state.teardown()
+                if previous is not None and previous is not owner:
+                    previous.deregister_runtime_resource(self)
+            handle, registry = publish_cloud(owner)
+            state.registry = registry
+            state.cloud_ref = weakref.ref(owner)
+            state.load_generation = owner.load_generation
+            context = multiprocessing.get_context(self._start_method)
+            state.pool = context.Pool(
+                processes=_pool_size(self._max_workers, owner.machine_count),
+                initializer=_worker_initialize,
+                initargs=(handle,),
+            )
+            # The cloud tears this executor down (pool + segment unlink) on
+            # close(), which is what the shared-memory leak check exercises.
+            owner.register_runtime_resource(self)
+            return state.pool
 
     def map_explore(self, cloud, stwig, query, bindings, stage_roots):
-        pool = self._ensure_pool(cloud)
-        shipped_bindings, bindings_registry = _ship_bindings(bindings, query)
-        try:
-            payloads = [
-                (machine_id, stwig, query, shipped_bindings, stage_roots[machine_id])
-                for machine_id in range(cloud.machine_count)
-            ]
-            received = _collect_shipped(
-                pool.map(_worker_explore, payloads, chunksize=1)
-            )
-        finally:
-            if bindings_registry is not None:
-                bindings_registry.close()
+        with self._inflight_map():
+            pool = self._ensure_pool(cloud)
+            shipped_bindings, bindings_registry = _ship_bindings(bindings, query)
+            try:
+                payloads = [
+                    (machine_id, stwig, query, shipped_bindings, stage_roots[machine_id])
+                    for machine_id in range(cloud.machine_count)
+                ]
+                received = _collect_shipped(
+                    pool.map(_worker_explore, payloads, chunksize=1)
+                )
+            finally:
+                if bindings_registry is not None:
+                    bindings_registry.close()
         outcomes = [
             (MatchTable.from_array(stwig.nodes, array), metrics)
             for array, metrics in received
@@ -478,21 +514,22 @@ class ProcessExecutor(Executor):
         return _merge_ordered(cloud, outcomes)
 
     def map_join(self, cloud, plan, tables, bindings):
-        pool = self._ensure_pool(cloud)
-        handle, registry = publish_tables(tables)
-        shipped_bindings, bindings_registry = _ship_bindings(bindings, plan.query)
-        try:
-            payloads = [
-                (machine_id, plan, handle, shipped_bindings)
-                for machine_id in range(cloud.machine_count)
-            ]
-            outcomes = _collect_shipped(
-                pool.map(_worker_join, payloads, chunksize=1)
-            )
-        finally:
-            registry.close()
-            if bindings_registry is not None:
-                bindings_registry.close()
+        with self._inflight_map():
+            pool = self._ensure_pool(cloud)
+            handle, registry = publish_tables(tables)
+            shipped_bindings, bindings_registry = _ship_bindings(bindings, plan.query)
+            try:
+                payloads = [
+                    (machine_id, plan, handle, shipped_bindings)
+                    for machine_id in range(cloud.machine_count)
+                ]
+                outcomes = _collect_shipped(
+                    pool.map(_worker_join, payloads, chunksize=1)
+                )
+            finally:
+                registry.close()
+                if bindings_registry is not None:
+                    bindings_registry.close()
         return _merge_ordered(cloud, outcomes)
 
     def published_segment_names(self) -> List[str]:
@@ -505,8 +542,15 @@ class ProcessExecutor(Executor):
         # Tear down directly (idempotent) rather than through the one-shot
         # finalizer: an executor reused after close() rebuilds its pool and
         # publication, and those must be closeable again.  The finalizer
-        # stays armed as the GC/interpreter-exit backstop.
-        self._state.teardown()
+        # stays armed as the GC/interpreter-exit backstop.  The lock orders
+        # close() against a concurrent _ensure_pool, and the in-flight drain
+        # orders it against concurrent fan-outs, so matcher.close() and
+        # MemoryCloud.close() can run in any order (or twice) safely even
+        # while queries are executing.
+        with self._idle:
+            while self._inflight:
+                self._idle.wait()
+            self._state.teardown()
 
 
 #: Backend name -> executor class.

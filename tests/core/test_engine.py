@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.cloud.cluster import MemoryCloud
 from repro.cloud.config import ClusterConfig
-from repro.core.engine import SubgraphMatcher
+from repro.core.engine import SubgraphMatcher, _metrics_delta
 from repro.core.planner import MatcherConfig
+from repro.query.generators import dfs_query
 from repro.query.query_graph import QueryGraph
 from repro.workloads.datasets import paper_figure5_graph, tiny_example_graph
 
@@ -95,6 +98,121 @@ class TestResultMetadata:
         plan = matcher.explain(query)
         assert len(plan.stwigs) >= 1
         assert "STwig plan" in plan.describe()
+
+    def test_metrics_accumulate_on_shared_cloud(self, matcher, query):
+        # Per-query isolation must not lose the cluster-wide totals: two
+        # queries' merged counters equal the sum of their deltas.
+        first = matcher.match(query)
+        second = matcher.match(query)
+        totals = matcher.cloud.metrics.snapshot()
+        for key in ("local_loads", "index_lookups", "messages"):
+            assert totals[key] == first.metrics[key] + second.metrics[key]
+
+
+class TestMetricsIsolation:
+    """Regression: overlapping queries must report solo-run counters.
+
+    The old implementation diffed before/after snapshots of the *shared*
+    cloud metrics, so any query overlapping the window absorbed the other's
+    traffic into its delta.  Two interleaved queries — each holding a
+    barrier open while the other runs — must now report exactly the
+    counters of their solo runs.
+    """
+
+    @pytest.fixture
+    def interleave_setup(self):
+        graph = paper_figure5_graph()
+        cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=3))
+        queries = [dfs_query(graph, 4, seed=seed) for seed in (2, 9)]
+        yield cloud, queries
+        cloud.close()
+
+    def test_interleaved_queries_report_solo_counters(self, interleave_setup):
+        cloud, queries = interleave_setup
+        matcher = SubgraphMatcher(cloud)
+        solo = [matcher.match(query) for query in queries]
+
+        barrier = threading.Barrier(len(queries))
+        outputs = [None] * len(queries)
+        errors = []
+
+        def client(index: int) -> None:
+            try:
+                barrier.wait(timeout=5)
+                outputs[index] = matcher.match(queries[index])
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(len(queries))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        for result, reference in zip(outputs, solo):
+            assert result.metrics == reference.metrics
+            assert result.matches.rows == reference.matches.rows
+
+    def test_many_overlapping_queries_sum_to_total(self, interleave_setup):
+        cloud, queries = interleave_setup
+        matcher = SubgraphMatcher(cloud)
+        solo_metrics = [matcher.match(query).metrics for query in queries]
+        before = cloud.metrics.snapshot()
+
+        rounds = 4
+        barrier = threading.Barrier(len(queries) * rounds)
+        collected = []
+        lock = threading.Lock()
+
+        def client(index: int) -> None:
+            barrier.wait(timeout=5)
+            result = matcher.match(queries[index])
+            with lock:
+                collected.append((index, result.metrics))
+
+        threads = [
+            threading.Thread(target=client, args=(i % len(queries),))
+            for i in range(len(queries) * rounds)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(collected) == len(queries) * rounds
+        # Every concurrent delta equals its solo run...
+        for index, metrics in collected:
+            assert metrics == solo_metrics[index]
+        # ...and the shared totals grew by exactly the sum of the deltas
+        # (the locked merge lost nothing to racing read-modify-writes).
+        after = cloud.metrics.snapshot()
+        for key in ("local_loads", "remote_loads", "index_lookups", "messages"):
+            grown = after[key] - before[key]
+            expected = sum(metrics[key] for _, metrics in collected)
+            assert grown == expected, key
+
+
+class TestMetricsDelta:
+    def test_union_of_keys(self):
+        # Regression: keys present only in `before` used to vanish from the
+        # delta (the dict comprehension iterated `after` alone).
+        before = {"messages": 5, "gone": 2}
+        after = {"messages": 9, "new": 3}
+        delta = _metrics_delta(before, after)
+        assert delta == {"messages": 4, "gone": -2, "new": 3}
+
+    def test_identical_snapshots_zero(self):
+        snapshot = {"messages": 1, "bytes_transferred": 10}
+        assert _metrics_delta(snapshot, dict(snapshot)) == {
+            "messages": 0,
+            "bytes_transferred": 0,
+        }
+
+    def test_empty_snapshots(self):
+        assert _metrics_delta({}, {}) == {}
+        assert _metrics_delta({}, {"messages": 2}) == {"messages": 2}
+        assert _metrics_delta({"messages": 2}, {}) == {"messages": -2}
 
 
 class TestConfigurationVariants:

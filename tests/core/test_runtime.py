@@ -156,6 +156,100 @@ class TestProcessRuntimeLifecycle:
                 segment.close()
         cloud.close()
 
+    def test_matcher_and_cloud_close_any_order_any_number_of_times(
+        self, parity_graph, parity_queries
+    ):
+        """Teardown is idempotent and order-independent, with no segment leak.
+
+        The service layer closes the matcher before the cloud; ad-hoc users
+        (and __exit__ stacks) do it the other way around, and error paths
+        may do either twice.  Every interleaving must unlink all published
+        segments exactly once and tolerate repetition.
+        """
+        for close_matcher_first in (True, False):
+            cloud = MemoryCloud.from_graph(parity_graph, ClusterConfig(machine_count=4))
+            matcher = SubgraphMatcher(
+                cloud, MatcherConfig(), executor=ProcessExecutor(max_workers=1)
+            )
+            matcher._owns_executor = True  # owned, so matcher.close() closes it
+            matcher.match(parity_queries[0], limit=5)
+            names = matcher.executor.published_segment_names()
+            assert names
+            first, second = (
+                (matcher.close, cloud.close)
+                if close_matcher_first
+                else (cloud.close, matcher.close)
+            )
+            first()
+            first()  # double-close before the peer closes
+            second()
+            second()
+            first()  # ...and after
+            assert matcher.executor.published_segment_names() == []
+            for name in names:
+                with pytest.raises(FileNotFoundError):
+                    segment = shared_memory.SharedMemory(name=name)
+                    segment.close()
+
+    def test_close_while_queries_in_flight_never_deadlocks(
+        self, parity_graph, parity_queries
+    ):
+        """Teardown racing in-flight queries must never hang or corrupt.
+
+        Queries overlapping ``close()`` may complete normally or fail with
+        a library error (the executor is allowed to refuse work mid-
+        teardown), but they must not deadlock, and queries that do complete
+        must return correct rows.  The repeated double-closes exercise the
+        idempotence under contention.
+        """
+        import threading
+
+        expected = None
+        cloud = MemoryCloud.from_graph(parity_graph, ClusterConfig(machine_count=4))
+        with SubgraphMatcher(cloud, MatcherConfig(), executor="serial") as oracle:
+            expected = oracle.match(parity_queries[0], limit=20).matches.rows
+        cloud.close()
+
+        cloud = MemoryCloud.from_graph(parity_graph, ClusterConfig(machine_count=4))
+        matcher = SubgraphMatcher(
+            cloud, MatcherConfig(), executor=ProcessExecutor(max_workers=1)
+        )
+        matcher._owns_executor = True
+        matcher.match(parity_queries[0], limit=5)  # provision pool + shm
+        started = threading.Barrier(3)
+        outcomes = []
+        lock = threading.Lock()
+
+        def client() -> None:
+            started.wait(timeout=5)
+            try:
+                result = matcher.match(parity_queries[0], limit=20)
+                with lock:
+                    outcomes.append(("ok", result.matches.rows))
+            except Exception as exc:  # noqa: BLE001 - recorded for the assert
+                with lock:
+                    outcomes.append(("error", exc))
+
+        workers = [threading.Thread(target=client) for _ in range(2)]
+        for worker in workers:
+            worker.start()
+        started.wait(timeout=5)
+        matcher.close()  # drains the in-flight fan-out, then tears down
+        cloud.close()
+        for worker in workers:
+            worker.join(timeout=60)
+            assert not worker.is_alive(), "query deadlocked against teardown"
+        assert len(outcomes) == 2
+        for kind, payload in outcomes:
+            if kind == "ok":
+                assert payload == expected
+        # A query mid-flight when close() hit may have rebuilt the pool for
+        # its next stage (reuse-after-close semantics); the final close must
+        # still leave no segment behind.
+        matcher.close()
+        cloud.close()
+        assert matcher.executor.published_segment_names() == []
+
     def test_shared_executor_switching_clouds_reregisters(
         self, parity_graph, parity_queries
     ):

@@ -79,3 +79,64 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "experiment: table2" in output
         assert "nodes" in output
+
+
+class TestServeCommands:
+    @pytest.fixture
+    def graph_prefix(self, tmp_path):
+        prefix = tmp_path / "graph"
+        assert main(
+            [
+                "generate", "--kind", "gnm", "--nodes", "200", "--edges", "500",
+                "--seed", "3", "--out", str(prefix),
+            ]
+        ) == 0
+        return prefix
+
+    def test_serve_answers_stdin_stream(self, graph_prefix, tmp_path, capsys, monkeypatch):
+        import io
+
+        query_file = tmp_path / "saved.q"
+        query_file.write_text("node u L0\nnode v L1\nedge u v\n", encoding="utf-8")
+        # Two inline queries (the second repeats the first's fingerprint),
+        # one from a file, and one malformed block the loop must survive.
+        stdin = (
+            "node a L0\nnode b L1\nedge a b\n"
+            "\n"
+            "node a L0\nnode b L1\nedge a b\n"
+            "\n"
+            f"{query_file}\n"
+            "\n"
+            "node broken\n"
+            "\n"
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(stdin))
+        assert main(
+            ["serve", "--graph", str(graph_prefix), "--machines", "2", "--show", "1"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "serving 200 nodes" in output
+        assert "plan cache miss" in output
+        assert "plan cache hit" in output  # the repeated fingerprint
+        assert "error:" in output  # the malformed block, survived
+        assert "served 3 queries" in output
+        assert "2 misses" in output  # inline shape + file shape
+
+    def test_bench_serve_reports_throughput(self, capsys):
+        assert main(
+            [
+                "bench-serve", "--nodes", "1500", "--machines", "2",
+                "--clients", "4", "--queries", "4", "--rounds", "2",
+                "--query-nodes", "3", "--limit", "50",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "qps" in output
+        assert "latency p50" in output
+        assert "plan cache:" in output
+
+    def test_bench_serve_parser_defaults(self):
+        args = build_parser().parse_args(["bench-serve"])
+        assert args.clients == 4
+        assert args.rounds == 2
+        assert args.graph is None
