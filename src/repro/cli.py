@@ -290,7 +290,9 @@ def _command_serve(args: argparse.Namespace) -> int:
             cache = "hit" if result.stats.plan_cache_hit else "miss"
             print(
                 f"[{served}] {result.match_count} matches in "
-                f"{result.wall_seconds * 1000:.1f} ms (plan cache {cache}) for:\n"
+                f"{result.wall_seconds * 1000:.1f} ms (plan cache {cache}, "
+                f"{result.stats.join_rows_materialized} join rows materialized, "
+                f"peak {result.stats.join_peak_intermediate_rows}) for:\n"
                 + "\n".join(f"    {line}" for line in format_query(query).splitlines()),
                 flush=True,
             )
@@ -299,6 +301,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         stats = service.stats()
         print(
             f"served {stats.completed} queries ({stats.rows_returned} rows, "
+            f"{stats.join_rows_materialized} join rows materialized, "
             f"{stats.plan_cache_hits} plan-cache hits / {stats.plan_cache_misses} misses)",
             flush=True,
         )

@@ -30,6 +30,8 @@ class CloudMetrics:
     bytes_transferred: int = 0
     result_rows_shipped: int = 0
     result_rows_filtered: int = 0
+    join_rows_materialized: int = 0
+    join_peak_intermediate_rows: int = 0
     per_pair_messages: Dict[Tuple[int, int], int] = field(
         default_factory=lambda: defaultdict(int)
     )
@@ -115,6 +117,20 @@ class CloudMetrics:
             return
         self.result_rows_filtered += rows
 
+    def record_join_materialization(self, rows: int, peak: int) -> None:
+        """Record one machine's join-phase materialization counters.
+
+        ``rows`` is the total row count assembled into join buffers
+        (intermediate and final-stage chunks, pre-injectivity-filter);
+        ``peak`` is that machine's largest single materialization.  The
+        streaming budgeted join keeps both O(limit + chunk) on limited
+        queries — these counters are what make the claim observable.
+        """
+        if rows > 0:
+            self.join_rows_materialized += rows
+        if peak > self.join_peak_intermediate_rows:
+            self.join_peak_intermediate_rows = peak
+
     def _record_message(self, sender: int, receiver: int, size_bytes: int) -> None:
         self._record_messages(sender, receiver, 1, size_bytes)
 
@@ -138,6 +154,11 @@ class CloudMetrics:
         self.bytes_transferred += other.bytes_transferred
         self.result_rows_shipped += other.result_rows_shipped
         self.result_rows_filtered += other.result_rows_filtered
+        self.join_rows_materialized += other.join_rows_materialized
+        # Peaks aggregate by max, not sum: the query's peak is the largest
+        # single materialization any machine performed.
+        if other.join_peak_intermediate_rows > self.join_peak_intermediate_rows:
+            self.join_peak_intermediate_rows = other.join_peak_intermediate_rows
         for pair, count in other.per_pair_messages.items():
             self.per_pair_messages[pair] += count
 
@@ -172,6 +193,8 @@ class CloudMetrics:
             "bytes_transferred": self.bytes_transferred,
             "result_rows_shipped": self.result_rows_shipped,
             "result_rows_filtered": self.result_rows_filtered,
+            "join_rows_materialized": self.join_rows_materialized,
+            "join_peak_intermediate_rows": self.join_peak_intermediate_rows,
         }
 
     def reset(self) -> None:
@@ -185,4 +208,6 @@ class CloudMetrics:
         self.bytes_transferred = 0
         self.result_rows_shipped = 0
         self.result_rows_filtered = 0
+        self.join_rows_materialized = 0
+        self.join_peak_intermediate_rows = 0
         self.per_pair_messages.clear()

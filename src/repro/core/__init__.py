@@ -3,7 +3,15 @@
 from repro.core.bindings import BindingTable
 from repro.core.decomposition import naive_stwig_cover, stwig_order_selection
 from repro.core.engine import SubgraphMatcher
-from repro.core.join import hash_join, multiway_join, select_join_order
+from repro.core.join import (
+    CooperativeJoinBudget,
+    JoinBudget,
+    JoinCounters,
+    LocalJoinBudget,
+    hash_join,
+    multiway_join,
+    select_join_order,
+)
 from repro.core.matcher import match_stwig
 from repro.core.planner import MatcherConfig, QueryPlan, QueryPlanner
 from repro.core.result import MatchResult, MatchTable, StageStats
@@ -21,6 +29,10 @@ __all__ = [
     "hash_join",
     "multiway_join",
     "select_join_order",
+    "JoinBudget",
+    "JoinCounters",
+    "LocalJoinBudget",
+    "CooperativeJoinBudget",
     "MatchTable",
     "MatchResult",
     "StageStats",

@@ -37,7 +37,13 @@ import numpy as np
 
 from repro.cloud.cluster import MemoryCloud
 from repro.core.exploration import ExplorationOutcome, ExplorationTables
-from repro.core.join import multiway_join
+from repro.core.join import (
+    CooperativeJoinBudget,
+    JoinBudget,
+    JoinCounters,
+    LocalJoinBudget,
+    multiway_join,
+)
 from repro.core.planner import QueryPlan
 from repro.core.result import MatchTable
 from repro.graph.labeled_graph import NODE_DTYPE
@@ -75,12 +81,12 @@ def assemble_results(
         exploration: per-machine STwig tables from the exploration phase.
         result_limit: stop once this many global matches are assembled.
         executor: optional :class:`~repro.runtime.Executor` running the
-            per-machine gather+join fan-out concurrently.  Unlimited
-            queries route through it; limited queries always run the
-            sequential loop below (on every backend) because the remaining
-            row budget of machine ``k+1`` depends on machine ``k``'s
-            output — early exit is part of the execution model, and running
-            cut-off machines anyway would change the metrics.
+            per-machine gather+join fan-out concurrently.  Limited queries
+            dispatch through it too: every machine joins against its own
+            machine-ordered :class:`CooperativeJoinBudget` view of the
+            shared budget, which keeps the concatenated rows an exact
+            prefix of the unlimited result on every backend (lower machine
+            IDs are never starved of budget by higher ones).
 
     Returns:
         A :class:`JoinOutcome` whose table has the query nodes in sorted
@@ -102,29 +108,38 @@ def assemble_results(
     # same joins it would have anyway and comes back un-truncated.
     probe_limit = None if result_limit is None else result_limit + 1
 
-    if executor is not None and probe_limit is None:
-        for rows in executor.map_join(cloud, plan, exploration.tables, bindings):
-            if len(rows):
-                final.add_rows(rows)
-        return JoinOutcome(final, False)
-
-    filtered_cache: FilteredTables = {}
-    for machine_id in range(cloud.machine_count):
-        remaining = None if probe_limit is None else probe_limit - final.row_count
-        if remaining is not None and remaining <= 0:
-            break
-        rows = machine_result_rows(
-            cloud,
-            plan,
-            exploration.tables,
-            machine_id,
-            bindings,
-            remaining=remaining,
-            filtered_cache=filtered_cache,
+    if executor is not None:
+        row_blocks = executor.map_join(
+            cloud, plan, exploration.tables, bindings, row_limit=probe_limit
         )
+    else:
+        # Executor-less fallback: the sequential loop *is* the serial
+        # schedule of the cooperative budget — machine k's view telescopes
+        # to exactly the historical "remaining" countdown, including the
+        # early exit before any gather work once the budget fills.
+        slots = [0] * cloud.machine_count
+        filtered_cache: FilteredTables = {}
+        row_blocks = [
+            machine_result_rows(
+                cloud,
+                plan,
+                exploration.tables,
+                machine_id,
+                bindings,
+                budget=CooperativeJoinBudget(slots, machine_id, probe_limit),
+                filtered_cache=filtered_cache,
+            )
+            for machine_id in range(cloud.machine_count)
+        ]
+
+    for rows in row_blocks:
         if len(rows):
             final.add_rows(rows)
 
+    # Under a parallel schedule machines may overshoot the shared budget
+    # slightly (each saw a stale lower bound of the others' production);
+    # the machine-ordered concatenation is still an exact prefix, so one
+    # final truncate restores the precise limit.
     truncated = result_limit is not None and final.row_count > result_limit
     if truncated:
         final.truncate(result_limit)
@@ -139,6 +154,7 @@ def machine_result_rows(
     bindings,
     remaining: Optional[int] = None,
     filtered_cache: Optional[FilteredTables] = None,
+    budget: Optional[JoinBudget] = None,
 ) -> np.ndarray:
     """One machine's share of the answer, as final-column-ordered rows.
 
@@ -150,6 +166,12 @@ def machine_result_rows(
     transfers, sender-side filter counts — is structurally identical across
     backends.
 
+    ``budget`` is this machine's view of the (possibly shared) join budget;
+    the plain ``remaining`` countdown is kept as a convenience spelling for
+    direct callers.  A budget that is already exhausted on entry skips the
+    gather entirely — no transfers, no metrics — exactly like the
+    historical sequential early exit.
+
     ``filtered_cache`` may be shared across machines when calls run
     sequentially (each source table is binding-filtered once); concurrent
     callers pass per-task caches and recompute, which changes wall-clock
@@ -158,6 +180,10 @@ def machine_result_rows(
     query = plan.query
     config = plan.config
     final_columns = query.nodes()
+    if budget is None:
+        budget = LocalJoinBudget(remaining)
+    if budget.exhausted():
+        return np.empty((0, len(final_columns)), dtype=NODE_DTYPE)
     if filtered_cache is None:
         filtered_cache = {}
     machine_tables = _gather_machine_tables(
@@ -167,18 +193,23 @@ def machine_result_rows(
         # An empty R_k(q_t) (in particular an empty local head table)
         # makes the whole join empty: this machine contributes nothing.
         return np.empty((0, len(final_columns)), dtype=NODE_DTYPE)
+    counters = JoinCounters()
     joined = multiway_join(
         machine_tables,
-        row_limit=remaining,
         block_size=config.block_size,
         sample_size=config.sample_size,
         rng=config.seed,
+        budget=budget,
+        counters=counters,
+    )
+    cloud.metrics.record_join_materialization(
+        counters.rows_materialized, counters.peak_intermediate_rows
     )
     if joined.row_count == 0:
         return np.empty((0, len(final_columns)), dtype=NODE_DTYPE)
-    normalized = joined.reorder(final_columns)
-    take = normalized.row_count if remaining is None else min(normalized.row_count, remaining)
-    return normalized.to_array()[:take]
+    # The budget already clipped production row by row; reordering columns
+    # never changes the row count.
+    return joined.reorder(final_columns).to_array()
 
 
 def _filter_by_bindings(table: MatchTable, bindings) -> MatchTable:

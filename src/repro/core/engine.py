@@ -151,6 +151,8 @@ class SubgraphMatcher:
         # Truncation is what the join phase observed, not an after-the-fact
         # row-count comparison: exactly `limit` matches is not truncated.
         stats.truncated = join_outcome.truncated
+        stats.join_rows_materialized = query_metrics.join_rows_materialized
+        stats.join_peak_intermediate_rows = query_metrics.join_peak_intermediate_rows
 
         wall_seconds = time.perf_counter() - started
         metrics_delta = query_metrics.snapshot()

@@ -18,12 +18,22 @@ this module assembles them into full matches:
   estimate is sample-based (:func:`estimate_join_size`) once tables
   outgrow ``sample_size`` and a cheap analytic distinct-value formula on
   small tables.
-* :func:`multiway_join` — block-based pipelined multi-way join: the leading
-  table is processed in blocks so partial results stream out before the full
-  join completes, and execution can stop early at a result limit (the paper
-  stops at 1024 matches).  The remaining row budget is pushed down into the
-  final join stage of each block, so a limited query never materializes a
-  full block join just to throw most of it away.
+* :func:`multiway_join` — streaming budgeted multi-way join: the leading
+  table is processed in head blocks, and every block is pushed through *all*
+  its join stages before the next block is touched.  One
+  :class:`JoinBudget` threads the remaining row budget end to end: every
+  stage — not just the final one — expands only the prefix of its probe
+  rows whose match pairs the downstream budget can still consume (chunked
+  via the O(probe) :func:`_match_runs` metadata), and execution stops the
+  instant the budget fills (the paper stops at 1024 matches).  A limited
+  query therefore materializes O(limit + chunk) intermediate rows per
+  stage, not O(total matches); :class:`JoinCounters` makes that claim
+  observable.  Stage joins always probe with the flowing partial (build on
+  the stage table), so output rows appear in nested head-row-major order
+  and any budget cut is an exact row prefix of the unlimited join — the
+  invariant that keeps limits, block pipelining, and cooperative
+  multi-machine budgets (see :class:`CooperativeJoinBudget`) row-for-row
+  deterministic.
 """
 
 from __future__ import annotations
@@ -43,6 +53,113 @@ DEFAULT_SAMPLE_SIZE = 64
 
 #: Default block size for the pipelined join.
 DEFAULT_BLOCK_SIZE = 1024
+
+
+class JoinCounters:
+    """Materialization accounting for one multi-way join.
+
+    ``rows_materialized`` sums every row physically assembled into an
+    intermediate (or final-stage) buffer, before the injectivity filter;
+    ``peak_intermediate_rows`` is the largest single materialization.  An
+    unlimited join's peak is its biggest stage expansion — O(matches) on a
+    join-heavy workload — while a budgeted streaming join's peak stays
+    O(limit + chunk), which is exactly the claim these counters expose.
+    """
+
+    __slots__ = ("rows_materialized", "peak_intermediate_rows")
+
+    def __init__(self) -> None:
+        self.rows_materialized = 0
+        self.peak_intermediate_rows = 0
+
+    def charge(self, rows: int) -> None:
+        """Record one materialization of ``rows`` rows."""
+        if rows > 0:
+            self.rows_materialized += rows
+            if rows > self.peak_intermediate_rows:
+                self.peak_intermediate_rows = rows
+
+
+class JoinBudget:
+    """Remaining-row budget threaded through every stage of a join.
+
+    The budget is *cooperative*: producers call :meth:`note_produced` as
+    result rows are emitted, and every stage polls :meth:`remaining` to
+    bound how much it expands next.  ``remaining()`` may shrink between
+    polls (other machines producing into a shared budget); it never grows.
+    A conservative (stale) read is always safe — it can only make a stage
+    expand rows that a later clip discards, never miss rows.
+    """
+
+    def remaining(self) -> Optional[int]:
+        """Rows still wanted; ``None`` means unlimited."""
+        raise NotImplementedError
+
+    def note_produced(self, rows: int) -> None:
+        """Record ``rows`` result rows emitted against this budget."""
+        raise NotImplementedError
+
+    def exhausted(self) -> bool:
+        """True once the budget is filled (never true when unlimited)."""
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0
+
+    def release(self) -> None:
+        """Drop any transport resources (shared-memory attachments)."""
+
+
+class LocalJoinBudget(JoinBudget):
+    """Single-consumer budget: a plain countdown (``None`` = unlimited)."""
+
+    def __init__(self, limit: Optional[int]) -> None:
+        self._limit = limit
+        self._produced = 0
+
+    def remaining(self) -> Optional[int]:
+        if self._limit is None:
+            return None
+        return self._limit - self._produced
+
+    def note_produced(self, rows: int) -> None:
+        self._produced += rows
+
+
+class CooperativeJoinBudget(JoinBudget):
+    """Machine-ordered view of one budget shared by every machine's join.
+
+    ``slots[k]`` is the monotone count of rows machine ``k`` has produced —
+    each slot has exactly one writer, so no lock is needed (plain list for
+    threads, an int64 shared-memory array for the process backend).
+    Machine ``k``'s remaining budget is ``limit`` minus the production of
+    machines ``0..k`` *only*: a machine never yields budget to a higher ID,
+    so the driver's machine-ordered concatenation truncated to the limit is
+    always the exact row prefix of the unlimited join, regardless of
+    scheduling.  Higher-ID machines stop early whenever lower IDs have
+    already filled the budget — that early stop is the parallel win.
+    """
+
+    def __init__(self, slots, machine_id: int, limit: Optional[int]) -> None:
+        self._slots = slots
+        self._machine_id = machine_id
+        self._limit = limit
+
+    def remaining(self) -> Optional[int]:
+        if self._limit is None:
+            return None
+        produced = 0
+        for machine in range(self._machine_id + 1):
+            produced += int(self._slots[machine])
+        return self._limit - produced
+
+    def note_produced(self, rows: int) -> None:
+        # Single writer per slot; += on list/array items is read-modify-write
+        # of our own slot only, so no other writer can interleave.
+        self._slots[self._machine_id] += rows
+
+    def release(self) -> None:
+        close = getattr(self._slots, "close", None)
+        if close is not None:
+            close()
 
 
 def _key_codes(
@@ -365,6 +482,176 @@ def _analytic_estimate(
     return estimate
 
 
+def _lex_keys(keys: np.ndarray) -> np.ndarray:
+    """1-D lexicographically comparable view of 2-D key rows.
+
+    Single columns compare raw; multi-column keys are viewed as one
+    structured record per row (field-wise comparison == tuple comparison),
+    which keeps the build-side sort reusable across probe chunks — the
+    joint ``np.unique`` dictionary encoding the standalone kernel uses
+    would entangle the encoding with each probe block.
+    """
+    if keys.shape[1] == 1:
+        return keys[:, 0]
+    contiguous = np.ascontiguousarray(keys)
+    return contiguous.view([("", contiguous.dtype)] * contiguous.shape[1]).ravel()
+
+
+class _StagePlan:
+    """One join stage's build-side state, reused across every head block.
+
+    The build side is always the stage table and the probe side the flowing
+    partial, regardless of size: output rows are then partial-major (build
+    matches in build-row order), so the concatenation of chunked expansions
+    equals the full expansion row for row — the prefix stability the
+    streaming driver relies on.  Because the build side never changes, its
+    key sort is computed once here instead of once per block.
+    """
+
+    __slots__ = (
+        "table",
+        "out_columns",
+        "out_width",
+        "right_extra_idx",
+        "probe_key_idx",
+        "build_order",
+        "sorted_keys",
+    )
+
+    def __init__(self, partial_columns: Tuple[str, ...], table: MatchTable) -> None:
+        shared = [c for c in partial_columns if c in table.columns]
+        right_extra = [c for c in table.columns if c not in shared]
+        self.table = table
+        self.out_columns: Tuple[str, ...] = (*partial_columns, *right_extra)
+        self.out_width = len(self.out_columns)
+        self.right_extra_idx = (
+            np.array([table.column_index(c) for c in right_extra], dtype=np.int64)
+            if right_extra
+            else None
+        )
+        self.probe_key_idx = [partial_columns.index(c) for c in shared]
+        if table.row_count and shared:
+            build_keys = _lex_keys(
+                table.to_array()[:, [table.column_index(c) for c in shared]]
+            )
+            self.build_order = np.argsort(build_keys, kind="stable")
+            self.sorted_keys = build_keys[self.build_order]
+        else:
+            # Cartesian stage (or empty table): every probe row matches
+            # every build row, in build-row order.
+            self.build_order = np.arange(table.row_count, dtype=np.int64)
+            self.sorted_keys = None
+
+    def match_runs(
+        self, partial: MatchTable
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(lo, counts, offsets)`` runs of ``partial``'s rows vs the build.
+
+        O(probe log build) metadata only — expanding runs into rows is the
+        caller's (budget-bounded) decision.
+        """
+        probe_rows = partial.row_count
+        if self.table.row_count == 0 or probe_rows == 0:
+            lo = np.zeros(probe_rows, dtype=np.int64)
+            counts = np.zeros(probe_rows, dtype=np.int64)
+        elif self.sorted_keys is None:
+            lo = np.zeros(probe_rows, dtype=np.int64)
+            counts = np.full(probe_rows, self.table.row_count, dtype=np.int64)
+        else:
+            probe_keys = _lex_keys(partial.to_array()[:, self.probe_key_idx])
+            lo = np.searchsorted(self.sorted_keys, probe_keys, side="left")
+            hi = np.searchsorted(self.sorted_keys, probe_keys, side="right")
+            counts = hi - lo
+        offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return lo, counts, offsets
+
+    def expand(
+        self,
+        partial: MatchTable,
+        lo: np.ndarray,
+        counts: np.ndarray,
+        offsets: np.ndarray,
+        row_start: int,
+        row_end: int,
+        counters: JoinCounters,
+    ) -> np.ndarray:
+        """Materialize (injectivity-filtered) rows for probe rows [start, end)."""
+        build_idx, probe_idx = _expand_runs(
+            self.build_order, lo, counts, offsets, row_start, row_end
+        )
+        counters.charge(len(probe_idx))
+        return _gather_rows(
+            partial,
+            self.table,
+            probe_idx,
+            build_idx,
+            self.out_width,
+            self.right_extra_idx,
+            enforce_injective=True,
+        )
+
+
+def _stream_stages(
+    partial: MatchTable,
+    plans: Sequence[_StagePlan],
+    stage: int,
+    budget: JoinBudget,
+    counters: JoinCounters,
+    result: MatchTable,
+) -> None:
+    """Push ``partial`` through stages ``[stage:]``, streaming into ``result``.
+
+    Depth-first over the stage chain: each chunk of a stage's expansion is
+    recursed through every later stage before the next chunk is expanded,
+    so result rows appear in nested probe-major order (the unlimited join's
+    order) and the budget observed before each expansion reflects all
+    output already produced — by this machine and, under a cooperative
+    budget, by lower-ID machines too.
+    """
+    if stage == len(plans):
+        rows = partial.to_array()
+        remaining = budget.remaining()
+        if remaining is not None and len(rows) > remaining:
+            rows = rows[: max(0, remaining)]
+        if len(rows):
+            result.add_rows(rows)
+            budget.note_produced(len(rows))
+        return
+    plan = plans[stage]
+    lo, counts, offsets = plan.match_runs(partial)
+    if int(offsets[-1]) == 0:
+        return
+    remaining = budget.remaining()
+    if remaining is None:
+        out = plan.expand(partial, lo, counts, offsets, 0, len(counts), counters)
+        if len(out):
+            _stream_stages(
+                MatchTable.from_array(plan.out_columns, out),
+                plans, stage + 1, budget, counters, result,
+            )
+        return
+    # Budgeted: expand only as many probe rows as the remaining budget can
+    # consume, one chunk of match pairs at a time.  Chunks grow
+    # geometrically in case downstream stages keep dropping rows (no
+    # partner / injectivity), so a sparse tail costs O(log) extra passes,
+    # never a full re-expansion.
+    row_position = 0
+    chunk = max(remaining, _LIMIT_CHUNK)
+    while row_position < len(counts) and not budget.exhausted():
+        pair_position = int(offsets[row_position])
+        row_end = int(np.searchsorted(offsets, pair_position + chunk, side="left"))
+        row_end = min(max(row_end, row_position + 1), len(counts))
+        out = plan.expand(partial, lo, counts, offsets, row_position, row_end, counters)
+        row_position = row_end
+        if len(out):
+            _stream_stages(
+                MatchTable.from_array(plan.out_columns, out),
+                plans, stage + 1, budget, counters, result,
+            )
+        chunk *= 2
+
+
 def multiway_join(
     tables: Sequence[MatchTable],
     order: Optional[Sequence[int]] = None,
@@ -372,33 +659,53 @@ def multiway_join(
     block_size: Optional[int] = DEFAULT_BLOCK_SIZE,
     sample_size: int = DEFAULT_SAMPLE_SIZE,
     rng: random.Random | int | None = None,
+    budget: Optional[JoinBudget] = None,
+    counters: Optional[JoinCounters] = None,
 ) -> MatchTable:
-    """Join all ``tables`` into one result, optionally pipelined in blocks.
+    """Join all ``tables`` into one result via the streaming block pipeline.
 
     Args:
         tables: one result table per STwig.
         order: explicit join order (indices); computed via
             :func:`select_join_order` when omitted.
-        row_limit: stop once this many result rows have been produced.  The
-            remaining budget is pushed into the final join stage of each
-            block, whose kernel assembles output in limit-sized chunks —
-            materialization past the budget is bounded by one chunk, not by
-            the block's full join size.
+        row_limit: stop once this many result rows have been produced.
+            The budget is threaded through *every* stage of every head
+            block: each stage expands only the probe-row prefix whose
+            match pairs the remaining budget can still consume, so
+            intermediate materialization is O(limit + chunk), not
+            O(total matches).
         block_size: size of the leading-table blocks for the pipelined join;
             ``None`` disables pipelining and joins everything at once.
         sample_size: sample size used if the join order must be computed.
         rng: RNG for sampling.
+        budget: an externally shared :class:`JoinBudget` (e.g. one machine's
+            :class:`CooperativeJoinBudget` view).  Overrides ``row_limit``;
+            rows produced here are noted against it as they stream out.
+        counters: optional :class:`JoinCounters` accumulating
+            materialization counts for this join.
 
     Returns:
-        The joined :class:`MatchTable`.
+        The joined :class:`MatchTable` — always an exact row prefix of the
+        unlimited join's output.
     """
     if not tables:
         raise ExecutionError("multiway_join requires at least one table")
+    if budget is None:
+        budget = LocalJoinBudget(row_limit)
+    if counters is None:
+        counters = JoinCounters()
+
     if len(tables) == 1:
-        table = tables[0].copy()
-        if row_limit is not None:
-            table.truncate(row_limit)
-        return table
+        table = tables[0]
+        remaining = budget.remaining()
+        take = (
+            table.row_count
+            if remaining is None
+            else max(0, min(table.row_count, remaining))
+        )
+        counters.charge(take)
+        budget.note_produced(take)
+        return MatchTable.from_array(table.columns, table.to_array()[:take].copy())
 
     rng = ensure_rng(rng)
     if order is None:
@@ -407,11 +714,13 @@ def multiway_join(
         raise ExecutionError(f"join order {order!r} is not a permutation of the table indices")
 
     lead = tables[order[0]]
-    rest = [tables[i] for i in order[1:]]
-    final_columns: Tuple[str, ...] = lead.columns
-    for table in rest:
-        final_columns = (*final_columns, *(c for c in table.columns if c not in final_columns))
-    result = MatchTable(final_columns)
+    plans: List[_StagePlan] = []
+    partial_columns: Tuple[str, ...] = lead.columns
+    for index in order[1:]:
+        plan = _StagePlan(partial_columns, tables[index])
+        plans.append(plan)
+        partial_columns = plan.out_columns
+    result = MatchTable(partial_columns)
 
     if block_size is None or lead.row_count <= block_size:
         blocks: Sequence[MatchTable] = (lead,)
@@ -422,27 +731,8 @@ def multiway_join(
             for start in range(0, lead.row_count, block_size)
         )
 
-    final_stage = len(rest) - 1
     for block in blocks:
-        remaining = None if row_limit is None else row_limit - result.row_count
-        partial: MatchTable = block
-        for stage, table in enumerate(rest):
-            # Only the final stage may be limited: earlier stages can still
-            # drop rows (no partner / injectivity), so capping them could
-            # starve the block of legitimate results.
-            stage_limit = remaining if stage == final_stage else None
-            partial = hash_join(partial, table, row_limit=stage_limit)
-            if partial.row_count == 0:
-                break
-        if partial.row_count == 0:
-            continue
-        if partial.columns != final_columns:
-            # Column order can differ from the precomputed final order when
-            # a block produced them in another sequence; normalize without
-            # deduplicating (bag semantics — and row limits stay honest).
-            partial = partial.reorder(final_columns)
-        take = partial.row_count if remaining is None else min(partial.row_count, remaining)
-        result.add_rows(partial.to_array()[:take])
-        if row_limit is not None and result.row_count >= row_limit:
-            return result
+        if budget.exhausted():
+            break
+        _stream_stages(block, plans, 0, budget, counters, result)
     return result

@@ -256,6 +256,12 @@ class StageStats:
     planner's plan cache (its decomposition and join order were memoized by
     query fingerprint); ``plan_cache_hits``/``plan_cache_misses`` are the
     planner's cumulative counters as of the end of this query.
+
+    ``join_rows_materialized`` is the total row count the join phase
+    assembled into stage buffers across all machines, and
+    ``join_peak_intermediate_rows`` the largest single materialization any
+    machine performed — on a limited query the streaming budgeted join
+    keeps the peak O(limit + chunk) instead of O(total matches).
     """
 
     decomposition_seconds: float = 0.0
@@ -268,6 +274,8 @@ class StageStats:
     plan_cache_hit: bool = False
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    join_rows_materialized: int = 0
+    join_peak_intermediate_rows: int = 0
 
 
 @dataclass

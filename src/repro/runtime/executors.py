@@ -43,6 +43,7 @@ from repro.cloud.config import RuntimeConfig, resolve_backend
 from repro.cloud.metrics import CloudMetrics
 from repro.core.bindings import BindingTable
 from repro.core.distributed import machine_result_rows
+from repro.core.join import CooperativeJoinBudget
 from repro.core.matcher import match_stwig
 from repro.core.planner import QueryPlan
 from repro.core.result import MatchTable
@@ -180,12 +181,17 @@ class Executor(ABC):
         plan: QueryPlan,
         tables,
         bindings,
+        row_limit: Optional[int] = None,
     ) -> List[np.ndarray]:
         """Run the gather+join of every machine, returning its result rows.
 
         Per-machine row blocks come back in machine-ID order (the serial
         concatenation order), already normalized to the query's sorted
-        column order.
+        column order.  ``row_limit`` is a *shared* budget: every machine
+        joins against its machine-ordered :class:`CooperativeJoinBudget`
+        view of one slot array, so machines stop as soon as lower IDs have
+        produced enough rows and the driver's ordered concatenation stays
+        an exact prefix of the unlimited result on every backend.
         """
 
     def close(self) -> None:
@@ -234,9 +240,12 @@ class SerialExecutor(Executor):
             outcomes.append((table, metrics))
         return _merge_ordered(cloud, outcomes)
 
-    def map_join(self, cloud, plan, tables, bindings):
+    def map_join(self, cloud, plan, tables, bindings, row_limit=None):
         # Sequential tasks share one filtered-table cache, exactly like the
-        # historical single-loop assembly.
+        # historical single-loop assembly; the cooperative budget views,
+        # consumed in machine order, telescope to the historical remaining
+        # countdown (including the skip-everything early exit).
+        slots = [0] * cloud.machine_count
         filtered_cache: dict = {}
         outcomes = []
         for machine_id in range(cloud.machine_count):
@@ -247,6 +256,7 @@ class SerialExecutor(Executor):
                 tables,
                 machine_id,
                 bindings,
+                budget=CooperativeJoinBudget(slots, machine_id, row_limit),
                 filtered_cache=filtered_cache,
             )
             outcomes.append((rows, metrics))
@@ -303,13 +313,18 @@ class ThreadExecutor(Executor):
         outcomes = list(pool.map(task, range(cloud.machine_count)))
         return _merge_ordered(cloud, outcomes)
 
-    def map_join(self, cloud, plan, tables, bindings):
+    def map_join(self, cloud, plan, tables, bindings, row_limit=None):
         pool = self._ensure_pool(cloud.machine_count)
         # Threads share the filtered-table cache: values are immutable
         # tables keyed by (machine, STwig), so the worst race is a
         # duplicated computation, never a wrong entry — and the counters
         # never depend on cache hits.
         filtered_cache: dict = {}
+        # One produced-count slot per machine, single writer each; list
+        # item reads/writes are atomic under the GIL, and a stale read of
+        # another machine's slot only under-counts (the final truncate in
+        # assemble_results restores the exact limit).
+        slots = [0] * cloud.machine_count
 
         def task(machine_id: int):
             metrics = CloudMetrics()
@@ -319,6 +334,7 @@ class ThreadExecutor(Executor):
                 tables,
                 machine_id,
                 bindings,
+                budget=CooperativeJoinBudget(slots, machine_id, row_limit),
                 filtered_cache=filtered_cache,
             )
             return rows, metrics
@@ -374,20 +390,69 @@ def _worker_explore(payload):
 
 def _worker_join(payload):
     try:
-        machine_id, plan, tables_handle, shipped_bindings = payload
+        machine_id, plan, tables_handle, shipped_bindings, budget = payload
         metrics = CloudMetrics()
         scoped = _worker_cloud().with_metrics(metrics)
-        with _resolved_bindings(shipped_bindings, plan.query) as bindings:
-            with attached_tables(tables_handle, plan) as tables:
-                rows = machine_result_rows(
-                    scoped, plan, tables, machine_id, bindings
-                )
-                # The attachments close on exit; detach the result from
-                # the shared pages before they do.
-                rows = np.array(rows, dtype=NODE_DTYPE, copy=True)
+        try:
+            with _resolved_bindings(shipped_bindings, plan.query) as bindings:
+                with attached_tables(tables_handle, plan) as tables:
+                    rows = machine_result_rows(
+                        scoped, plan, tables, machine_id, bindings, budget=budget
+                    )
+                    # The attachments close on exit; detach the result from
+                    # the shared pages before they do.
+                    rows = np.array(rows, dtype=NODE_DTYPE, copy=True)
+        finally:
+            if budget is not None:
+                # Drop this task's mapping of the budget-slot segment; the
+                # driver unlinks the block after the whole fan-out returns.
+                budget.release()
         return "ok", (_ship_array(rows), metrics)
     except Exception as error:  # noqa: BLE001 - transported to the driver
         return "error", error
+
+
+class _SharedBudgetSlots:
+    """Picklable, lazily attached int64 slot array for cooperative budgets.
+
+    ``multiprocessing.Value``/``Array`` only share by inheritance and
+    cannot ride through ``Pool.map`` payloads, so the slots live in a tiny
+    shared-memory block instead: the driver publishes zeros, each worker
+    task attaches writable on first use and closes its mapping when the
+    task ends, and the driver unlinks the block after the fan-out.
+    Aligned 8-byte loads/stores are atomic on every platform numpy
+    supports, and each slot has exactly one writer, so stale reads of
+    *other* slots only under-count — always the safe direction.
+    """
+
+    def __init__(self, spec: SharedArraySpec) -> None:
+        self._spec = spec
+        self._segment = None
+        self._view = None
+
+    def _ensure(self) -> np.ndarray:
+        if self._view is None:
+            self._segment, self._view = attach_array(self._spec, writable=True)
+        return self._view
+
+    def __getitem__(self, index: int) -> int:
+        return int(self._ensure()[index])
+
+    def __setitem__(self, index: int, value: int) -> None:
+        self._ensure()[index] = value
+
+    def close(self) -> None:
+        segment, self._segment, self._view = self._segment, None, None
+        if segment is not None:
+            segment.close()
+
+    def __getstate__(self):
+        return {"spec": self._spec}
+
+    def __setstate__(self, state) -> None:
+        self._spec = state["spec"]
+        self._segment = None
+        self._view = None
 
 
 class _ProcessState:
@@ -513,14 +578,25 @@ class ProcessExecutor(Executor):
         ]
         return _merge_ordered(cloud, outcomes)
 
-    def map_join(self, cloud, plan, tables, bindings):
+    def map_join(self, cloud, plan, tables, bindings, row_limit=None):
         with self._inflight_map():
             pool = self._ensure_pool(cloud)
             handle, registry = publish_tables(tables)
             shipped_bindings, bindings_registry = _ship_bindings(bindings, plan.query)
+            budget_segment = None
+            budgets: List = [None] * cloud.machine_count
+            if row_limit is not None:
+                budget_segment, spec = publish_array(
+                    np.zeros(cloud.machine_count, dtype=np.int64)
+                )
+                slots = _SharedBudgetSlots(spec)
+                budgets = [
+                    CooperativeJoinBudget(slots, machine_id, row_limit)
+                    for machine_id in range(cloud.machine_count)
+                ]
             try:
                 payloads = [
-                    (machine_id, plan, handle, shipped_bindings)
+                    (machine_id, plan, handle, shipped_bindings, budgets[machine_id])
                     for machine_id in range(cloud.machine_count)
                 ]
                 outcomes = _collect_shipped(
@@ -530,6 +606,12 @@ class ProcessExecutor(Executor):
                 registry.close()
                 if bindings_registry is not None:
                     bindings_registry.close()
+                if budget_segment is not None:
+                    budget_segment.close()
+                    try:
+                        budget_segment.unlink()
+                    except FileNotFoundError:  # pragma: no cover
+                        pass
         return _merge_ordered(cloud, outcomes)
 
     def published_segment_names(self) -> List[str]:

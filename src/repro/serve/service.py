@@ -68,7 +68,13 @@ class ServiceConfig:
             ``None`` leaves unlimited queries unlimited.
         max_row_budget: upper bound on any query's row budget; submissions
             asking for more (or for no limit at all, when set) are rejected.
-            ``None`` accepts any budget.
+            ``None`` accepts any budget.  The admitted budget is a true
+            cost cap, not just a result cap: it flows into the streaming
+            budgeted join, which bounds the intermediate rows every machine
+            materializes — per-query ``join_rows_materialized`` /
+            ``join_peak_intermediate_rows`` (in
+            :class:`~repro.core.result.StageStats` and the metrics
+            snapshot) make the bound observable.
         drain_timeout: seconds :meth:`QueryService.close` waits for
             in-flight queries before raising :class:`ServiceError`;
             ``None`` waits indefinitely.
@@ -105,6 +111,7 @@ class ServiceStats:
     rejected: int = 0
     in_flight: int = 0
     rows_returned: int = 0
+    join_rows_materialized: int = 0
     busy_seconds: float = 0.0
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
@@ -224,7 +231,11 @@ class QueryService:
         except Exception:
             self._finish(started, failed=True)
             raise
-        self._finish(started, rows=result.match_count)
+        self._finish(
+            started,
+            rows=result.match_count,
+            materialized=result.stats.join_rows_materialized,
+        )
         return result
 
     async def submit_async(
@@ -282,7 +293,13 @@ class QueryService:
             self._stats.in_flight += 1
         return budget
 
-    def _finish(self, started: float, rows: int = 0, failed: bool = False) -> None:
+    def _finish(
+        self,
+        started: float,
+        rows: int = 0,
+        materialized: int = 0,
+        failed: bool = False,
+    ) -> None:
         elapsed = time.perf_counter() - started
         self._slots.release()
         with self._state:
@@ -293,6 +310,7 @@ class QueryService:
             else:
                 self._stats.completed += 1
                 self._stats.rows_returned += rows
+                self._stats.join_rows_materialized += materialized
             self._state.notify_all()
 
     # -- lifecycle -----------------------------------------------------------

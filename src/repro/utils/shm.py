@@ -68,16 +68,22 @@ def publish_array(array: np.ndarray) -> Tuple[shared_memory.SharedMemory, Shared
     return segment, spec
 
 
-def attach_array(spec: SharedArraySpec) -> Tuple[shared_memory.SharedMemory, np.ndarray]:
-    """Attach to a published array, returning ``(segment, read-only view)``.
+def attach_array(
+    spec: SharedArraySpec, writable: bool = False
+) -> Tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Attach to a published array, returning ``(segment, view)``.
 
     The view aliases the shared pages — it is valid only while ``segment``
     stays open (keep the segment referenced; see the module docstring for
-    why the attach-side tracker registration is left in place).
+    why the attach-side tracker registration is left in place).  Views are
+    read-only by default; ``writable=True`` is for intentionally mutable
+    coordination state (e.g. the cooperative join-budget slots), never for
+    published graph data.
     """
     segment = shared_memory.SharedMemory(name=spec.name)
     view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf)
-    view.flags.writeable = False
+    if not writable:
+        view.flags.writeable = False
     return segment, view
 
 

@@ -101,7 +101,31 @@ class TestAggregation:
 
     def test_snapshot_keys(self):
         snapshot = CloudMetrics().snapshot()
-        assert {"local_loads", "remote_loads", "messages", "bytes_transferred"} <= set(snapshot)
+        assert {
+            "local_loads",
+            "remote_loads",
+            "messages",
+            "bytes_transferred",
+            "join_rows_materialized",
+            "join_peak_intermediate_rows",
+        } <= set(snapshot)
+
+    def test_join_materialization_merges_sum_and_peak(self):
+        a = CloudMetrics()
+        a.record_join_materialization(100, 60)
+        a.record_join_materialization(50, 40)
+        assert a.join_rows_materialized == 150
+        assert a.join_peak_intermediate_rows == 60
+        b = CloudMetrics()
+        b.record_join_materialization(30, 90)
+        a.merge(b)
+        # Totals sum across machines; the peak is the max of the
+        # per-machine peaks, never their sum.
+        assert a.join_rows_materialized == 180
+        assert a.join_peak_intermediate_rows == 90
+        a.reset()
+        assert a.join_rows_materialized == 0
+        assert a.join_peak_intermediate_rows == 0
 
     def test_reset(self):
         metrics = CloudMetrics()

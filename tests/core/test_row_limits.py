@@ -4,8 +4,9 @@ The paper's pipelined execution stops at a result limit (1024 in the
 experiments).  These tests pin down the semantics end to end:
 
 * ``match_stwig`` honors limits on leafless STwigs and produces prefixes;
-* ``multiway_join`` pushes the remaining budget into the final join stage
-  of each block instead of joining everything and truncating after;
+* ``multiway_join`` streams every head block through all its stages under
+  one budget, so *no* stage (intermediate or final) materializes more than
+  O(limit + chunk) rows instead of joining everything and truncating after;
 * ``assemble_results`` resumes the remaining budget across machines and
   only reports truncation when a real match was discarded.
 """
@@ -77,48 +78,70 @@ class TestMultiwayJoinLimitPushdown:
         limited = multiway_join(tables, order=[0, 1], block_size=10, row_limit=5)
         assert limited.rows == full.rows[:5]
 
-    def test_limit_hit_mid_block_stops_final_stage(self, monkeypatch):
-        """The final join stage of a block must not materialize past the budget."""
-        produced = []
-        real_hash_join = join_module.hash_join
-
-        def counting_hash_join(left, right, **kwargs):
-            result = real_hash_join(left, right, **kwargs)
-            produced.append(result.row_count)
-            return result
-
-        monkeypatch.setattr(join_module, "hash_join", counting_hash_join)
-        tables = self.make_cross_tables(n=40)  # full join = 1600 rows
-        limited = join_module.multiway_join(
-            tables, order=[0, 1], block_size=10, row_limit=5
+    def test_limit_hit_mid_block_stops_materialization(self):
+        """A filled budget must stop the pipeline inside the first block."""
+        tables = self.make_cross_tables(n=200)  # full cross join = 40,000 rows
+        full_counters = join_module.JoinCounters()
+        full = join_module.multiway_join(
+            tables, order=[0, 1], block_size=10, counters=full_counters
         )
-        assert limited.row_count == 5
-        # One block runs, and its final (only) stage stops at the budget —
-        # nowhere near the 400 rows a full 10x40 block join would produce.
-        assert sum(produced) == 5
-
-    def test_three_table_pushdown_only_limits_final_stage(self, monkeypatch):
-        """Intermediate stages stay unlimited (their rows may still be dropped)."""
-        seen_limits = []
-        real_hash_join = join_module.hash_join
-
-        def recording_hash_join(left, right, **kwargs):
-            seen_limits.append(kwargs.get("row_limit"))
-            return real_hash_join(left, right, **kwargs)
-
-        monkeypatch.setattr(join_module, "hash_join", recording_hash_join)
-        tables = [
-            MatchTable(("a", "b"), [(i, 100 + i) for i in range(8)]),
-            MatchTable(("b", "c"), [(100 + i, 200 + i) for i in range(8)]),
-            MatchTable(("c", "d"), [(200 + i, 300 + i) for i in range(8)]),
-        ]
-        full = join_module.multiway_join(tables, order=[0, 1, 2], block_size=None)
-        seen_limits.clear()
+        assert full.row_count == 40_000
+        assert full_counters.rows_materialized == 40_000
+        limited_counters = join_module.JoinCounters()
         limited = join_module.multiway_join(
-            tables, order=[0, 1, 2], block_size=None, row_limit=3
+            tables, order=[0, 1], block_size=10, row_limit=5,
+            counters=limited_counters,
+        )
+        assert limited.rows == full.rows[:5]
+        # Only the first head block's stage runs (10 x 200 = 2,000 pairs,
+        # under the minimum chunk), nowhere near the 40,000-row full join.
+        assert limited_counters.rows_materialized <= 10 * 200
+        assert limited_counters.peak_intermediate_rows <= 10 * 200
+
+    def test_budget_reaches_intermediate_stages(self):
+        """Non-final stages expand only what the remaining budget can use."""
+        # Stage 1 (a,b)x(b,c) has fan-out 3,000 per row: unlimited it
+        # materializes 8 x 3,000 = 24,000 intermediate rows before stage 2
+        # trims anything.
+        tables = [
+            MatchTable(("a", "b"), [(i, 100 + i % 2) for i in range(8)]),
+            MatchTable(
+                ("b", "c"),
+                [(100 + i % 2, 200 + i) for i in range(6000)],
+            ),
+            MatchTable(("c", "d"), [(200 + i, 300 + i) for i in range(6000)]),
+        ]
+        full_counters = join_module.JoinCounters()
+        full = join_module.multiway_join(
+            tables, order=[0, 1, 2], block_size=None, counters=full_counters
+        )
+        assert full.row_count == 24_000
+        assert full_counters.peak_intermediate_rows == 24_000
+        limited_counters = join_module.JoinCounters()
+        limited = join_module.multiway_join(
+            tables, order=[0, 1, 2], block_size=None, row_limit=3,
+            counters=limited_counters,
         )
         assert limited.rows == full.rows[:3]
-        assert seen_limits == [None, 3]
+        # Each stage expands at most one minimum-size chunk before the
+        # budget fills: O(limit + chunk) per stage, not O(24,000).
+        chunk_bound = join_module._LIMIT_CHUNK + 3_000
+        assert limited_counters.peak_intermediate_rows <= chunk_bound
+        assert limited_counters.rows_materialized <= 2 * chunk_bound
+
+    def test_every_limit_is_prefix_three_tables(self):
+        tables = [
+            MatchTable(("a", "b"), [(i, 100 + i % 3) for i in range(9)]),
+            MatchTable(("b", "c"), [(100 + i % 3, 200 + i) for i in range(12)]),
+            MatchTable(("c", "d"), [(200 + i % 12, 300 + i) for i in range(24)]),
+        ]
+        full = join_module.multiway_join(tables, order=[0, 1, 2], block_size=4)
+        assert full.row_count > 50
+        for limit in range(0, full.row_count + 2):
+            limited = join_module.multiway_join(
+                tables, order=[0, 1, 2], block_size=4, row_limit=limit
+            )
+            assert limited.rows == full.rows[:limit]
 
     def test_limit_spanning_blocks(self):
         tables = self.make_cross_tables(n=12)
@@ -133,6 +156,44 @@ class TestMultiwayJoinLimitPushdown:
         table = MatchTable(("a",), [(i,) for i in range(10)])
         limited = multiway_join([table], row_limit=4)
         assert limited.rows == table.rows[:4]
+
+
+class TestCooperativeBudget:
+    def test_machine_order_semantics(self):
+        slots = [0, 0, 0]
+        limit = 10
+        views = [
+            join_module.CooperativeJoinBudget(slots, m, limit) for m in range(3)
+        ]
+        # Machine 0 never sees higher-ID production: even after machine 2
+        # produces, machine 0's remaining budget is untouched.
+        views[2].note_produced(4)
+        assert views[0].remaining() == 10
+        assert views[2].remaining() == 6
+        views[0].note_produced(7)
+        assert views[0].remaining() == 3
+        assert views[1].remaining() == 3
+        assert views[2].remaining() == -1
+        assert views[2].exhausted()
+        assert not views[0].exhausted()
+
+    def test_unlimited_view(self):
+        budget = join_module.CooperativeJoinBudget([0, 0], 1, None)
+        assert budget.remaining() is None
+        assert not budget.exhausted()
+
+    def test_sequential_views_telescope_to_local_countdown(self):
+        """Consumed in machine order, the shared views equal the historical
+        per-machine remaining countdown."""
+        slots = [0, 0, 0]
+        limit = 9
+        local = join_module.LocalJoinBudget(limit)
+        for machine_id, produced in enumerate((4, 3, 5)):
+            shared_view = join_module.CooperativeJoinBudget(slots, machine_id, limit)
+            assert shared_view.remaining() == local.remaining()
+            grant = min(produced, shared_view.remaining())
+            shared_view.note_produced(grant)
+            local.note_produced(grant)
 
 
 class TestAssembleResultsLimits:
