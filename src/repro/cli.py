@@ -28,6 +28,19 @@ Three subcommands cover the common workflows without writing Python:
   and report throughput and latency percentiles::
 
       python -m repro bench-serve --graph /tmp/g --clients 8 --rounds 3
+
+Persistent snapshots (the memmap column store) get four subcommands —
+``save`` a loaded graph as a snapshot, ``open`` one to inspect it,
+``append`` edge/label deltas to its log, and ``compact`` the log into a
+new base generation::
+
+      python -m repro save --graph /tmp/g --out /tmp/g.snap --machines 4
+      python -m repro open --snapshot /tmp/g.snap --verify
+      python -m repro append --snapshot /tmp/g.snap --edge 17 42 --node 99 L3
+      python -m repro compact --snapshot /tmp/g.snap
+
+``query`` and ``serve`` accept ``--snapshot`` in place of ``--graph`` to
+start from a snapshot directly (near-constant open instead of a reload).
 """
 
 from __future__ import annotations
@@ -97,7 +110,12 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--out", required=True, help="output path prefix")
 
     query = subparsers.add_parser("query", help="run a subgraph query over a saved graph")
-    query.add_argument("--graph", required=True, help="graph path prefix (from 'generate')")
+    query.add_argument("--graph", help="graph path prefix (from 'generate')")
+    query.add_argument(
+        "--snapshot",
+        help="snapshot directory (from 'save'); alternative to --graph, "
+        "using the cluster shape recorded in the snapshot",
+    )
     query.add_argument("--query-file", required=True, help="query in the textual node/edge format")
     query.add_argument("--machines", type=int, default=4)
     query.add_argument("--limit", type=int, default=1024)
@@ -123,7 +141,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve = subparsers.add_parser(
         "serve", help="answer a stream of stdin queries over a resident graph"
     )
-    serve.add_argument("--graph", required=True, help="graph path prefix (from 'generate')")
+    serve.add_argument("--graph", help="graph path prefix (from 'generate')")
+    serve.add_argument(
+        "--snapshot",
+        help="snapshot directory (from 'save'); alternative to --graph — "
+        "the service restarts from it in near-constant time",
+    )
     serve.add_argument("--machines", type=int, default=4)
     serve.add_argument(
         "--limit",
@@ -173,6 +196,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_serve.add_argument("--workers", type=int, default=None)
 
+    save = subparsers.add_parser(
+        "save", help="save a graph as a persistent (memmap) snapshot"
+    )
+    save.add_argument("--graph", required=True, help="graph path prefix (from 'generate')")
+    save.add_argument("--out", required=True, help="snapshot directory to write")
+    save.add_argument(
+        "--machines",
+        type=int,
+        default=4,
+        help="partition for this many machines (snapshot reopens fastest "
+        "on the same shape)",
+    )
+    save.add_argument(
+        "--graph-only",
+        action="store_true",
+        help="store only the CSR columns, no partition state",
+    )
+
+    open_cmd = subparsers.add_parser(
+        "open", help="open a snapshot and print what is inside"
+    )
+    open_cmd.add_argument("--snapshot", required=True, help="snapshot directory")
+    open_cmd.add_argument(
+        "--verify", action="store_true", help="check every array's checksum"
+    )
+
+    append = subparsers.add_parser(
+        "append", help="append edge/label deltas to a snapshot's log"
+    )
+    append.add_argument("--snapshot", required=True, help="snapshot directory")
+    append.add_argument(
+        "--edge",
+        nargs=2,
+        type=int,
+        action="append",
+        metavar=("U", "V"),
+        default=[],
+        help="undirected edge to append (repeatable)",
+    )
+    append.add_argument(
+        "--node",
+        nargs=2,
+        action="append",
+        metavar=("ID", "LABEL"),
+        default=[],
+        help="node to add or relabel (repeatable)",
+    )
+
+    compact = subparsers.add_parser(
+        "compact", help="fold a snapshot's delta log into a new base generation"
+    )
+    compact.add_argument("--snapshot", required=True, help="snapshot directory")
+
     return parser
 
 
@@ -199,13 +275,20 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_query(args: argparse.Namespace) -> int:
+def _open_cloud(args: argparse.Namespace) -> MemoryCloud:
+    """Resolve --graph/--snapshot into a loaded cloud (used by query/serve)."""
+    if (args.graph is None) == (args.snapshot is None):
+        raise SystemExit("give exactly one of --graph or --snapshot")
+    if args.snapshot is not None:
+        return MemoryCloud.open_snapshot(args.snapshot)
     graph = load_graph(args.graph)
+    return MemoryCloud.from_graph(graph, ClusterConfig(machine_count=args.machines))
+
+
+def _command_query(args: argparse.Namespace) -> int:
     query = parse_query(Path(args.query_file).read_text(encoding="utf-8"))
     runtime = RuntimeConfig(backend=args.executor, max_workers=args.workers)
-    with MemoryCloud.from_graph(
-        graph, ClusterConfig(machine_count=args.machines)
-    ) as cloud:
+    with _open_cloud(args) as cloud:
         with SubgraphMatcher(
             cloud,
             MatcherConfig(max_stwig_leaves=args.max_stwig_leaves),
@@ -256,22 +339,30 @@ def _command_serve(args: argparse.Namespace) -> int:
     from repro.query.parser import format_query
     from repro.serve import QueryService, ServiceConfig
 
-    graph = load_graph(args.graph)
+    if (args.graph is None) == (args.snapshot is None):
+        raise SystemExit("give exactly one of --graph or --snapshot")
     runtime = RuntimeConfig(backend=args.executor, max_workers=args.workers)
     service_config = ServiceConfig(
         max_in_flight=args.max_in_flight,
         default_limit=args.limit if args.limit > 0 else None,
         max_row_budget=args.max_row_budget,
     )
+    if args.snapshot is not None:
+        source_args = {"snapshot": args.snapshot}
+    else:
+        source_args = {
+            "graph": load_graph(args.graph),
+            "cluster_config": ClusterConfig(machine_count=args.machines),
+        }
     with QueryService(
-        graph=graph,
-        cluster_config=ClusterConfig(machine_count=args.machines),
         executor=runtime,
         service_config=service_config,
+        **source_args,
     ) as service:
+        cloud = service.cloud
         print(
-            f"serving {graph.node_count} nodes / {graph.edge_count} edges on "
-            f"{args.machines} machines ({service.matcher.executor.name} executor); "
+            f"serving {cloud.node_count} nodes / {cloud.edge_count} edges on "
+            f"{cloud.machine_count} machines ({service.matcher.executor.name} executor); "
             "enter node/edge lines, blank line to run, Ctrl-D to quit",
             flush=True,
         )
@@ -351,6 +442,85 @@ def _command_bench_serve(args: argparse.Namespace) -> int:
     return 1 if run.errors else 0
 
 
+def _command_save(args: argparse.Namespace) -> int:
+    from repro.storage import save_graph_snapshot
+
+    graph = load_graph(args.graph)
+    if args.graph_only:
+        manifest = save_graph_snapshot(graph, args.out)
+        shape = "graph-only"
+    else:
+        with MemoryCloud.from_graph(
+            graph, ClusterConfig(machine_count=args.machines)
+        ) as cloud:
+            manifest = cloud.save_snapshot(args.out)
+        shape = f"{args.machines} machines"
+    print(
+        f"saved {manifest.node_count} nodes / {manifest.edge_count} edges "
+        f"({shape}, generation {manifest.generation}, "
+        f"{len(manifest.arrays)} arrays) to {manifest.directory}"
+    )
+    return 0
+
+
+def _command_open(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.storage import DeltaLog, read_manifest
+
+    manifest = read_manifest(args.snapshot, verify=args.verify)
+    pending = DeltaLog(args.snapshot).count()
+    started = time.perf_counter()
+    cloud = MemoryCloud.open_snapshot(args.snapshot)
+    opened = time.perf_counter() - started
+    path = "memmap fast path" if cloud.storage_publication else "replayed reload"
+    print(
+        f"{manifest.node_count} nodes / {manifest.edge_count} edges, "
+        f"{len(manifest.labels)} labels, generation {manifest.generation}"
+    )
+    print(
+        f"cloud state: {manifest.machine_count or 'none'} machines, "
+        f"{pending} pending delta records"
+    )
+    print(f"opened in {opened * 1000:.1f} ms ({path})"
+          + (", checksums verified" if args.verify else ""))
+    cloud.close()
+    return 0
+
+
+def _command_append(args: argparse.Namespace) -> int:
+    from repro.storage import DeltaLog, read_manifest
+
+    read_manifest(args.snapshot)  # fail early on a non-snapshot directory
+    log = DeltaLog(args.snapshot)
+    appended = log.append_nodes(
+        (int(node_id), label) for node_id, label in args.node
+    )
+    appended += log.append_edges((u, v) for u, v in args.edge)
+    print(
+        f"appended {appended} records ({log.count()} total pending); "
+        "they overlay at open time until 'compact' folds them in"
+    )
+    return 0
+
+
+def _command_compact(args: argparse.Namespace) -> int:
+    from repro.storage import DeltaLog, compact_snapshot, read_manifest
+
+    before = read_manifest(args.snapshot)
+    pending = DeltaLog(args.snapshot).count()
+    manifest = compact_snapshot(args.snapshot)
+    if manifest.generation == before.generation:
+        print(f"nothing to compact (generation {manifest.generation})")
+    else:
+        print(
+            f"folded {pending} delta records: generation "
+            f"{before.generation} -> {manifest.generation}, now "
+            f"{manifest.node_count} nodes / {manifest.edge_count} edges"
+        )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro`` / the ``repro`` console script."""
     args = build_parser().parse_args(argv)
@@ -364,6 +534,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_serve(args)
     if args.command == "bench-serve":
         return _command_bench_serve(args)
+    if args.command == "save":
+        return _command_save(args)
+    if args.command == "open":
+        return _command_open(args)
+    if args.command == "append":
+        return _command_append(args)
+    if args.command == "compact":
+        return _command_compact(args)
     return 2  # pragma: no cover - argparse enforces the choices above
 
 

@@ -85,6 +85,11 @@ class MemoryCloud:
         # cloud can detect a reload and republish instead of serving the
         # previous graph's shared-memory state.
         self._load_generation = 0
+        # Set by load_snapshot's fast path: picklable mmap specs for every
+        # published array, letting publish_cloud ship file-backed state to
+        # worker processes without copying it into shared memory first.
+        self._storage_specs: Dict[str, object] | None = None
+        self._storage_handles: List = []
 
     # -- construction --------------------------------------------------------
 
@@ -107,6 +112,10 @@ class MemoryCloud:
         """
         started = time.perf_counter()
         self._load_generation += 1
+        # An in-RAM load supersedes any snapshot backing; workers must get
+        # fresh shm publications, not stale file-backed specs.
+        self._storage_specs = None
+        self._storage_handles = []
         assignment = self.config.partitioner.assign(graph, self.config.machine_count)
         self._assignment = assignment
         self._graph_node_count = graph.node_count
@@ -255,6 +264,210 @@ class MemoryCloud:
             )
             pair = (machine_key // machine_count, machine_key % machine_count)
             self._label_pairs_packed[pair] = label_keys[start:stop]
+
+    # -- persistent snapshots -------------------------------------------------
+
+    #: Column names of one machine partition inside a snapshot.
+    _MACHINE_COLUMNS = ("node_ids", "label_ids", "offsets", "neighbors")
+
+    def save_snapshot(self, directory, *, generation: int = 1):
+        """Persist the loaded graph *and* its partition state to ``directory``.
+
+        Beyond the ``graph/*`` CSR columns a cloud snapshot stores the
+        partition map, each machine's CSR partition, and the packed
+        cross-machine label-pair metadata, so :meth:`load_snapshot` can
+        reopen on the fast path — adopting ``np.memmap`` views without
+        re-partitioning or re-deriving anything.  Returns the
+        :class:`~repro.storage.snapshot.SnapshotManifest` written.
+        """
+        from repro.storage.snapshot import write_snapshot
+
+        if self._assignment is None or self._label_table is None:
+            raise CloudError("no graph has been loaded into the cloud")
+        self.flush_staged()
+        node_ids = self._global_node_ids
+        label_ids = self._global_label_ids
+
+        # Reconstruct the global CSR by scattering every machine's rows
+        # back into global row order (the inverse of load_graph's gather).
+        machine_columns = [machine.csr_arrays() for machine in self.machines]
+        total = len(node_ids)
+        counts = np.zeros(total, dtype=OFFSET_DTYPE)
+        for ids_m, _labels_m, offsets_m, _neighbors_m in machine_columns:
+            if len(ids_m):
+                counts[np.searchsorted(node_ids, ids_m)] = np.diff(offsets_m)
+        offsets = np.zeros(total + 1, dtype=OFFSET_DTYPE)
+        np.cumsum(counts, out=offsets[1:])
+        neighbors = np.empty(int(offsets[-1]), dtype=NODE_DTYPE)
+        for ids_m, _labels_m, offsets_m, neighbors_m in machine_columns:
+            if not len(ids_m):
+                continue
+            rows = np.searchsorted(node_ids, ids_m)
+            starts = offsets[:-1][rows]
+            local_counts = np.diff(offsets_m)
+            scatter = (
+                np.arange(int(offsets_m[-1]), dtype=OFFSET_DTYPE)
+                + np.repeat(starts - offsets_m[:-1], local_counts)
+            )
+            neighbors[scatter] = neighbors_m
+
+        arrays = {
+            "graph/node_ids": node_ids,
+            "graph/label_ids": label_ids,
+            "graph/offsets": offsets,
+            "graph/neighbors": neighbors,
+        }
+        assignment_ids, assignment_machines = self._assignment.as_arrays()
+        arrays["assignment/ids"] = assignment_ids
+        arrays["assignment/machines"] = assignment_machines
+        for machine, columns in zip(self.machines, machine_columns):
+            for column_name, column in zip(self._MACHINE_COLUMNS, columns):
+                arrays[f"machine{machine.machine_id}/{column_name}"] = column
+        label_pair_keys = []
+        for (low, high), packed in sorted(self._label_pairs_packed.items()):
+            arrays[f"labelpairs/{low}_{high}"] = packed
+            label_pair_keys.append([int(low), int(high)])
+        cloud_meta = {
+            "machine_count": self.machine_count,
+            "partitioner": _partitioner_name(self.config.partitioner),
+            "track_label_pairs": self.config.track_label_pairs,
+            "label_pair_base": int(self._label_pair_base),
+            "label_pairs": label_pair_keys,
+        }
+        return write_snapshot(
+            directory,
+            arrays,
+            node_count=self._graph_node_count,
+            edge_count=self._graph_edge_count,
+            labels=self._label_table.labels(),
+            cloud=cloud_meta,
+            generation=generation,
+        )
+
+    def load_snapshot(self, directory, *, verify: bool = False) -> float:
+        """(Re)load this cloud from a snapshot directory.
+
+        When the snapshot stores cloud state for this machine count and its
+        delta log is empty, every array — partition map, machine CSR
+        columns, global label arrays, packed label pairs — is adopted as a
+        read-only ``np.memmap`` view: opening costs file metadata, not a
+        data scan, and the picklable mmap specs are retained so the process
+        executor publishes them to workers without an shm copy.  Otherwise
+        (pending deltas, graph-only snapshot, or a different machine count)
+        the graph is opened with the delta overlay replayed and loaded via
+        :meth:`load_graph`.
+
+        Either way ``load_generation`` is bumped, so plan caches and worker
+        publications keyed on this cloud invalidate.  Returns the loading
+        wall-clock seconds (recorded in :attr:`loading_seconds`).
+        """
+        from repro.storage.delta import DeltaLog
+        from repro.storage.snapshot import open_graph_snapshot, read_manifest
+
+        started = time.perf_counter()
+        manifest = read_manifest(directory, verify=verify)
+        pending_deltas = DeltaLog(directory).count()
+        if (
+            pending_deltas
+            or not manifest.has_cloud_state
+            or manifest.machine_count != self.config.machine_count
+        ):
+            graph = open_graph_snapshot(directory, replay=True)
+            return self.load_graph(graph)
+
+        self._load_generation += 1
+        handles: List = []
+
+        def attach(name: str):
+            handle, view = manifest.attach(name)
+            handles.append(handle)
+            return view
+
+        label_table = LabelTable(manifest.labels)
+        assignment_ids = attach("assignment/ids")
+        assignment_machines = attach("assignment/machines")
+        self._assignment = PartitionAssignment.from_arrays(
+            manifest.machine_count, assignment_ids, assignment_machines
+        )
+        for machine in self.machines:
+            columns = [
+                attach(f"machine{machine.machine_id}/{column_name}")
+                for column_name in self._MACHINE_COLUMNS
+            ]
+            machine.label_table = label_table
+            machine.label_index.label_table = label_table
+            machine.adopt_partition(*columns)
+        self._global_node_ids = attach("graph/node_ids")
+        self._global_label_ids = attach("graph/label_ids")
+        self._label_table = label_table
+        self._graph_node_count = manifest.node_count
+        self._graph_edge_count = manifest.edge_count
+        if dense_table_profitable(self._global_node_ids, probe_count=0):
+            self._label_by_node = dense_value_table(
+                self._global_node_ids, self._global_label_ids, dtype=np.int32
+            )
+        else:
+            self._label_by_node = None
+
+        cloud_meta = manifest.cloud
+        self._label_pairs_packed = {}
+        self._label_pairs_cache = {}
+        self._label_pair_base = int(cloud_meta.get("label_pair_base", 1))
+        if self.config.track_label_pairs:
+            for low, high in cloud_meta.get("label_pairs", ()):
+                self._label_pairs_packed[(int(low), int(high))] = attach(
+                    f"labelpairs/{low}_{high}"
+                )
+
+        self._storage_handles = handles
+        self._storage_specs = {
+            "machines": tuple(
+                tuple(
+                    manifest.spec(f"machine{machine.machine_id}/{column_name}")
+                    for column_name in self._MACHINE_COLUMNS
+                )
+                for machine in self.machines
+            ),
+            "global_nodes": manifest.spec("graph/node_ids"),
+            "global_labels": manifest.spec("graph/label_ids"),
+            "assignment_ids": manifest.spec("assignment/ids"),
+            "assignment_machines": manifest.spec("assignment/machines"),
+        }
+        self.loading_seconds = time.perf_counter() - started
+        return self.loading_seconds
+
+    @classmethod
+    def open_snapshot(
+        cls, directory, config: ClusterConfig | None = None, *, verify: bool = False
+    ) -> "MemoryCloud":
+        """Open a snapshot as a fresh cloud (``MemoryCloud``'s third constructor).
+
+        Without an explicit ``config`` the cluster shape (machine count,
+        partitioner) recorded in the snapshot manifest is used, so a cloud
+        round-trips through ``save_snapshot``/``open_snapshot`` unchanged.
+        """
+        if config is None:
+            from repro.storage.snapshot import read_manifest
+
+            manifest = read_manifest(directory)
+            config = (
+                cluster_config_from_manifest(manifest)
+                if manifest.has_cloud_state
+                else ClusterConfig()
+            )
+        cloud = cls(config)
+        cloud.load_snapshot(directory, verify=verify)
+        return cloud
+
+    @property
+    def storage_publication(self) -> Dict[str, object] | None:
+        """Mmap specs of a snapshot-backed cloud (``None`` after RAM loads).
+
+        The process-executor publication path checks this first: when the
+        cloud's arrays already live in a file, workers attach the file
+        instead of copying everything through shared memory.
+        """
+        return self._storage_specs
 
     # -- Trinity-style operators ----------------------------------------------
 
@@ -727,3 +940,50 @@ class MemoryCloud:
             f"MemoryCloud(machines={self.machine_count}, nodes={self.node_count}, "
             f"edges={self.edge_count})"
         )
+
+
+def _partitioner_name(partitioner) -> str:
+    """Stable manifest name of a partitioner (``"custom"`` when unknown)."""
+    from repro.graph.partition import (
+        BlockPartitioner,
+        HashPartitioner,
+        RoundRobinPartitioner,
+    )
+
+    for name, cls in (
+        ("hash", HashPartitioner),
+        ("round_robin", RoundRobinPartitioner),
+        ("block", BlockPartitioner),
+    ):
+        if type(partitioner) is cls:
+            return name
+    return "custom"
+
+
+def cluster_config_from_manifest(manifest) -> ClusterConfig:
+    """Rebuild a :class:`ClusterConfig` from a snapshot manifest's cloud section.
+
+    Unknown (custom) partitioner names fall back to the paper-default hash
+    partitioner — compaction repartitions with it in that case, which is
+    safe because query results are partition invariant.
+    """
+    from repro.graph.partition import (
+        BlockPartitioner,
+        HashPartitioner,
+        RoundRobinPartitioner,
+    )
+
+    cloud_meta = manifest.cloud or {}
+    partitioners = {
+        "hash": HashPartitioner,
+        "round_robin": RoundRobinPartitioner,
+        "block": BlockPartitioner,
+    }
+    partitioner_cls = partitioners.get(
+        cloud_meta.get("partitioner", "hash"), HashPartitioner
+    )
+    return ClusterConfig(
+        machine_count=manifest.machine_count or ClusterConfig().machine_count,
+        partitioner=partitioner_cls(),
+        track_label_pairs=bool(cloud_meta.get("track_label_pairs", True)),
+    )

@@ -62,6 +62,11 @@ class ConfigurationError(ReproError):
     """Raised for invalid cluster or engine configuration."""
 
 
+class StorageError(ReproError):
+    """Raised for storage-provider and snapshot failures (bad manifest,
+    checksum mismatch, unknown spec, malformed delta log)."""
+
+
 class ServiceError(ReproError):
     """Raised for query-service lifecycle failures (closed, drain timeout)."""
 

@@ -40,7 +40,13 @@ def read_label_file(path: str | Path) -> Dict[int, str]:
             parts = line.split("\t")
             if len(parts) != 2:
                 raise GraphError(f"{path}:{line_number}: expected 'id<TAB>label', got {line!r}")
-            labels[int(parts[0])] = parts[1]
+            try:
+                node_id = int(parts[0])
+            except ValueError:
+                raise GraphError(
+                    f"{path}:{line_number}: node ID {parts[0]!r} is not an integer"
+                )
+            labels[node_id] = parts[1]
     return labels
 
 
@@ -64,7 +70,12 @@ def read_edge_file(path: str | Path) -> List[Tuple[int, int]]:
             parts = line.split("\t")
             if len(parts) != 2:
                 raise GraphError(f"{path}:{line_number}: expected 'u<TAB>v', got {line!r}")
-            edges.append((int(parts[0]), int(parts[1])))
+            try:
+                edges.append((int(parts[0]), int(parts[1])))
+            except ValueError:
+                raise GraphError(
+                    f"{path}:{line_number}: edge endpoints must be integers, got {line!r}"
+                )
     return edges
 
 
@@ -73,9 +84,11 @@ def save_graph(prefix: str | Path, graph: LabeledGraph) -> Tuple[Path, Path]:
 
     Returns the two paths written.
     """
-    prefix = Path(prefix)
-    label_path = prefix.with_suffix(".labels")
-    edge_path = prefix.with_suffix(".edges")
+    # Append the suffixes rather than Path.with_suffix(), which *replaces*
+    # anything after the last dot: a prefix like "graph.v1" must map to
+    # "graph.v1.labels", not collide every version onto "graph.labels".
+    label_path = Path(f"{prefix}.labels")
+    edge_path = Path(f"{prefix}.edges")
     write_label_file(label_path, graph.labels())
     write_edge_file(edge_path, graph.edges())
     return label_path, edge_path
@@ -83,9 +96,8 @@ def save_graph(prefix: str | Path, graph: LabeledGraph) -> Tuple[Path, Path]:
 
 def load_graph(prefix: str | Path) -> LabeledGraph:
     """Load a graph previously written by :func:`save_graph`."""
-    prefix = Path(prefix)
-    labels = read_label_file(prefix.with_suffix(".labels"))
-    edges = read_edge_file(prefix.with_suffix(".edges"))
+    labels = read_label_file(Path(f"{prefix}.labels"))
+    edges = read_edge_file(Path(f"{prefix}.edges"))
     builder = GraphBuilder()
     builder.add_nodes(labels)
     builder.add_edges(edges)

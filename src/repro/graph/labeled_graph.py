@@ -118,9 +118,10 @@ class LabeledGraph:
         self._offsets = offsets
         self._neighbors = neighbors
         self._edge_count = int(edge_count)
-        self._row_of: Dict[int, int] = {
-            node: row for row, node in enumerate(node_ids.tolist())
-        }
+        # node ID -> CSR row, built lazily (see _row_of): a memmap-backed
+        # graph adopted from a snapshot must not pay an O(n) Python dict
+        # build before the first per-node lookup actually needs it.
+        self._row_of_cache: Dict[int, int] | None = None
         self._nodes_by_label: Dict[int, np.ndarray] = {}
         #: Optional provenance record set by the synthetic generators (see
         #: :class:`repro.graph.stats.GenerationReport`).
@@ -271,6 +272,15 @@ class LabeledGraph:
         return builder.build()
 
     # -- basic accessors --------------------------------------------------
+
+    @property
+    def _row_of(self) -> Dict[int, int]:
+        """The node ID -> CSR row dict, materialized on first use."""
+        cache = self._row_of_cache
+        if cache is None:
+            cache = {node: row for row, node in enumerate(self._node_ids.tolist())}
+            self._row_of_cache = cache
+        return cache
 
     @property
     def node_count(self) -> int:

@@ -1,20 +1,25 @@
-"""Publishing a loaded :class:`MemoryCloud` into shared memory, and back.
+"""Publishing a loaded :class:`MemoryCloud` to worker processes, and back.
 
 The process executor's contract is that the graph is **never pickled per
 task**.  Instead:
 
-* :func:`publish_cloud` pushes every machine's CSR columns (sorted node
+* :func:`publish_cloud` exposes every machine's CSR columns (sorted node
   IDs, label IDs, offsets, flat neighbor IDs), the cluster-wide label
-  arrays, and the partition assignment into ``multiprocessing``
-  shared-memory blocks — one copy, made once per cloud;
+  arrays, and the partition assignment through a storage provider
+  (:mod:`repro.storage`) — by default one copy into ``multiprocessing``
+  shared-memory blocks, made once per cloud.  A snapshot-backed cloud
+  (:meth:`MemoryCloud.load_snapshot`) skips even that copy: its arrays
+  already live in a file, so the handle carries the picklable mmap specs
+  as-is and nothing is published;
 * :func:`rebuild_cloud` runs inside each worker process and reconstructs a
   fully functional :class:`~repro.cloud.cluster.MemoryCloud` whose arrays
-  are zero-copy views over those same pages (via
-  :meth:`MemoryCloud.from_partition_state`).  Dense lookup tables — the
-  node->row, node->machine, and node->label acceleration structures — are
-  deliberately *not* shipped: each worker derives its own lazily, so the
-  caches live in per-process memory while the billion-edge-shaped payload
-  stays shared.
+  are zero-copy views over those same pages — shm and mmap specs attach
+  through the same :func:`~repro.storage.provider.attach_spec` dispatch
+  (via :meth:`MemoryCloud.from_partition_state`).  Dense lookup tables —
+  the node->row, node->machine, and node->label acceleration structures —
+  are deliberately *not* shipped: each worker derives its own lazily, so
+  the caches live in per-process memory while the billion-edge-shaped
+  payload stays shared.
 
 Exploration result tables take the same road for the join phase:
 :func:`publish_tables` exports the per-(machine, STwig) ``G_k(q_i)``
@@ -37,20 +42,22 @@ from repro.core.result import MatchTable
 from repro.graph.label_table import LabelTable
 from repro.graph.partition import PartitionAssignment
 from repro.query.query_graph import QueryGraph
+from repro.storage.provider import ArraySpec, ShmStorageProvider, attach_spec
 from repro.utils.shm import SegmentRegistry, SharedArraySpec, attach_array
 
 #: Per-machine CSR publication: (ids, label_ids, offsets, neighbors).
-MachineSpec = Tuple[SharedArraySpec, SharedArraySpec, SharedArraySpec, SharedArraySpec]
+MachineSpec = Tuple[ArraySpec, ArraySpec, ArraySpec, ArraySpec]
 
 
 @dataclass(frozen=True)
 class CloudHandle:
     """Picklable description of a published cloud (names, shapes, scalars).
 
-    Everything a worker needs to rebuild the cloud: the shared-memory specs
-    of every array plus the small plain-data state (label strings, machine
-    count, graph size).  The handle itself is a few hundred bytes — it is
-    shipped once per worker via the pool initializer.
+    Everything a worker needs to rebuild the cloud: the storage spec of
+    every array — shm or mmap, workers attach either — plus the small
+    plain-data state (label strings, machine count, graph size).  The
+    handle itself is a few hundred bytes — it is shipped once per worker
+    via the pool initializer.
     """
 
     machine_count: int
@@ -58,10 +65,10 @@ class CloudHandle:
     node_count: int
     edge_count: int
     machines: Tuple[MachineSpec, ...]
-    global_nodes: SharedArraySpec
-    global_labels: SharedArraySpec
-    assignment_ids: SharedArraySpec
-    assignment_machines: SharedArraySpec
+    global_nodes: ArraySpec
+    global_labels: ArraySpec
+    assignment_ids: ArraySpec
+    assignment_machines: ArraySpec
 
 
 @dataclass(frozen=True)
@@ -89,13 +96,34 @@ class TableSetHandle:
 
 
 def publish_cloud(cloud: MemoryCloud) -> Tuple[CloudHandle, SegmentRegistry]:
-    """Publish ``cloud``'s partitioned CSR state into shared memory.
+    """Publish ``cloud``'s partitioned CSR state for worker processes.
 
-    Returns the worker-facing :class:`CloudHandle` and the
-    :class:`SegmentRegistry` owning the blocks; closing the registry
+    Returns the worker-facing :class:`CloudHandle` and the provider
+    (a :class:`~repro.storage.provider.ShmStorageProvider`, i.e. a
+    :class:`SegmentRegistry`) owning any published blocks; closing it
     unlinks every segment.  Called once per (executor, cloud) pair.
+
+    A snapshot-backed cloud short-circuits: its arrays already live in a
+    snapshot's data file, so the handle ships the recorded mmap specs and
+    the returned provider is empty (nothing to unlink — the file outlives
+    every process by design).
     """
-    registry = SegmentRegistry()
+    registry = ShmStorageProvider()
+    specs = cloud.storage_publication
+    if specs is not None:
+        label_table = cloud.label_table
+        handle = CloudHandle(
+            machine_count=cloud.machine_count,
+            labels=label_table.labels() if label_table is not None else (),
+            node_count=cloud.node_count,
+            edge_count=cloud.edge_count,
+            machines=tuple(specs["machines"]),
+            global_nodes=specs["global_nodes"],
+            global_labels=specs["global_labels"],
+            assignment_ids=specs["assignment_ids"],
+            assignment_machines=specs["assignment_machines"],
+        )
+        return handle, registry
     try:
         machine_specs: List[MachineSpec] = []
         for machine in cloud.machines:
@@ -134,12 +162,15 @@ def rebuild_cloud(handle: CloudHandle) -> MemoryCloud:
     The rebuilt cloud holds references to its attached segments (they stay
     mapped for the worker's lifetime) and owns fresh per-process lazy
     caches; label-pair metadata is absent because plans — including load
-    sets — are computed on the driver and shipped with each task.
+    sets — are computed on the driver and shipped with each task.  Specs
+    go through :func:`~repro.storage.provider.attach_spec`, so an
+    shm-published cloud and a snapshot-backed (mmap) one rebuild
+    identically.
     """
     segments = []
 
-    def attach(spec: SharedArraySpec):
-        segment, view = attach_array(spec)
+    def attach(spec: ArraySpec):
+        segment, view = attach_spec(spec)
         segments.append(segment)
         return view
 
@@ -177,7 +208,7 @@ def publish_tables(tables) -> Tuple[TableSetHandle, SegmentRegistry]:
     registry; the caller closes it (unlinking everything) as soon as the
     join tasks have completed.
     """
-    registry = SegmentRegistry()
+    registry = ShmStorageProvider()
     try:
         specs = tuple(
             tuple(
@@ -200,7 +231,7 @@ def publish_bindings(
     The registry owns the blocks; close it once the tasks that received
     the handle have completed.
     """
-    registry = SegmentRegistry()
+    registry = ShmStorageProvider()
     try:
         specs = []
         for node in query.nodes():

@@ -121,8 +121,10 @@ class QueryService:
     """A long-lived, thread-safe query front-end over one resident cloud.
 
     Construct from an already-loaded cloud (shared lifecycle: the caller
-    keeps ownership and closes the cloud) or from a graph (the service
-    loads it and owns the resulting cloud)::
+    keeps ownership and closes the cloud), from a graph (the service loads
+    it and owns the resulting cloud), or from a persistent snapshot path
+    (service restart without a reload; the service owns the reopened
+    cloud)::
 
         with QueryService(graph=graph, cluster_config=ClusterConfig(4),
                           executor="process") as service:
@@ -138,6 +140,7 @@ class QueryService:
         cloud: Optional[MemoryCloud] = None,
         *,
         graph=None,
+        snapshot=None,
         cluster_config: Optional[ClusterConfig] = None,
         matcher_config: Optional[MatcherConfig] = None,
         statistics=None,
@@ -148,10 +151,19 @@ class QueryService:
 
         Args:
             cloud: an already-loaded memory cloud to serve from; stays owned
-                by the caller.  Exactly one of ``cloud``/``graph`` is given.
+                by the caller.  Exactly one of ``cloud``/``graph``/
+                ``snapshot`` is given.
             graph: a :class:`~repro.graph.labeled_graph.LabeledGraph` to
                 load; the service owns (and closes) the resulting cloud.
-            cluster_config: cluster shape used when loading ``graph``.
+            snapshot: path of a persistent snapshot directory
+                (:meth:`MemoryCloud.save_snapshot
+                <repro.cloud.cluster.MemoryCloud.save_snapshot>`) to reopen
+                — the service-restart path: the cloud comes up via
+                ``np.memmap`` in near-constant time instead of a full
+                reload, and the service owns it.
+            cluster_config: cluster shape used when loading ``graph`` or
+                opening ``snapshot`` (``None`` takes the snapshot's own
+                recorded shape).
             matcher_config: engine knobs shared by every query (including
                 ``plan_cache_size``).
             statistics: optional edge statistics forwarded to the planner.
@@ -160,16 +172,21 @@ class QueryService:
                 existing executor).
             service_config: admission-control and lifecycle knobs.
         """
-        if (cloud is None) == (graph is None):
+        sources = sum(source is not None for source in (cloud, graph, snapshot))
+        if sources != 1:
             raise ConfigurationError(
-                "construct QueryService from exactly one of cloud= or graph="
+                "construct QueryService from exactly one of cloud=, graph=, "
+                "or snapshot="
             )
         self.service_config = service_config or ServiceConfig()
         self.service_config.validate()
         self._owns_cloud = cloud is None
-        self.cloud = cloud if cloud is not None else MemoryCloud.from_graph(
-            graph, cluster_config
-        )
+        if cloud is not None:
+            self.cloud = cloud
+        elif graph is not None:
+            self.cloud = MemoryCloud.from_graph(graph, cluster_config)
+        else:
+            self.cloud = MemoryCloud.open_snapshot(snapshot, cluster_config)
         self._matcher = SubgraphMatcher(
             self.cloud, matcher_config, statistics=statistics, executor=executor
         )

@@ -1,0 +1,347 @@
+"""Persistent CSR snapshots: versioned manifest + one aligned column file.
+
+A snapshot is a directory holding the graph's columns exactly as they live
+in RAM:
+
+``manifest.json``
+    Versioned description of everything else: format name/version, a
+    monotonically increasing *generation* (bumped by compaction), node and
+    edge counts, the interned label table, and one entry per stored array
+    (name, byte offset, shape, dtype, CRC32).  Offsets are relative to the
+    data file, so a snapshot directory can be moved or copied freely.
+``columns.bin``
+    Every array appended at a 64-byte-aligned offset by
+    :class:`~repro.storage.provider.MmapStorageProvider`.  Reopening
+    attaches ``np.memmap`` views — no bytes are read until faulted in, so
+    opening a million-node graph costs file metadata, not array scans.
+``deltas.log``
+    Optional append-only edge/label log (see :mod:`repro.storage.delta`)
+    replayed over the base columns at open time.
+
+Array names are namespaced: ``graph/*`` holds the single-machine CSR
+columns, and a snapshot saved from a :class:`~repro.cloud.cluster.MemoryCloud`
+additionally stores ``assignment/*`` (the partition map), ``machine{i}/*``
+(each machine's CSR partition), and ``labelpairs/{a}_{b}`` (packed
+cross-machine label-pair keys), letting the cloud reopen without
+re-partitioning or re-deriving metadata.
+
+Both writes (``columns.bin`` then ``manifest.json``) go through temporary
+files and ``os.replace``, so a crashed save or compaction never leaves a
+readable-but-wrong snapshot behind: the manifest is the commit point.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.provider import (
+    MmapArraySpec,
+    MmapStorageProvider,
+    attach_spec,
+    verify_checksum,
+)
+
+#: Format tag stored in (and required of) every manifest.
+SNAPSHOT_FORMAT = "repro-csr-snapshot"
+#: Highest manifest version this reader understands.
+SNAPSHOT_VERSION = 1
+
+#: File names inside a snapshot directory.
+MANIFEST_NAME = "manifest.json"
+DATA_NAME = "columns.bin"
+DELTA_LOG_NAME = "deltas.log"
+
+#: The four arrays every snapshot stores (the single-machine CSR columns).
+GRAPH_ARRAY_NAMES: Tuple[str, ...] = (
+    "graph/node_ids",
+    "graph/label_ids",
+    "graph/offsets",
+    "graph/neighbors",
+)
+
+
+@dataclass
+class SnapshotManifest:
+    """Parsed ``manifest.json`` with specs resolved against the directory.
+
+    Attributes:
+        directory: the snapshot directory (absolute).
+        version: manifest format version.
+        generation: base-snapshot generation; compaction writes
+            ``generation + 1`` so readers can tell bases apart.
+        node_count / edge_count: totals of the stored graph.
+        labels: interned label table contents, in label-ID order.
+        arrays: name -> :class:`MmapArraySpec` bound to this directory's
+            data file (picklable; ship them to worker processes as-is).
+        checksums: name -> CRC32 recorded at write time.
+        cloud: cloud-state section (machine count, partitioner name, packed
+            label-pair metadata) or ``None`` for graph-only snapshots.
+    """
+
+    directory: Path
+    version: int
+    generation: int
+    node_count: int
+    edge_count: int
+    labels: Tuple[str, ...]
+    arrays: Dict[str, MmapArraySpec] = field(default_factory=dict)
+    checksums: Dict[str, int] = field(default_factory=dict)
+    cloud: Optional[dict] = None
+
+    def spec(self, name: str) -> MmapArraySpec:
+        """The spec of array ``name``; raises StorageError when absent."""
+        spec = self.arrays.get(name)
+        if spec is None:
+            raise StorageError(
+                f"snapshot {self.directory} has no array {name!r}"
+            )
+        return spec
+
+    def attach(self, name: str):
+        """Attach array ``name``, returning ``(handle, view)``."""
+        return attach_spec(self.spec(name))
+
+    @property
+    def has_cloud_state(self) -> bool:
+        """True when the snapshot stores partitioned cloud state."""
+        return self.cloud is not None
+
+    @property
+    def machine_count(self) -> int:
+        """Machines in the stored cloud state (0 for graph-only snapshots)."""
+        return int(self.cloud["machine_count"]) if self.cloud else 0
+
+    def verify(self) -> None:
+        """Re-read every array and compare checksums.
+
+        Raises:
+            StorageError: naming the first corrupt array.
+        """
+        for name, spec in self.arrays.items():
+            if not verify_checksum(spec, self.checksums.get(name, 0)):
+                raise StorageError(
+                    f"checksum mismatch for array {name!r} in snapshot "
+                    f"{self.directory}"
+                )
+
+    @property
+    def delta_log_path(self) -> Path:
+        """Path of the snapshot's delta log (may not exist yet)."""
+        return self.directory / DELTA_LOG_NAME
+
+
+def snapshot_exists(directory: str | Path) -> bool:
+    """True when ``directory`` holds a readable snapshot manifest."""
+    return (Path(directory) / MANIFEST_NAME).is_file()
+
+
+def write_snapshot(
+    directory: str | Path,
+    arrays: Mapping[str, np.ndarray],
+    *,
+    node_count: int,
+    edge_count: int,
+    labels: Sequence[str],
+    cloud: Optional[dict] = None,
+    generation: int = 1,
+) -> SnapshotManifest:
+    """Write a snapshot directory from named arrays (the low-level writer).
+
+    ``arrays`` must include every :data:`GRAPH_ARRAY_NAMES` entry; callers
+    wanting the one-liner for a plain graph use :func:`save_graph_snapshot`,
+    and :meth:`MemoryCloud.save_snapshot
+    <repro.cloud.cluster.MemoryCloud.save_snapshot>` adds the cloud section.
+    Data and manifest are written to temporaries and moved into place, so
+    a concurrent reader sees either the old snapshot or the new one.
+    """
+    for name in GRAPH_ARRAY_NAMES:
+        if name not in arrays:
+            raise StorageError(f"snapshot is missing required array {name!r}")
+    target = Path(directory).resolve()
+    target.mkdir(parents=True, exist_ok=True)
+    data_tmp = target / (DATA_NAME + ".tmp")
+
+    names: List[str] = list(arrays)
+    entries: List[dict] = []
+    with MmapStorageProvider(data_tmp, create=True) as provider:
+        for name in names:
+            spec = provider.publish(np.asarray(arrays[name]))
+            entries.append(
+                {
+                    "name": name,
+                    "offset": spec.offset,
+                    "shape": list(spec.shape),
+                    "dtype": spec.dtype,
+                }
+            )
+        for entry, crc in zip(entries, provider.checksums()):
+            entry["crc32"] = crc
+
+    manifest_doc = {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "generation": int(generation),
+        "created_unix": time.time(),
+        "node_count": int(node_count),
+        "edge_count": int(edge_count),
+        "labels": list(labels),
+        "data_file": DATA_NAME,
+        "arrays": entries,
+    }
+    if cloud is not None:
+        manifest_doc["cloud"] = cloud
+    manifest_tmp = target / (MANIFEST_NAME + ".tmp")
+    manifest_tmp.write_text(json.dumps(manifest_doc, indent=1) + "\n")
+    # Data first, manifest last: the manifest is the commit point.
+    os.replace(data_tmp, target / DATA_NAME)
+    os.replace(manifest_tmp, target / MANIFEST_NAME)
+    return read_manifest(target)
+
+
+def read_manifest(directory: str | Path, verify: bool = False) -> SnapshotManifest:
+    """Parse and validate ``manifest.json`` under ``directory``.
+
+    Args:
+        directory: snapshot directory.
+        verify: additionally re-read every array and check its CRC32.
+
+    Raises:
+        StorageError: missing/unparsable manifest, wrong format tag, a
+            version newer than this reader, a missing data file, or (with
+            ``verify``) a checksum mismatch.
+    """
+    target = Path(directory).resolve()
+    manifest_path = target / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise StorageError(f"no snapshot manifest at {manifest_path}")
+    try:
+        doc = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise StorageError(f"unreadable snapshot manifest {manifest_path}: {error}")
+    if doc.get("format") != SNAPSHOT_FORMAT:
+        raise StorageError(
+            f"{manifest_path} is not a {SNAPSHOT_FORMAT} manifest "
+            f"(format={doc.get('format')!r})"
+        )
+    version = int(doc.get("version", 0))
+    if not 1 <= version <= SNAPSHOT_VERSION:
+        raise StorageError(
+            f"snapshot version {version} is not supported "
+            f"(this reader understands 1..{SNAPSHOT_VERSION})"
+        )
+    data_path = target / doc.get("data_file", DATA_NAME)
+    if not data_path.is_file():
+        raise StorageError(f"snapshot data file {data_path} is missing")
+
+    arrays: Dict[str, MmapArraySpec] = {}
+    checksums: Dict[str, int] = {}
+    for entry in doc.get("arrays", ()):
+        name = entry["name"]
+        arrays[name] = MmapArraySpec(
+            path=str(data_path),
+            offset=int(entry["offset"]),
+            shape=tuple(int(dim) for dim in entry["shape"]),
+            dtype=str(entry["dtype"]),
+        )
+        checksums[name] = int(entry.get("crc32", 0))
+
+    manifest = SnapshotManifest(
+        directory=target,
+        version=version,
+        generation=int(doc.get("generation", 1)),
+        node_count=int(doc["node_count"]),
+        edge_count=int(doc["edge_count"]),
+        labels=tuple(doc.get("labels", ())),
+        arrays=arrays,
+        checksums=checksums,
+        cloud=doc.get("cloud"),
+    )
+    for name in GRAPH_ARRAY_NAMES:
+        if name not in manifest.arrays:
+            raise StorageError(
+                f"snapshot {target} is missing required array {name!r}"
+            )
+    if verify:
+        manifest.verify()
+    return manifest
+
+
+def save_graph_snapshot(
+    graph,
+    directory: str | Path,
+    *,
+    generation: int = 1,
+) -> SnapshotManifest:
+    """Persist a :class:`~repro.graph.labeled_graph.LabeledGraph`'s columns.
+
+    Stores only the ``graph/*`` section; saving from a cloud (which adds
+    partition state) is :meth:`MemoryCloud.save_snapshot
+    <repro.cloud.cluster.MemoryCloud.save_snapshot>`.
+    """
+    arrays = {
+        "graph/node_ids": graph.node_id_array(),
+        "graph/label_ids": graph.label_id_array(),
+        "graph/offsets": graph.offset_array(),
+        "graph/neighbors": graph.neighbor_array(),
+    }
+    return write_snapshot(
+        directory,
+        arrays,
+        node_count=graph.node_count,
+        edge_count=graph.edge_count,
+        labels=graph.label_table.labels(),
+        generation=generation,
+    )
+
+
+def open_graph_snapshot(
+    directory: str | Path,
+    *,
+    replay: bool = True,
+    verify: bool = False,
+):
+    """Reopen a snapshot as a :class:`~repro.graph.labeled_graph.LabeledGraph`.
+
+    The base columns are adopted as read-only ``np.memmap`` views — the
+    graph is usable immediately and pages fault in on first access.  With
+    ``replay`` (the default) a non-empty delta log is merged over the base
+    (see :func:`repro.storage.delta.replay_deltas`), which materializes the
+    merged graph in RAM; pass ``replay=False`` to read the base generation
+    only.
+
+    Returns the graph; its ``snapshot_manifest`` attribute carries the
+    parsed :class:`SnapshotManifest` for callers that need the metadata.
+    """
+    from repro.graph.label_table import LabelTable
+    from repro.graph.labeled_graph import LabeledGraph
+
+    manifest = read_manifest(directory, verify=verify)
+    views = {}
+    for name in GRAPH_ARRAY_NAMES:
+        _handle, view = manifest.attach(name)
+        views[name] = view
+    graph = LabeledGraph.from_csr(
+        LabelTable(manifest.labels),
+        views["graph/node_ids"],
+        views["graph/label_ids"],
+        views["graph/offsets"],
+        views["graph/neighbors"],
+        manifest.edge_count,
+    )
+    if replay:
+        from repro.storage.delta import DeltaLog, replay_deltas
+
+        log = DeltaLog(manifest.directory)
+        records = log.read()
+        if records:
+            graph = replay_deltas(graph, records)
+    graph.snapshot_manifest = manifest
+    return graph

@@ -40,6 +40,17 @@ class TestLabelFile:
         with pytest.raises(GraphError):
             read_label_file(path)
 
+    def test_non_integer_id_names_path_and_line(self, tmp_path):
+        path = tmp_path / "nodes.labels"
+        path.write_text("1\tx\nseven\ty\n")
+        with pytest.raises(GraphError, match=rf"{path}:2: node ID 'seven'"):
+            read_label_file(path)
+
+    def test_empty_file_yields_empty_mapping(self, tmp_path):
+        path = tmp_path / "nodes.labels"
+        path.write_text("")
+        assert read_label_file(path) == {}
+
 
 class TestEdgeFile:
     def test_roundtrip(self, tmp_path):
@@ -53,6 +64,22 @@ class TestEdgeFile:
         with pytest.raises(GraphError):
             read_edge_file(path)
 
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "graph.edges"
+        path.write_text("# header\n\n0\t1\n\n# tail\n1\t2\n")
+        assert read_edge_file(path) == [(0, 1), (1, 2)]
+
+    def test_non_integer_endpoint_names_path_and_line(self, tmp_path):
+        path = tmp_path / "graph.edges"
+        path.write_text("0\t1\n0\ttwo\n")
+        with pytest.raises(GraphError, match=rf"{path}:2: edge endpoints"):
+            read_edge_file(path)
+
+    def test_empty_file_yields_no_edges(self, tmp_path):
+        path = tmp_path / "graph.edges"
+        path.write_text("")
+        assert read_edge_file(path) == []
+
 
 class TestGraphRoundtrip:
     def test_save_and_load(self, tmp_path, sample_graph):
@@ -64,3 +91,29 @@ class TestGraphRoundtrip:
         assert loaded.edge_count == sample_graph.edge_count
         assert loaded.labels() == sample_graph.labels()
         assert sorted(loaded.edges()) == sorted(sample_graph.edges())
+
+    def test_dotted_prefix_keeps_every_component(self, tmp_path, sample_graph):
+        # Regression: Path.with_suffix() used to rewrite "graph.v1" to
+        # "graph.labels", colliding every dotted prefix onto one file pair.
+        prefix = tmp_path / "graph.v1"
+        label_path, edge_path = save_graph(prefix, sample_graph)
+        assert label_path.name == "graph.v1.labels"
+        assert edge_path.name == "graph.v1.edges"
+        loaded = load_graph(prefix)
+        assert sorted(loaded.edges()) == sorted(sample_graph.edges())
+
+    def test_dotted_prefixes_do_not_collide(self, tmp_path, sample_graph):
+        other = LabeledGraph.from_edges({7: "zeta", 8: "zeta"}, [(7, 8)])
+        save_graph(tmp_path / "graph.v1", sample_graph)
+        save_graph(tmp_path / "graph.v2", other)
+        assert sorted(load_graph(tmp_path / "graph.v1").edges()) == sorted(
+            sample_graph.edges()
+        )
+        assert sorted(load_graph(tmp_path / "graph.v2").edges()) == [(7, 8)]
+
+    def test_empty_graph_roundtrip(self, tmp_path):
+        empty = LabeledGraph.from_edges({}, [])
+        save_graph(tmp_path / "empty", empty)
+        loaded = load_graph(tmp_path / "empty")
+        assert loaded.node_count == 0
+        assert loaded.edge_count == 0

@@ -213,15 +213,59 @@ class TestAdmissionControl:
         with pytest.raises(ConfigurationError):
             ServiceConfig(admission_timeout=-1).validate()
 
-    def test_requires_exactly_one_source(self, service_graph):
+    def test_requires_exactly_one_source(self, service_graph, tmp_path):
         with pytest.raises(ConfigurationError, match="exactly one"):
             QueryService()
         cloud = MemoryCloud.from_graph(service_graph, ClusterConfig(machine_count=2))
         try:
             with pytest.raises(ConfigurationError, match="exactly one"):
                 QueryService(cloud, graph=service_graph)
+            with pytest.raises(ConfigurationError, match="exactly one"):
+                QueryService(cloud, snapshot=tmp_path / "snap")
+            with pytest.raises(ConfigurationError, match="exactly one"):
+                QueryService(graph=service_graph, snapshot=tmp_path / "snap")
         finally:
             cloud.close()
+
+
+class TestSnapshotRestart:
+    @pytest.fixture(scope="class")
+    def snapshot_dir(self, service_graph, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("service") / "snap"
+        cloud = MemoryCloud.from_graph(service_graph, ClusterConfig(machine_count=3))
+        try:
+            cloud.save_snapshot(directory)
+        finally:
+            cloud.close()
+        return directory
+
+    def test_restart_from_snapshot_matches_graph_service(
+        self, service_graph, service_queries, snapshot_dir
+    ):
+        """A service reopened from a snapshot returns the same rows."""
+        query = service_queries[0]
+        with QueryService(
+            graph=service_graph, cluster_config=ClusterConfig(machine_count=3)
+        ) as reference:
+            expected = reference.submit(query).matches.rows
+        with QueryService(snapshot=snapshot_dir) as restarted:
+            assert restarted.cloud.machine_count == 3
+            assert restarted.submit(query).matches.rows == expected
+
+    def test_warm_after_snapshot_restart(self, service_queries, snapshot_dir):
+        with QueryService(snapshot=snapshot_dir) as service:
+            service.warm(service_queries[1])
+            stats = service.stats()
+            result = service.submit(service_queries[1])
+            assert result.stats.plan_cache_hit is True
+            assert stats is not None
+
+    def test_service_owns_snapshot_cloud(self, snapshot_dir):
+        # Snapshot mode builds the cloud internally, so the service owns
+        # (and tears down) its runtime resources on close.
+        service = QueryService(snapshot=snapshot_dir)
+        assert service._owns_cloud is True
+        service.close()
 
 
 class TestLifecycle:

@@ -1,0 +1,82 @@
+"""Tests for snapshot-backed dataset caching (benchmark dataset reuse)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.cloud.config import ClusterConfig
+from repro.graph.generators import generate_gnm
+from repro.storage.cache import cached_cloud, cached_graph, default_cache_dir
+
+
+def make_graph():
+    return generate_gnm(30, 60, label_count=3, seed=2)
+
+
+class TestCachedGraph:
+    def test_miss_generates_and_saves(self, tmp_path):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return make_graph()
+
+        graph, info = cached_graph(tmp_path, "g30", factory)
+        assert calls == [1]
+        assert info["source"] == "generated"
+        assert "generate_seconds" in info and "save_seconds" in info
+        assert graph.node_count == 30
+
+    def test_hit_reopens_without_factory(self, tmp_path):
+        cached_graph(tmp_path, "g30", make_graph)
+
+        def must_not_run():
+            raise AssertionError("factory must not run on a cache hit")
+
+        graph, info = cached_graph(tmp_path, "g30", must_not_run)
+        assert info["source"] == "snapshot"
+        assert "open_seconds" in info
+        reference = make_graph()
+        assert sorted(graph.edges()) == sorted(reference.edges())
+
+    def test_refresh_regenerates(self, tmp_path):
+        cached_graph(tmp_path, "g30", make_graph)
+        _graph, info = cached_graph(tmp_path, "g30", make_graph, refresh=True)
+        assert info["source"] == "generated"
+
+    def test_distinct_names_are_distinct_entries(self, tmp_path):
+        cached_graph(tmp_path, "a", make_graph)
+        _graph, info = cached_graph(tmp_path, "b", make_graph)
+        assert info["source"] == "generated"
+
+
+class TestCachedCloud:
+    def test_miss_then_hit(self, tmp_path):
+        config = ClusterConfig(machine_count=3)
+        cloud, info = cached_cloud(tmp_path, "c30", make_graph, config)
+        assert info["source"] == "generated"
+        assert cloud.machine_count == 3
+
+        reopened, info = cached_cloud(
+            tmp_path,
+            "c30",
+            lambda: (_ for _ in ()).throw(AssertionError("no regenerate")),
+            config,
+        )
+        assert info["source"] == "snapshot"
+        assert reopened.machine_count == 3
+        assert reopened.node_count == cloud.node_count
+        assert reopened.edge_count == cloud.edge_count
+        for node in (0, 7, 29):
+            assert sorted(reopened.load_neighbors(node)) == sorted(
+                cloud.load_neighbors(node)
+            )
+
+
+class TestDefaultCacheDir:
+    def test_env_override_wins(self):
+        assert default_cache_dir("/tmp/somewhere") == Path("/tmp/somewhere")
+
+    def test_default_is_under_benchmarks(self):
+        path = default_cache_dir(None)
+        assert path.parts[-2:] == ("benchmarks", ".dataset_cache")

@@ -1,0 +1,186 @@
+"""End-to-end tests: cloud snapshots, the mmap fast path, and query parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.vf2 import vf2_match
+from repro.cloud.cluster import (
+    MemoryCloud,
+    cluster_config_from_manifest,
+)
+from repro.cloud.config import ClusterConfig
+from repro.core.engine import SubgraphMatcher
+from repro.graph.generators import generate_gnm
+from repro.graph.partition import BlockPartitioner, RoundRobinPartitioner
+from repro.query.query_graph import QueryGraph
+from repro.storage.delta import DeltaLog, compact_snapshot
+from repro.storage.snapshot import read_manifest, save_graph_snapshot
+
+
+@pytest.fixture
+def graph():
+    return generate_gnm(80, 220, label_count=4, seed=13)
+
+
+@pytest.fixture
+def cloud(graph):
+    return MemoryCloud.from_graph(graph, ClusterConfig(machine_count=3))
+
+
+def two_edge_path_query(graph) -> QueryGraph:
+    frequent = sorted(
+        graph.label_frequencies().items(), key=lambda item: (-item[1], item[0])
+    )
+    a, b, c = (label for label, _count in frequent[:3])
+    return QueryGraph({"q0": a, "q1": b, "q2": c}, [("q0", "q1"), ("q1", "q2")])
+
+
+def match_rows(cloud, query, executor="serial"):
+    result = SubgraphMatcher(cloud, executor=executor).match(query)
+    return sorted(result.matches.rows)
+
+
+class TestCloudRoundTrip:
+    def test_fast_path_round_trip(self, tmp_path, cloud, graph):
+        manifest = cloud.save_snapshot(tmp_path / "snap")
+        assert manifest.has_cloud_state
+        assert manifest.machine_count == 3
+
+        reopened = MemoryCloud.open_snapshot(tmp_path / "snap")
+        assert reopened.storage_publication is not None  # memmap fast path
+        assert reopened.machine_count == cloud.machine_count
+        assert reopened.node_count == cloud.node_count
+        assert reopened.edge_count == cloud.edge_count
+        assert reopened.partition_sizes() == cloud.partition_sizes()
+        for node in graph.nodes():
+            assert reopened.owner_of(node) == cloud.owner_of(node)
+            assert sorted(reopened.load_neighbors(node)) == sorted(
+                cloud.load_neighbors(node)
+            )
+
+    def test_label_pair_metadata_survives(self, tmp_path, cloud):
+        cloud.save_snapshot(tmp_path / "snap")
+        reopened = MemoryCloud.open_snapshot(tmp_path / "snap")
+        for a in range(3):
+            for b in range(3):
+                assert reopened.label_pairs_between(a, b) == (
+                    cloud.label_pairs_between(a, b)
+                )
+
+    def test_partitioner_recorded_and_restored(self, tmp_path, graph):
+        config = ClusterConfig(machine_count=2, partitioner=RoundRobinPartitioner())
+        cloud = MemoryCloud.from_graph(graph, config)
+        cloud.save_snapshot(tmp_path / "snap")
+        manifest = read_manifest(tmp_path / "snap")
+        assert manifest.cloud["partitioner"] == "round_robin"
+        restored = cluster_config_from_manifest(manifest)
+        assert isinstance(restored.partitioner, RoundRobinPartitioner)
+        assert restored.machine_count == 2
+
+    def test_load_snapshot_bumps_generation(self, tmp_path, cloud):
+        cloud.save_snapshot(tmp_path / "snap")
+        before = cloud.load_generation
+        cloud.load_snapshot(tmp_path / "snap")
+        assert cloud.load_generation == before + 1
+        assert cloud.storage_publication is not None
+
+    def test_load_graph_supersedes_snapshot_backing(self, tmp_path, cloud, graph):
+        cloud.save_snapshot(tmp_path / "snap")
+        cloud.load_snapshot(tmp_path / "snap")
+        assert cloud.storage_publication is not None
+        cloud.load_graph(graph)
+        assert cloud.storage_publication is None
+
+
+class TestFallbackPaths:
+    def test_pending_deltas_force_replayed_reload(self, tmp_path, cloud):
+        cloud.save_snapshot(tmp_path / "snap")
+        DeltaLog(tmp_path / "snap").append_nodes([(5000, "new")])
+        DeltaLog(tmp_path / "snap").append_edges([(5000, 0)])
+        reopened = MemoryCloud.open_snapshot(tmp_path / "snap")
+        assert reopened.storage_publication is None  # replayed, not memmapped
+        assert reopened.node_count == cloud.node_count + 1
+        assert 0 in {int(n) for n in reopened.load_neighbors(5000)}
+
+    def test_graph_only_snapshot_repartitions(self, tmp_path, graph):
+        save_graph_snapshot(graph, tmp_path / "snap")
+        reopened = MemoryCloud.open_snapshot(
+            tmp_path / "snap", ClusterConfig(machine_count=2)
+        )
+        assert reopened.storage_publication is None
+        assert reopened.machine_count == 2
+        assert reopened.node_count == graph.node_count
+
+    def test_machine_count_mismatch_repartitions(self, tmp_path, cloud, graph):
+        cloud.save_snapshot(tmp_path / "snap")
+        reopened = MemoryCloud.open_snapshot(
+            tmp_path / "snap", ClusterConfig(machine_count=5)
+        )
+        assert reopened.storage_publication is None
+        assert reopened.machine_count == 5
+        assert reopened.edge_count == cloud.edge_count
+
+    def test_partitioner_mismatch_still_uses_stored_partition(self, tmp_path, graph):
+        # The fast path keys on machine count; the stored partition map wins.
+        cloud = MemoryCloud.from_graph(
+            graph, ClusterConfig(machine_count=3, partitioner=BlockPartitioner())
+        )
+        cloud.save_snapshot(tmp_path / "snap")
+        reopened = MemoryCloud.open_snapshot(tmp_path / "snap")
+        assert reopened.partition_sizes() == cloud.partition_sizes()
+
+
+class TestQueryParity:
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_snapshot_cloud_matches_in_ram_cloud(
+        self, tmp_path, cloud, graph, executor
+    ):
+        query = two_edge_path_query(graph)
+        reference = match_rows(cloud, query)
+        assert reference, "query must have matches for the parity check to bite"
+
+        cloud.save_snapshot(tmp_path / "snap")
+        reopened = MemoryCloud.open_snapshot(tmp_path / "snap")
+        assert reopened.storage_publication is not None
+        assert match_rows(reopened, query, executor) == reference
+
+    def test_overlay_and_compacted_clouds_agree(self, tmp_path, cloud, graph):
+        query = two_edge_path_query(graph)
+        cloud.save_snapshot(tmp_path / "snap")
+        DeltaLog(tmp_path / "snap").append_edges([(0, 2), (1, 3)])
+
+        overlay = MemoryCloud.open_snapshot(tmp_path / "snap")
+        overlay_rows = match_rows(overlay, query)
+
+        compact_snapshot(tmp_path / "snap")
+        compacted = MemoryCloud.open_snapshot(tmp_path / "snap")
+        assert compacted.storage_publication is not None
+        assert match_rows(compacted, query) == overlay_rows
+
+    def test_vf2_cross_check_on_snapshot_cloud(self, tmp_path, cloud, graph):
+        query = two_edge_path_query(graph)
+        cloud.save_snapshot(tmp_path / "snap")
+        reopened = MemoryCloud.open_snapshot(tmp_path / "snap")
+        result = SubgraphMatcher(reopened).match(query)
+        expected = {
+            tuple(match[node] for node in result.query_nodes)
+            for match in vf2_match(graph, query)
+        }
+        assert set(result.matches.rows) == expected
+
+
+class TestPlanCacheInvalidation:
+    def test_load_snapshot_invalidates_plan_cache(self, tmp_path, cloud, graph):
+        query = two_edge_path_query(graph)
+        matcher = SubgraphMatcher(cloud)
+        first = matcher.match(query)
+        assert first.stats.plan_cache_hit is False
+        second = matcher.match(query)
+        assert second.stats.plan_cache_hit is True
+
+        cloud.save_snapshot(tmp_path / "snap")
+        cloud.load_snapshot(tmp_path / "snap")
+        third = matcher.match(query)
+        assert third.stats.plan_cache_hit is False
+        assert sorted(third.matches.rows) == sorted(first.matches.rows)

@@ -140,3 +140,106 @@ class TestServeCommands:
         assert args.clients == 4
         assert args.rounds == 2
         assert args.graph is None
+
+
+class TestSnapshotCommands:
+    @pytest.fixture
+    def graph_prefix(self, tmp_path):
+        prefix = tmp_path / "graph"
+        assert main(
+            [
+                "generate", "--kind", "gnm", "--nodes", "150", "--edges", "400",
+                "--seed", "9", "--out", str(prefix),
+            ]
+        ) == 0
+        return prefix
+
+    @pytest.fixture
+    def snapshot_dir(self, graph_prefix, tmp_path, capsys):
+        snap = tmp_path / "snap"
+        assert main(
+            ["save", "--graph", str(graph_prefix), "--out", str(snap),
+             "--machines", "2"]
+        ) == 0
+        capsys.readouterr()
+        return snap
+
+    def test_save_reports_shape(self, graph_prefix, tmp_path, capsys):
+        snap = tmp_path / "snap"
+        assert main(
+            ["save", "--graph", str(graph_prefix), "--out", str(snap),
+             "--machines", "2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "saved 150 nodes" in output
+        assert "2 machines" in output
+        assert "generation 1" in output
+
+    def test_save_graph_only(self, graph_prefix, tmp_path, capsys):
+        snap = tmp_path / "snap"
+        assert main(
+            ["save", "--graph", str(graph_prefix), "--out", str(snap),
+             "--graph-only"]
+        ) == 0
+        assert "graph-only" in capsys.readouterr().out
+
+    def test_open_uses_fast_path(self, snapshot_dir, capsys):
+        assert main(["open", "--snapshot", str(snapshot_dir), "--verify"]) == 0
+        output = capsys.readouterr().out
+        assert "150 nodes" in output
+        assert "memmap fast path" in output
+        assert "checksums verified" in output
+        assert "0 pending delta records" in output
+
+    def test_append_then_open_then_compact(self, snapshot_dir, capsys):
+        assert main(
+            ["append", "--snapshot", str(snapshot_dir),
+             "--node", "9000", "zz", "--edge", "9000", "0"]
+        ) == 0
+        assert "appended 2 records" in capsys.readouterr().out
+
+        assert main(["open", "--snapshot", str(snapshot_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "replayed reload" in output
+        assert "2 pending delta records" in output
+
+        assert main(["compact", "--snapshot", str(snapshot_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "folded 2 delta records" in output
+        assert "generation 1 -> 2" in output
+        assert "151 nodes" in output  # the folded base includes the new node
+
+        assert main(["compact", "--snapshot", str(snapshot_dir)]) == 0
+        assert "nothing to compact" in capsys.readouterr().out
+
+        assert main(["open", "--snapshot", str(snapshot_dir)]) == 0
+        assert "memmap fast path" in capsys.readouterr().out
+
+    def test_query_from_snapshot_matches_query_from_graph(
+        self, graph_prefix, snapshot_dir, tmp_path, capsys
+    ):
+        query_file = tmp_path / "pattern.q"
+        query_file.write_text("node u L0\nnode v L1\nedge u v\n", encoding="utf-8")
+        assert main(
+            ["query", "--graph", str(graph_prefix), "--query-file",
+             str(query_file), "--machines", "2"]
+        ) == 0
+        from_graph = capsys.readouterr().out
+        assert main(
+            ["query", "--snapshot", str(snapshot_dir), "--query-file",
+             str(query_file)]
+        ) == 0
+        from_snapshot = capsys.readouterr().out
+        assert "matches in" in from_snapshot
+        assert from_graph.split(" matches")[0] == from_snapshot.split(" matches")[0]
+
+    def test_query_requires_exactly_one_source(self, graph_prefix, snapshot_dir, tmp_path):
+        query_file = tmp_path / "pattern.q"
+        query_file.write_text("node u L0\nnode v L1\nedge u v\n", encoding="utf-8")
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["query", "--query-file", str(query_file)])
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(
+                ["query", "--graph", str(graph_prefix), "--snapshot",
+                 str(snapshot_dir), "--query-file", str(query_file)]
+            )
