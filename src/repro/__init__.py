@@ -5,25 +5,26 @@ subgraph matching algorithm on top of a simulated Trinity-style memory
 cloud, plus the baselines, workloads, and benchmark harness needed to
 regenerate the paper's evaluation.
 
-Quickstart::
+Quickstart — :mod:`repro.api` is the documented entry point::
 
-    from repro import ClusterConfig, MemoryCloud, SubgraphMatcher
-    from repro.graph.generators import generate_rmat
-    from repro.query import parse_query
+    import repro.api as api
 
-    graph = generate_rmat(node_count=10_000, average_degree=8, label_density=0.01, seed=1)
-    cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=4))
-    matcher = SubgraphMatcher(cloud)
-    query = parse_query(\"\"\"
-        node u L1
-        node v L2
-        node w L3
-        edge u v
-        edge v w
-        edge w u
-    \"\"\")
-    result = matcher.match(query, limit=1024)
-    print(result.match_count, "matches")
+    # any dataset source: a built-in name, an edge-list file (sparse or
+    # string IDs are remapped transparently), a DBLP XML dump, or a
+    # persistent snapshot directory
+    with api.connect("rmat", machines=4, executor="process") as db:
+        result = db.query(\"\"\"
+            node u L1
+            node v L2
+            node w L3
+            edge u v
+            edge v w
+            edge w u
+        \"\"\", limit=1024)
+        print(result.match_count, "matches")   # original dataset IDs
+
+The composable layers underneath (``MemoryCloud`` + ``SubgraphMatcher``,
+``QueryService``) remain public for callers that need finer control.
 """
 
 from repro.cloud.cluster import MemoryCloud

@@ -7,11 +7,21 @@ Three subcommands cover the common workflows without writing Python:
       python -m repro generate --kind rmat --nodes 10000 --degree 8 \
           --label-density 0.01 --seed 1 --out /tmp/g
 
-* ``query`` — load a saved graph into a simulated memory cloud and run a
-  query written in the textual format (``node``/``edge`` lines)::
+* ``ingest`` — turn a real dataset (whitespace/TSV edge list with sparse
+  or string IDs, or a DBLP XML dump) into a persistent snapshot; external
+  IDs are remapped to the dense domain and the mapping is stored, so
+  queries answer in the original IDs::
+
+      python -m repro ingest --edges coauthor.tsv --out /tmp/co.snap
+      python -m repro ingest --dblp-xml dblp.xml --out /tmp/dblp.snap
+
+* ``query`` — run a query written in the textual format (``node``/``edge``
+  lines) over a saved graph, an ingested/named dataset, or a snapshot::
 
       python -m repro query --graph /tmp/g --query-file pattern.q \
           --machines 4 --limit 1024
+      python -m repro query --dataset coauthor.tsv --query-file motif.q
+      python -m repro query --snapshot /tmp/co.snap --query-file motif.q
 
 * ``experiment`` — run one of the paper's experiments and print its table::
 
@@ -39,8 +49,10 @@ new base generation::
       python -m repro append --snapshot /tmp/g.snap --edge 17 42 --node 99 L3
       python -m repro compact --snapshot /tmp/g.snap
 
-``query`` and ``serve`` accept ``--snapshot`` in place of ``--graph`` to
-start from a snapshot directly (near-constant open instead of a reload).
+``query`` and ``serve`` take their data from exactly one of ``--graph``
+(a saved prefix), ``--dataset`` (anything ``repro.api.load_dataset``
+resolves: a built-in name, an edge list, DBLP XML), or ``--snapshot``
+(near-constant open instead of a reload).
 """
 
 from __future__ import annotations
@@ -113,8 +125,14 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--graph", help="graph path prefix (from 'generate')")
     query.add_argument(
         "--snapshot",
-        help="snapshot directory (from 'save'); alternative to --graph, "
-        "using the cluster shape recorded in the snapshot",
+        help="snapshot directory (from 'save' or 'ingest'); alternative to "
+        "--graph, using the cluster shape recorded in the snapshot",
+    )
+    query.add_argument(
+        "--dataset",
+        help="dataset for repro.api.load_dataset: a built-in name, an "
+        "edge-list file (sparse/string IDs are remapped), or DBLP XML; "
+        "alternative to --graph",
     )
     query.add_argument("--query-file", required=True, help="query in the textual node/edge format")
     query.add_argument("--machines", type=int, default=4)
@@ -144,8 +162,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--graph", help="graph path prefix (from 'generate')")
     serve.add_argument(
         "--snapshot",
-        help="snapshot directory (from 'save'); alternative to --graph — "
-        "the service restarts from it in near-constant time",
+        help="snapshot directory (from 'save' or 'ingest'); alternative to "
+        "--graph — the service restarts from it in near-constant time",
+    )
+    serve.add_argument(
+        "--dataset",
+        help="dataset for repro.api.load_dataset (built-in name, edge list, "
+        "or DBLP XML); alternative to --graph",
     )
     serve.add_argument("--machines", type=int, default=4)
     serve.add_argument(
@@ -249,6 +272,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compact.add_argument("--snapshot", required=True, help="snapshot directory")
 
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="ingest a real dataset (edge list / DBLP XML) into a snapshot",
+    )
+    ingest.add_argument(
+        "--edges",
+        help="whitespace/TSV edge-list file; IDs may be sparse 64-bit "
+        "integers or strings (remapped to the dense domain)",
+    )
+    ingest.add_argument("--dblp-xml", help="DBLP XML file (co-author projection)")
+    ingest.add_argument(
+        "--dblp-mode",
+        choices=["coauthor", "bipartite"],
+        default="coauthor",
+        help="DBLP projection: co-author edges, or author/paper bipartite",
+    )
+    ingest.add_argument(
+        "--label-mode",
+        choices=["degree", "uniform"],
+        default="degree",
+        help="labels for unlabeled edge lists: degree bands (rank0..rankK) "
+        "or a single 'entity' label",
+    )
+    ingest.add_argument("--out", required=True, help="snapshot directory to write")
+    ingest.add_argument(
+        "--machines",
+        type=int,
+        default=4,
+        help="partition for this many machines (snapshot reopens fastest "
+        "on the same shape)",
+    )
+
     return parser
 
 
@@ -275,13 +330,24 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The one-of error shared by ``query`` and ``serve``.
+_SOURCE_ERROR = "give exactly one of --dataset, --graph, or --snapshot"
+
+
 def _open_cloud(args: argparse.Namespace) -> MemoryCloud:
-    """Resolve --graph/--snapshot into a loaded cloud (used by query/serve)."""
-    if (args.graph is None) == (args.snapshot is None):
-        raise SystemExit("give exactly one of --graph or --snapshot")
+    """Resolve --dataset/--graph/--snapshot into a loaded cloud."""
+    dataset = getattr(args, "dataset", None)
+    sources = sum(s is not None for s in (dataset, args.graph, args.snapshot))
+    if sources != 1:
+        raise SystemExit(_SOURCE_ERROR)
     if args.snapshot is not None:
         return MemoryCloud.open_snapshot(args.snapshot)
-    graph = load_graph(args.graph)
+    if dataset is not None:
+        from repro.api import load_dataset
+
+        graph = load_dataset(dataset)
+    else:
+        graph = load_graph(args.graph)
     return MemoryCloud.from_graph(graph, ClusterConfig(machine_count=args.machines))
 
 
@@ -339,8 +405,9 @@ def _command_serve(args: argparse.Namespace) -> int:
     from repro.query.parser import format_query
     from repro.serve import QueryService, ServiceConfig
 
-    if (args.graph is None) == (args.snapshot is None):
-        raise SystemExit("give exactly one of --graph or --snapshot")
+    sources = sum(s is not None for s in (args.dataset, args.graph, args.snapshot))
+    if sources != 1:
+        raise SystemExit(_SOURCE_ERROR)
     runtime = RuntimeConfig(backend=args.executor, max_workers=args.workers)
     service_config = ServiceConfig(
         max_in_flight=args.max_in_flight,
@@ -350,8 +417,14 @@ def _command_serve(args: argparse.Namespace) -> int:
     if args.snapshot is not None:
         source_args = {"snapshot": args.snapshot}
     else:
+        if args.dataset is not None:
+            from repro.api import load_dataset
+
+            graph = load_dataset(args.dataset)
+        else:
+            graph = load_graph(args.graph)
         source_args = {
-            "graph": load_graph(args.graph),
+            "graph": graph,
             "cluster_config": ClusterConfig(machine_count=args.machines),
         }
     with QueryService(
@@ -521,6 +594,33 @@ def _command_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_ingest(args: argparse.Namespace) -> int:
+    from repro.ingest import degree_band_labeler, ingest_dblp_xml, ingest_edge_list
+
+    if (args.edges is None) == (args.dblp_xml is None):
+        raise SystemExit("give exactly one of --edges or --dblp-xml")
+    if args.dblp_xml is not None:
+        graph = ingest_dblp_xml(args.dblp_xml, mode=args.dblp_mode)
+    else:
+        labeler = degree_band_labeler() if args.label_mode == "degree" else None
+        graph = ingest_edge_list(args.edges, labeler=labeler)
+    report = graph.ingest_report
+    print(report.summary())
+    # The snapshot is the same log-structured store 'save' writes; the
+    # external-ID map rides in the manifest so reopen round-trips it.
+    with MemoryCloud.from_graph(
+        graph, ClusterConfig(machine_count=args.machines)
+    ) as cloud:
+        manifest = cloud.save_snapshot(args.out)
+    kind = manifest.id_map["kind"] if manifest.id_map else "dense (no map needed)"
+    print(
+        f"saved {manifest.node_count} nodes / {manifest.edge_count} edges "
+        f"({args.machines} machines, {len(manifest.arrays)} arrays, "
+        f"id map: {kind}) to {manifest.directory}"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro`` / the ``repro`` console script."""
     args = build_parser().parse_args(argv)
@@ -542,6 +642,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_append(args)
     if args.command == "compact":
         return _command_compact(args)
+    if args.command == "ingest":
+        return _command_ingest(args)
     return 2  # pragma: no cover - argparse enforces the choices above
 
 

@@ -90,6 +90,9 @@ class MemoryCloud:
         # worker processes without copying it into shared memory first.
         self._storage_specs: Dict[str, object] | None = None
         self._storage_handles: List = []
+        # External->dense ID map of an ingested graph (repro.ingest.IdMap);
+        # carried so result materialization reports the caller's IDs.
+        self._id_map = None
 
     # -- construction --------------------------------------------------------
 
@@ -120,6 +123,7 @@ class MemoryCloud:
         self._assignment = assignment
         self._graph_node_count = graph.node_count
         self._graph_edge_count = graph.edge_count
+        self._id_map = getattr(graph, "id_map", None)
 
         node_ids = graph.node_id_array()
         label_ids = graph.label_id_array()
@@ -342,6 +346,7 @@ class MemoryCloud:
             labels=self._label_table.labels(),
             cloud=cloud_meta,
             generation=generation,
+            id_map=self._id_map,
         )
 
     def load_snapshot(self, directory, *, verify: bool = False) -> float:
@@ -419,6 +424,7 @@ class MemoryCloud:
                     f"labelpairs/{low}_{high}"
                 )
 
+        self._id_map = manifest.load_id_map()
         self._storage_handles = handles
         self._storage_specs = {
             "machines": tuple(
@@ -810,6 +816,16 @@ class MemoryCloud:
     def label_table(self) -> LabelTable | None:
         """The label table shared by every machine (None before loading)."""
         return self._label_table
+
+    @property
+    def id_map(self):
+        """External->dense :class:`~repro.ingest.IdMap` of an ingested graph.
+
+        ``None`` when the loaded graph's node IDs are the caller's own (the
+        synthetic-generator case).  The engine reads this at result
+        materialization so matches report original external IDs.
+        """
+        return self._id_map
 
     @property
     def load_generation(self) -> int:

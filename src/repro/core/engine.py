@@ -28,7 +28,13 @@ from repro.core.exploration import explore
 from repro.core.planner import MatcherConfig, QueryPlan, QueryPlanner
 from repro.core.result import MatchResult, StageStats
 from repro.query.query_graph import QueryGraph
-from repro.runtime import Executor, ExecutorSpec, create_executor
+from repro.runtime import (
+    Executor,
+    ExecutorSpec,
+    create_executor,
+    normalize_executor_spec,
+)
+from repro.utils.deprecation import shim_renamed_kwarg as _shim_deprecated
 
 
 class SubgraphMatcher:
@@ -48,6 +54,8 @@ class SubgraphMatcher:
         config: MatcherConfig | None = None,
         statistics=None,
         executor: ExecutorSpec = None,
+        workers: Optional[int] = None,
+        **deprecated,
     ) -> None:
         """Create a matcher.
 
@@ -65,7 +73,19 @@ class SubgraphMatcher:
                 closed by this matcher).  ``None`` resolves the
                 ``REPRO_EXECUTOR`` environment variable, defaulting to
                 serial execution.
+            workers: pool size for the thread/process backends (same
+                spelling as ``QueryService`` and the CLI's ``--workers``);
+                not combinable with an ``Executor`` instance.
         """
+        workers = _shim_deprecated(
+            deprecated, "max_workers", "workers", workers, SubgraphMatcher
+        )
+        if deprecated:
+            raise TypeError(
+                f"unexpected keyword arguments {sorted(deprecated)} "
+                "for SubgraphMatcher"
+            )
+        executor = normalize_executor_spec(executor, workers)
         self.cloud = cloud
         self.config = config or MatcherConfig()
         self._planner = QueryPlanner(cloud, self.config, statistics=statistics)
@@ -169,6 +189,7 @@ class SubgraphMatcher:
             simulated_seconds=simulated,
             metrics=metrics_delta,
             stats=stats,
+            id_map=self.cloud.id_map,
         )
 
     def match_count(self, query: QueryGraph, limit: Optional[int] = None) -> int:

@@ -280,7 +280,15 @@ class StageStats:
 
 @dataclass
 class MatchResult:
-    """The answer to one subgraph matching query plus execution metadata."""
+    """The answer to one subgraph matching query plus execution metadata.
+
+    ``matches`` always holds the engine's internal (dense) node IDs.  For a
+    graph that came through the ingestion layer, ``id_map`` carries the
+    external<->dense bijection and the materializing accessors
+    (:meth:`as_dicts`, :meth:`external_rows`) translate back to the
+    caller's original IDs — one vectorized gather over the final result,
+    never per intermediate row.
+    """
 
     query_nodes: Tuple[str, ...]
     matches: MatchTable
@@ -288,15 +296,32 @@ class MatchResult:
     simulated_seconds: float = 0.0
     metrics: Dict[str, int] = field(default_factory=dict)
     stats: StageStats = field(default_factory=StageStats)
+    id_map: object | None = None
 
     @property
     def match_count(self) -> int:
         """Number of matches found (possibly truncated by a result limit)."""
         return self.matches.row_count
 
+    def external_rows(self) -> List[Tuple]:
+        """Match rows in the caller's original (external) node IDs.
+
+        Identical to ``matches.rows`` when no :attr:`id_map` is attached or
+        the map is the identity.
+        """
+        from repro.ingest.idmap import remap_results
+
+        return remap_results(self.id_map, self.matches.rows)
+
     def as_dicts(self) -> List[Dict[str, int]]:
-        """Matches as dictionaries keyed by query-node name."""
-        return self.matches.as_dicts()
+        """Matches as dictionaries keyed by query-node name.
+
+        Values are external IDs when the result carries an :attr:`id_map`.
+        """
+        if self.id_map is None:
+            return self.matches.as_dicts()
+        columns = self.matches.columns
+        return [dict(zip(columns, row)) for row in self.external_rows()]
 
     def assignments(self) -> List[Dict[str, int]]:
         """Alias of :meth:`as_dicts` (query node -> data node)."""

@@ -126,6 +126,10 @@ class LabeledGraph:
         #: Optional provenance record set by the synthetic generators (see
         #: :class:`repro.graph.stats.GenerationReport`).
         self.generation = None
+        #: Optional external->dense ID bijection attached by the ingestion
+        #: layer (see :class:`repro.ingest.IdMap`); ``None`` means node IDs
+        #: are the caller's own IDs.
+        self.id_map = None
 
     # -- construction -----------------------------------------------------
 

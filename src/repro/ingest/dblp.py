@@ -1,0 +1,143 @@
+"""DBLP XML adapter: publication records -> labeled co-authorship graphs.
+
+DBLP distributes its bibliography as one large XML file whose records are
+publication elements (``article``, ``inproceedings``, …) each holding
+``<author>`` children.  This adapter streams that XML with
+``xml.etree.ElementTree.iterparse`` — clearing elements as records close,
+so memory stays flat regardless of file size — and projects it into one of
+two graph shapes:
+
+* ``mode="coauthor"`` (default): author nodes only, an edge between every
+  pair of co-authors of any record.  This is the classic co-authorship
+  projection used by bibliometric studies of the field and the workload
+  the motif suite targets.
+* ``mode="bipartite"``: ``author`` and ``paper`` labeled nodes with
+  authorship edges — the richer shape for cross-label path motifs.
+
+External IDs are the author name strings (and synthesized ``paper:<key>``
+strings in bipartite mode); the shared ingestion core remaps them to the
+dense domain, so DBLP graphs ride the same O(1) lookup paths as every
+other graph.  The adapter activates only when source XML is actually
+available — there is no bundled dump — which is why tests feed it tiny
+inline documents.
+"""
+
+from __future__ import annotations
+
+import os
+import xml.etree.ElementTree as ET
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.ingest.edgelist import ingest_edges
+
+#: DBLP record (publication) element tags that carry ``<author>`` children.
+RECORD_TAGS = frozenset(
+    {
+        "article",
+        "inproceedings",
+        "proceedings",
+        "book",
+        "incollection",
+        "phdthesis",
+        "mastersthesis",
+        "www",
+    }
+)
+
+#: Projection modes understood by :func:`ingest_dblp_xml`.
+DBLP_MODES = ("coauthor", "bipartite")
+
+AUTHOR_LABEL = "author"
+PAPER_LABEL = "paper"
+
+
+def iter_dblp_records(path: Union[str, os.PathLike]) -> Iterator[Tuple[str, List[str]]]:
+    """Stream ``(record_key, author_names)`` pairs from a DBLP XML file.
+
+    Records without authors are skipped; records without a ``key``
+    attribute get a synthetic positional key.  Elements are cleared as
+    they close so arbitrarily large dumps stream in constant memory.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        raise GraphError(f"DBLP XML file not found: {path}")
+    index = 0
+    try:
+        for _event, element in ET.iterparse(path, events=("end",)):
+            if element.tag not in RECORD_TAGS:
+                continue
+            authors = [
+                author.text.strip()
+                for author in element.iter("author")
+                if author.text and author.text.strip()
+            ]
+            if authors:
+                key = element.get("key") or f"record/{index}"
+                yield key, authors
+            index += 1
+            element.clear()
+    except ET.ParseError as exc:
+        raise GraphError(f"{path}: malformed DBLP XML ({exc})") from exc
+
+
+def ingest_dblp_xml(
+    path: Union[str, os.PathLike],
+    *,
+    mode: str = "coauthor",
+    max_records: Optional[int] = None,
+) -> LabeledGraph:
+    """Ingest a DBLP XML file into a labeled graph (see module docstring).
+
+    Args:
+        path: path to the DBLP XML dump (or any slice of it).
+        mode: ``"coauthor"`` or ``"bipartite"``.
+        max_records: stop after this many publication records (slicing a
+            full dump without preprocessing).
+
+    Raises:
+        GraphError: missing file, malformed XML, unknown mode, or a
+            document yielding no authored records.
+    """
+    if mode not in DBLP_MODES:
+        raise GraphError(
+            f"unknown DBLP mode {mode!r} (expected one of {DBLP_MODES})"
+        )
+    src: List[str] = []
+    dst: List[str] = []
+    labels: Dict[object, str] = {}
+    records = 0
+    for key, authors in iter_dblp_records(path):
+        records += 1
+        for author in authors:
+            labels[author] = AUTHOR_LABEL
+        if mode == "coauthor":
+            distinct = sorted(set(authors))
+            for i, first in enumerate(distinct):
+                for second in distinct[i + 1 :]:
+                    src.append(first)
+                    dst.append(second)
+        else:
+            paper_id = f"paper:{key}"
+            labels[paper_id] = PAPER_LABEL
+            for author in set(authors):
+                src.append(author)
+                dst.append(paper_id)
+        if max_records is not None and records >= max_records:
+            break
+    if not labels:
+        raise GraphError(
+            f"{os.fspath(path)}: no authored publication records found"
+        )
+    graph = ingest_edges(
+        np.asarray(src),
+        np.asarray(dst),
+        labels=labels,
+        default_label=AUTHOR_LABEL,
+        extra_ids=list(labels.keys()),
+        source=f"{os.fspath(path)} ({mode})",
+    )
+    return graph

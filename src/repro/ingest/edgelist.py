@@ -1,0 +1,304 @@
+"""Streaming ingestion of real-world edge lists into dense CSR graphs.
+
+Real edge lists — SNAP dumps, DBLP projections, hashed-ID exports — arrive
+with whatever node IDs the publisher used: sparse 64-bit integers with
+gaps, or strings.  :func:`ingest_edge_list` streams such a file in chunks,
+:func:`ingest_edges` builds an :class:`~repro.ingest.idmap.IdMap` over the
+observed external IDs, remaps every endpoint to the dense domain
+``0..n-1``, and hands the dense arrays to
+:meth:`~repro.graph.labeled_graph.LabeledGraph.from_arrays` — which then
+takes its contiguous fast path, so an ingested real graph pays exactly the
+same per-lookup cost as a synthetic one.  The resulting graph carries
+``graph.id_map`` (for reporting results in original IDs) and
+``graph.ingest_report`` (what was read, dropped, and collapsed).
+
+File format: one edge per line, two whitespace- or tab-separated tokens;
+``#``-prefixed lines and blank lines are skipped.  IDs may be integers or
+arbitrary strings — the reader sniffs per-file and never mixes kinds.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.label_table import LabelTable
+from repro.graph.labeled_graph import LABEL_DTYPE, NODE_DTYPE, LabeledGraph
+from repro.ingest.idmap import IdMap
+
+#: Default label for nodes an ingested dataset does not label explicitly.
+DEFAULT_LABEL = "entity"
+
+#: Lines buffered per streaming chunk.  Large enough to amortize the numpy
+#: conversion, small enough that peak memory stays a few MB per chunk.
+CHUNK_LINES = 1 << 16
+
+
+@dataclass
+class IngestReport:
+    """What an ingestion pass read, dropped, and produced.
+
+    Attributes:
+        source: path or description of the input.
+        lines_read: data lines parsed (comments/blanks excluded).
+        edges_ingested: undirected edges in the final graph (after
+            self-loop removal and duplicate collapsing).
+        self_loops_dropped: edges removed because both endpoints matched.
+        duplicate_edges_collapsed: parallel edges merged into one.
+        node_count: distinct nodes (endpoints plus isolated extras).
+        id_kind: ``"int"`` or ``"str"`` external-ID domain.
+        remapped: False when external IDs were already dense ``0..n-1``.
+    """
+
+    source: str
+    lines_read: int = 0
+    edges_ingested: int = 0
+    self_loops_dropped: int = 0
+    duplicate_edges_collapsed: int = 0
+    node_count: int = 0
+    id_kind: str = "int"
+    remapped: bool = True
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line human summary for CLI output."""
+        return (
+            f"{self.source}: {self.node_count} nodes, "
+            f"{self.edges_ingested} edges ({self.id_kind} IDs, "
+            f"{'remapped' if self.remapped else 'already dense'}; "
+            f"dropped {self.self_loops_dropped} self-loops, "
+            f"collapsed {self.duplicate_edges_collapsed} duplicates)"
+        )
+
+
+def _iter_edge_chunks(path: str) -> Iterator[Tuple[List[str], List[str], int]]:
+    """Yield ``(src_tokens, dst_tokens, first_line_number)`` chunks."""
+    src: List[str] = []
+    dst: List[str] = []
+    first_line = 1
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise GraphError(
+                    f"{path}:{line_number}: expected two IDs per line, "
+                    f"got {stripped!r}"
+                )
+            if not src:
+                first_line = line_number
+            src.append(parts[0])
+            dst.append(parts[1])
+            if len(src) >= CHUNK_LINES:
+                yield src, dst, first_line
+                src, dst = [], []
+    if src:
+        yield src, dst, first_line
+
+
+def _tokens_to_arrays(
+    src: Sequence[str], dst: Sequence[str], as_int: bool
+) -> Tuple[np.ndarray, np.ndarray]:
+    if as_int:
+        return (
+            np.asarray([int(token) for token in src], dtype=NODE_DTYPE),
+            np.asarray([int(token) for token in dst], dtype=NODE_DTYPE),
+        )
+    return np.asarray(src), np.asarray(dst)
+
+
+def read_edge_list(path: str) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Stream an edge-list file into external-ID endpoint arrays.
+
+    Returns ``(src, dst, lines_read)``; the arrays are int64 when every ID
+    in the file parses as an integer, numpy unicode otherwise.
+
+    Raises:
+        GraphError: on unreadable files or malformed lines, with
+            ``path:line`` context.
+    """
+    if not os.path.exists(path):
+        raise GraphError(f"edge-list file not found: {path}")
+    src_chunks: List[np.ndarray] = []
+    dst_chunks: List[np.ndarray] = []
+    as_int: Optional[bool] = None
+    lines = 0
+    for src_tokens, dst_tokens, first_line in _iter_edge_chunks(path):
+        lines += len(src_tokens)
+        if as_int is None:
+            try:
+                int(src_tokens[0]), int(dst_tokens[0])
+                as_int = True
+            except ValueError:
+                as_int = False
+        try:
+            src_arr, dst_arr = _tokens_to_arrays(src_tokens, dst_tokens, as_int)
+        except ValueError as exc:
+            raise GraphError(
+                f"{path}: mixed integer and string IDs near line "
+                f"{first_line} ({exc})"
+            ) from exc
+        src_chunks.append(src_arr)
+        dst_chunks.append(dst_arr)
+    if not src_chunks:
+        return (
+            np.empty(0, dtype=NODE_DTYPE),
+            np.empty(0, dtype=NODE_DTYPE),
+            0,
+        )
+    return np.concatenate(src_chunks), np.concatenate(dst_chunks), lines
+
+
+def degree_band_labeler(bounds: Sequence[int] = (2, 8, 32)) -> Callable:
+    """A labeler assigning labels by degree band.
+
+    Real co-authorship graphs have no vertex labels of their own; banding
+    by degree gives the motif suite a multi-label domain (``rank0`` …
+    ``rankK``) with the skewed selectivities the paper's STwig ordering
+    exploits.
+    """
+    cuts = np.asarray(sorted(bounds), dtype=np.int64)
+
+    def labeler(degrees: np.ndarray) -> List[str]:
+        bands = np.searchsorted(cuts, degrees, side="right")
+        return [f"rank{int(band)}" for band in bands]
+
+    return labeler
+
+
+def ingest_edges(
+    src_ext: np.ndarray,
+    dst_ext: np.ndarray,
+    *,
+    labels: Optional[Dict[object, str]] = None,
+    default_label: str = DEFAULT_LABEL,
+    extra_ids: Optional[Sequence] = None,
+    labeler: Optional[Callable[[np.ndarray], Sequence[str]]] = None,
+    source: str = "<arrays>",
+    label_table: Optional[LabelTable] = None,
+) -> LabeledGraph:
+    """Build a dense :class:`LabeledGraph` from external-ID endpoint arrays.
+
+    The external domain is the union of edge endpoints, ``labels`` keys,
+    and ``extra_ids`` (so isolated nodes survive ingestion).  Self-loops
+    are dropped (counted in the report), duplicate edges collapse inside
+    :meth:`LabeledGraph.from_arrays`, and the returned graph always has
+    node IDs ``0..n-1`` with ``graph.id_map`` recording the bijection and
+    ``graph.ingest_report`` the pass statistics.
+
+    Args:
+        src_ext / dst_ext: parallel endpoint arrays (external IDs).
+        labels: optional external-ID -> label mapping.
+        default_label: label for nodes ``labels`` does not cover.
+        extra_ids: external IDs to include even if they touch no edge.
+        labeler: optional callable mapping the per-node degree array to a
+            label per node — applied only to nodes ``labels`` leaves at
+            ``default_label`` (see :func:`degree_band_labeler`).
+        source: provenance string for the report.
+        label_table: shared label table to intern into (new one if None).
+    """
+    src_ext = np.asarray(src_ext)
+    dst_ext = np.asarray(dst_ext)
+    if src_ext.shape != dst_ext.shape:
+        raise GraphError(
+            f"src and dst must be parallel, got {len(src_ext)} vs {len(dst_ext)}"
+        )
+    report = IngestReport(source=source, lines_read=len(src_ext))
+
+    domain: List[np.ndarray] = [src_ext, dst_ext]
+    if labels:
+        domain.append(np.asarray(list(labels.keys())))
+    if extra_ids is not None and len(extra_ids):
+        domain.append(np.asarray(extra_ids))
+    if len(domain) > 1 and len({array.dtype.kind in "iu" for array in domain}) > 1:
+        raise GraphError(
+            "cannot mix integer and string external IDs in one ingest "
+            "(edge endpoints, label keys, and extra_ids must agree)"
+        )
+    id_map = IdMap.from_external(
+        np.concatenate([array.ravel() for array in domain])
+        if len(domain) > 1
+        else domain[0]
+    )
+    report.id_kind = id_map.kind
+    report.node_count = len(id_map)
+    report.remapped = not id_map.is_identity
+
+    src = id_map.to_dense(src_ext)
+    dst = id_map.to_dense(dst_ext)
+    loops = src == dst
+    if loops.any():
+        report.self_loops_dropped = int(loops.sum())
+        keep = ~loops
+        src, dst = src[keep], dst[keep]
+
+    if len(src):
+        # Collapse duplicate undirected edges before labeling so degree-based
+        # labelers see the same degrees the final CSR will report.
+        pairs = np.unique(
+            np.stack((np.minimum(src, dst), np.maximum(src, dst)), axis=1), axis=0
+        )
+        report.duplicate_edges_collapsed = len(src) - len(pairs)
+        src, dst = pairs[:, 0], pairs[:, 1]
+
+    n = len(id_map)
+    node_ids = np.arange(n, dtype=NODE_DTYPE)
+    table = label_table if label_table is not None else LabelTable()
+    label_names = [default_label] * n
+    if labeler is not None and n:
+        degrees = np.bincount(
+            np.concatenate((src, dst)), minlength=n
+        ) if len(src) else np.zeros(n, dtype=np.int64)
+        label_names = list(labeler(degrees))
+        if len(label_names) != n:
+            raise GraphError(
+                f"labeler returned {len(label_names)} labels for {n} nodes"
+            )
+    if labels:
+        for external, name in labels.items():
+            label_names[id_map.dense_of(external)] = name
+    label_ids = np.asarray(
+        [table.intern(name) for name in label_names], dtype=LABEL_DTYPE
+    )
+
+    graph = LabeledGraph.from_arrays(table, node_ids, label_ids, src, dst)
+    report.edges_ingested = graph.edge_count
+    for name in label_names:
+        report.labels[name] = report.labels.get(name, 0) + 1
+    graph.id_map = id_map
+    graph.ingest_report = report
+    return graph
+
+
+def ingest_edge_list(
+    path: Union[str, os.PathLike],
+    *,
+    default_label: str = DEFAULT_LABEL,
+    labeler: Optional[Callable[[np.ndarray], Sequence[str]]] = None,
+    labels: Optional[Dict[object, str]] = None,
+    extra_ids: Optional[Sequence] = None,
+) -> LabeledGraph:
+    """Ingest a whitespace/TSV edge-list file (see module docstring).
+
+    Convenience wrapper: :func:`read_edge_list` then :func:`ingest_edges`,
+    with the file path recorded as the report's source.
+    """
+    path = os.fspath(path)
+    src_ext, dst_ext, lines = read_edge_list(path)
+    graph = ingest_edges(
+        src_ext,
+        dst_ext,
+        labels=labels,
+        default_label=default_label,
+        extra_ids=extra_ids,
+        labeler=labeler,
+        source=path,
+    )
+    graph.ingest_report.lines_read = lines
+    return graph

@@ -27,6 +27,7 @@ from repro.runtime.executors import (
     SerialExecutor,
     ThreadExecutor,
     create_executor,
+    normalize_executor_spec,
 )
 from repro.runtime.shared_cloud import (
     CloudHandle,
@@ -46,6 +47,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "create_executor",
+    "normalize_executor_spec",
     "publish_cloud",
     "publish_tables",
     "rebuild_cloud",

@@ -666,3 +666,38 @@ def create_executor(spec: ExecutorSpec = None) -> Executor:
         return SerialExecutor()
     backend = resolve_backend(spec)
     return _EXECUTORS[backend]()
+
+
+def normalize_executor_spec(
+    executor: ExecutorSpec = None, workers: "int | None" = None
+) -> ExecutorSpec:
+    """Fold the public ``executor=``/``workers=`` kwarg pair into one spec.
+
+    This is the normalization behind every entry point that accepts the
+    pair (``SubgraphMatcher``, ``QueryService``, ``repro.api.connect``, the
+    CLI's ``--executor``/``--workers``): ``workers`` bounds the pool of a
+    thread/process backend and is meaningless for an already-built
+    :class:`Executor` (whose pool size is fixed) — passing both raises.
+
+    Raises:
+        ConfigurationError: ``workers`` with an :class:`Executor` instance,
+            or a non-positive ``workers``.
+    """
+    if workers is None:
+        return executor
+    from repro.errors import ConfigurationError
+
+    if isinstance(executor, Executor):
+        raise ConfigurationError(
+            "workers= cannot resize an existing Executor instance; "
+            "pass a backend name or RuntimeConfig instead"
+        )
+    if workers <= 0:
+        raise ConfigurationError(f"workers must be positive, got {workers}")
+    if isinstance(executor, RuntimeConfig):
+        return RuntimeConfig(
+            backend=executor.backend,
+            max_workers=workers,
+            start_method=executor.start_method,
+        )
+    return RuntimeConfig(backend=executor, max_workers=workers)

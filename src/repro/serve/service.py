@@ -51,7 +51,8 @@ from repro.core.planner import MatcherConfig
 from repro.core.result import MatchResult
 from repro.errors import AdmissionError, ConfigurationError, ServiceError
 from repro.query.query_graph import QueryGraph
-from repro.runtime import ExecutorSpec
+from repro.runtime import ExecutorSpec, normalize_executor_spec
+from repro.utils.deprecation import shim_renamed_kwarg as _shim_deprecated
 
 
 @dataclass(frozen=True)
@@ -145,7 +146,12 @@ class QueryService:
         matcher_config: Optional[MatcherConfig] = None,
         statistics=None,
         executor: ExecutorSpec = None,
+        workers: Optional[int] = None,
+        limit: Optional[int] = None,
+        max_row_budget: Optional[int] = None,
+        max_in_flight: Optional[int] = None,
         service_config: Optional[ServiceConfig] = None,
+        **deprecated,
     ) -> None:
         """Create (and immediately start serving from) a query service.
 
@@ -170,16 +176,52 @@ class QueryService:
             executor: runtime backend spec shared by every query (a backend
                 name, :class:`~repro.cloud.config.RuntimeConfig`, or an
                 existing executor).
-            service_config: admission-control and lifecycle knobs.
+            workers: pool size for thread/process backends — the same
+                spelling as ``SubgraphMatcher`` and the CLI's ``--workers``.
+            limit: default row budget for queries submitted without one
+                (``ServiceConfig.default_limit``).
+            max_row_budget: upper bound on any query's row budget.
+            max_in_flight: maximum concurrently executing queries.
+            service_config: admission-control and lifecycle knobs; mutually
+                exclusive with the ``limit``/``max_row_budget``/
+                ``max_in_flight`` conveniences.
         """
+        limit = _shim_deprecated(
+            deprecated, "default_limit", "limit", limit, QueryService
+        )
+        workers = _shim_deprecated(
+            deprecated, "max_workers", "workers", workers, QueryService
+        )
+        if deprecated:
+            raise TypeError(
+                f"unexpected keyword arguments {sorted(deprecated)} "
+                "for QueryService"
+            )
         sources = sum(source is not None for source in (cloud, graph, snapshot))
         if sources != 1:
             raise ConfigurationError(
                 "construct QueryService from exactly one of cloud=, graph=, "
                 "or snapshot="
             )
+        overrides = {
+            name: value
+            for name, value in (
+                ("default_limit", limit),
+                ("max_row_budget", max_row_budget),
+                ("max_in_flight", max_in_flight),
+            )
+            if value is not None
+        }
+        if overrides and service_config is not None:
+            raise ConfigurationError(
+                f"pass admission knobs ({', '.join(sorted(overrides))}) either "
+                "directly or inside service_config=, not both"
+            )
+        if overrides:
+            service_config = replace(ServiceConfig(), **overrides)
         self.service_config = service_config or ServiceConfig()
         self.service_config.validate()
+        executor = normalize_executor_spec(executor, workers)
         self._owns_cloud = cloud is None
         if cloud is not None:
             self.cloud = cloud

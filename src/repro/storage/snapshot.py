@@ -84,6 +84,9 @@ class SnapshotManifest:
         checksums: name -> CRC32 recorded at write time.
         cloud: cloud-state section (machine count, partitioner name, packed
             label-pair metadata) or ``None`` for graph-only snapshots.
+        id_map: ``id_map`` manifest section (external-ID kind and count;
+            see :class:`repro.ingest.IdMap`) or ``None`` when the stored
+            node IDs are the caller's own.
     """
 
     directory: Path
@@ -95,6 +98,7 @@ class SnapshotManifest:
     arrays: Dict[str, MmapArraySpec] = field(default_factory=dict)
     checksums: Dict[str, int] = field(default_factory=dict)
     cloud: Optional[dict] = None
+    id_map: Optional[dict] = None
 
     def spec(self, name: str) -> MmapArraySpec:
         """The spec of array ``name``; raises StorageError when absent."""
@@ -137,6 +141,26 @@ class SnapshotManifest:
         """Path of the snapshot's delta log (may not exist yet)."""
         return self.directory / DELTA_LOG_NAME
 
+    def load_id_map(self):
+        """Rebuild the persisted :class:`~repro.ingest.IdMap`, or ``None``.
+
+        The map's arrays are copied out of the data file (they are small
+        relative to the CSR columns), so the returned map holds no open
+        mappings.
+        """
+        if self.id_map is None:
+            return None
+        from repro.ingest.idmap import IdMap
+
+        def attach_copy(name: str) -> np.ndarray:
+            handle, view = self.attach(name)
+            try:
+                return np.array(view)
+            finally:
+                handle.close()
+
+        return IdMap.from_manifest(self.id_map, attach_copy)
+
 
 def snapshot_exists(directory: str | Path) -> bool:
     """True when ``directory`` holds a readable snapshot manifest."""
@@ -152,6 +176,7 @@ def write_snapshot(
     labels: Sequence[str],
     cloud: Optional[dict] = None,
     generation: int = 1,
+    id_map=None,
 ) -> SnapshotManifest:
     """Write a snapshot directory from named arrays (the low-level writer).
 
@@ -165,6 +190,11 @@ def write_snapshot(
     for name in GRAPH_ARRAY_NAMES:
         if name not in arrays:
             raise StorageError(f"snapshot is missing required array {name!r}")
+    if id_map is not None and id_map.is_identity:
+        # Identity maps carry no information worth the extra columns.
+        id_map = None
+    if id_map is not None:
+        arrays = {**arrays, **id_map.snapshot_arrays()}
     target = Path(directory).resolve()
     target.mkdir(parents=True, exist_ok=True)
     data_tmp = target / (DATA_NAME + ".tmp")
@@ -198,6 +228,8 @@ def write_snapshot(
     }
     if cloud is not None:
         manifest_doc["cloud"] = cloud
+    if id_map is not None:
+        manifest_doc["id_map"] = id_map.manifest_meta()
     manifest_tmp = target / (MANIFEST_NAME + ".tmp")
     manifest_tmp.write_text(json.dumps(manifest_doc, indent=1) + "\n")
     # Data first, manifest last: the manifest is the commit point.
@@ -263,6 +295,7 @@ def read_manifest(directory: str | Path, verify: bool = False) -> SnapshotManife
         arrays=arrays,
         checksums=checksums,
         cloud=doc.get("cloud"),
+        id_map=doc.get("id_map"),
     )
     for name in GRAPH_ARRAY_NAMES:
         if name not in manifest.arrays:
@@ -299,6 +332,7 @@ def save_graph_snapshot(
         edge_count=graph.edge_count,
         labels=graph.label_table.labels(),
         generation=generation,
+        id_map=getattr(graph, "id_map", None),
     )
 
 
@@ -343,5 +377,21 @@ def open_graph_snapshot(
         records = log.read()
         if records:
             graph = replay_deltas(graph, records)
+    id_map = manifest.load_id_map()
+    if id_map is not None:
+        if graph.node_count and int(graph.node_id_array()[-1]) >= len(id_map):
+            # Deltas appended nodes the persisted map never saw; external-ID
+            # translation would be wrong, so the reopened graph reports its
+            # stored (dense) IDs until the dataset is re-ingested.
+            import warnings
+
+            warnings.warn(
+                f"snapshot {manifest.directory} has nodes beyond its id_map "
+                f"({int(graph.node_id_array()[-1])} >= {len(id_map)}); "
+                "dropping the external-ID mapping",
+                stacklevel=2,
+            )
+        else:
+            graph.id_map = id_map
     graph.snapshot_manifest = manifest
     return graph

@@ -1,0 +1,54 @@
+"""Deprecated-kwarg shims backing the PR-9 API normalization.
+
+The public entry points spell their common knobs one way — ``executor=``,
+``workers=``, ``limit=``, ``max_row_budget=`` — but the pre-normalization
+spellings (``max_workers=``, ``default_limit=``) keep working for one
+deprecation cycle: :func:`shim_renamed_kwarg` forwards the old name to the
+new one with a :class:`DeprecationWarning`, and rejects callers passing
+both.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict
+
+
+def shim_renamed_kwarg(
+    extra: Dict[str, object],
+    old_name: str,
+    new_name: str,
+    current,
+    owner: type,
+):
+    """Forward a renamed keyword argument, warning about the old spelling.
+
+    Args:
+        extra: the ``**deprecated`` catch-all dict; the old name is popped
+            out of it so the caller can reject whatever remains.
+        old_name / new_name: the rename.
+        current: the value bound to the new spelling (``None`` = unset).
+        owner: class/function whose signature changed (named in the
+            warning).
+
+    Returns:
+        The effective value for the new spelling.
+
+    Raises:
+        TypeError: when both spellings are passed.
+    """
+    if old_name not in extra:
+        return current
+    value = extra.pop(old_name)
+    if current is not None:
+        raise TypeError(
+            f"{owner.__name__} got both {old_name!r} (deprecated) and "
+            f"{new_name!r}; pass only {new_name!r}"
+        )
+    warnings.warn(
+        f"{owner.__name__}({old_name}=...) is deprecated; "
+        f"use {new_name}= instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return value

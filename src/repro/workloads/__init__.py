@@ -8,6 +8,12 @@ from repro.workloads.datasets import (
     tiny_example_graph,
     wordnet_small,
 )
+from repro.workloads.motifs import (
+    MOTIFS,
+    coauthor_triangle,
+    cross_label_path,
+    star_collaboration,
+)
 from repro.workloads.suites import (
     DEFAULT_BATCH_SIZE,
     PAPER_RESULT_LIMIT,
@@ -18,11 +24,15 @@ from repro.workloads.suites import (
 
 __all__ = [
     "DEFAULT_SEED",
+    "MOTIFS",
     "tiny_example_graph",
     "paper_figure5_graph",
     "patents_small",
     "wordnet_small",
     "rmat_graph",
+    "coauthor_triangle",
+    "cross_label_path",
+    "star_collaboration",
     "QuerySuite",
     "dfs_suite",
     "random_suite",

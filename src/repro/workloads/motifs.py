@@ -1,0 +1,83 @@
+"""Motif queries for real co-authorship graphs (the Figure-8-style workload).
+
+The paper's real-graph evaluation runs small structural patterns — the
+shapes below are the co-authorship classics, parameterized by the labels
+the ingestion layer actually produced:
+
+* :func:`coauthor_triangle` — three mutually connected authors (a closed
+  collaboration);
+* :func:`star_collaboration` — one author connected to ``leaves``
+  collaborators (an advisor/lab pattern);
+* :func:`cross_label_path` — a path alternating between two labels (a
+  high-to-low-degree bridge under degree-band labels, or
+  author/paper/author under the bipartite DBLP projection).
+
+Each factory takes label names because real datasets label themselves: an
+unlabeled edge list ingested with the degree-band labeler has ``rank0`` …
+``rankK`` labels, a DBLP bipartite projection has ``author``/``paper``,
+and a uniform ingest has only ``entity``.  :data:`MOTIFS` registers the
+factories by name for the CLI and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import QueryError
+from repro.query.query_graph import QueryGraph
+
+#: Default labels of an edge list ingested with the degree-band labeler.
+DEFAULT_DENSE_LABEL = "rank1"
+DEFAULT_HUB_LABEL = "rank2"
+
+
+def coauthor_triangle(label: str = DEFAULT_DENSE_LABEL) -> QueryGraph:
+    """Three authors who have all collaborated pairwise."""
+    return QueryGraph(
+        {"a": label, "b": label, "c": label},
+        [("a", "b"), ("b", "c"), ("c", "a")],
+    )
+
+
+def star_collaboration(
+    center_label: str = DEFAULT_HUB_LABEL,
+    leaf_label: str = DEFAULT_DENSE_LABEL,
+    leaves: int = 3,
+) -> QueryGraph:
+    """A hub author connected to ``leaves`` distinct collaborators."""
+    if leaves < 1:
+        raise QueryError(f"a star needs at least one leaf, got {leaves}")
+    labels = {"center": center_label}
+    edges = []
+    for i in range(leaves):
+        name = f"leaf{i}"
+        labels[name] = leaf_label
+        edges.append(("center", name))
+    return QueryGraph(labels, edges)
+
+
+def cross_label_path(
+    label_a: str = DEFAULT_HUB_LABEL,
+    label_b: str = DEFAULT_DENSE_LABEL,
+    length: int = 2,
+) -> QueryGraph:
+    """A path of ``length`` edges alternating between two labels.
+
+    ``length=2`` under the DBLP bipartite projection (``author``/``paper``)
+    is exactly the "two authors of one paper" pattern.
+    """
+    if length < 1:
+        raise QueryError(f"a path needs at least one edge, got {length}")
+    labels = {
+        f"n{i}": (label_a if i % 2 == 0 else label_b) for i in range(length + 1)
+    }
+    edges = [(f"n{i}", f"n{i + 1}") for i in range(length)]
+    return QueryGraph(labels, edges)
+
+
+#: Motif name -> factory (called with defaults by the CLI and benchmarks).
+MOTIFS: Dict[str, Callable[..., QueryGraph]] = {
+    "coauthor-triangle": coauthor_triangle,
+    "star-collaboration": star_collaboration,
+    "cross-label-path": cross_label_path,
+}

@@ -1,0 +1,109 @@
+"""Unit tests of the DBLP XML adapter, fed by tiny inline documents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.ingest import ingest_dblp_xml, iter_dblp_records
+
+SMALL_DBLP = """<?xml version="1.0" encoding="UTF-8"?>
+<dblp>
+  <article key="journals/x/One">
+    <author>Alice</author>
+    <author>Bob</author>
+    <title>First</title>
+  </article>
+  <inproceedings key="conf/y/Two">
+    <author>Bob</author>
+    <author>Carol</author>
+    <author>Alice</author>
+    <title>Second</title>
+  </inproceedings>
+  <proceedings key="conf/y/2026">
+    <title>No authors here</title>
+  </proceedings>
+  <phdthesis key="phd/Three">
+    <author>Dana</author>
+  </phdthesis>
+</dblp>
+"""
+
+
+@pytest.fixture
+def dblp_file(tmp_path):
+    path = tmp_path / "dblp-slice.xml"
+    path.write_text(SMALL_DBLP)
+    return path
+
+
+class TestIterRecords:
+    def test_yields_authored_records(self, dblp_file):
+        records = list(iter_dblp_records(str(dblp_file)))
+        assert [key for key, _ in records] == [
+            "journals/x/One",
+            "conf/y/Two",
+            "phd/Three",
+        ]
+        assert records[1][1] == ["Bob", "Carol", "Alice"]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(GraphError, match="not found"):
+            list(iter_dblp_records(str(tmp_path / "nope.xml")))
+
+    def test_malformed_xml(self, tmp_path):
+        path = tmp_path / "broken.xml"
+        path.write_text("<dblp><article key='a'><author>X</author>")
+        with pytest.raises(GraphError, match="XML"):
+            list(iter_dblp_records(str(path)))
+
+
+class TestCoauthorMode:
+    def test_graph_shape(self, dblp_file):
+        graph = ingest_dblp_xml(str(dblp_file))
+        # Authors: Alice, Bob, Carol, Dana. Dana published alone, so she is
+        # an isolated node; edges are the pairwise co-authorships.
+        assert graph.node_count == 4
+        assert graph.edge_count == 3  # Alice-Bob, Bob-Carol, Alice-Carol
+        id_map = graph.id_map
+        assert id_map.kind == "str"
+        assert graph.neighbors(id_map.dense_of("Dana")) == ()
+        alice = id_map.dense_of("Alice")
+        names = sorted(id_map.external_of(v) for v in graph.neighbors(alice))
+        assert names == ["Bob", "Carol"]
+
+    def test_duplicate_pairs_collapse(self, dblp_file):
+        graph = ingest_dblp_xml(str(dblp_file))
+        # Alice-Bob appears in both records; collapsed to one edge.
+        assert graph.ingest_report.duplicate_edges_collapsed >= 1
+
+    def test_max_records(self, dblp_file):
+        graph = ingest_dblp_xml(str(dblp_file), max_records=1)
+        assert graph.node_count == 2  # just Alice and Bob
+        assert graph.edge_count == 1
+
+
+class TestBipartiteMode:
+    def test_graph_shape(self, dblp_file):
+        graph = ingest_dblp_xml(str(dblp_file), mode="bipartite")
+        # 4 authors + 3 authored records.
+        assert graph.node_count == 7
+        # Authorship edges: 2 + 3 + 1.
+        assert graph.edge_count == 6
+        id_map = graph.id_map
+        paper = id_map.dense_of("paper:conf/y/Two")
+        assert graph.label(paper) == "paper"
+        assert graph.label(id_map.dense_of("Carol")) == "author"
+        assert len(graph.neighbors(paper)) == 3
+
+
+class TestErrors:
+    def test_unknown_mode(self, dblp_file):
+        with pytest.raises(GraphError, match="mode"):
+            ingest_dblp_xml(str(dblp_file), mode="hypergraph")
+
+    def test_no_authored_records(self, tmp_path):
+        path = tmp_path / "empty.xml"
+        path.write_text("<dblp><proceedings key='p'><title>t</title></proceedings></dblp>")
+        with pytest.raises(GraphError, match="no authored publication records"):
+            ingest_dblp_xml(str(path))

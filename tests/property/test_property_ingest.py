@@ -1,0 +1,112 @@
+"""Property-based tests of the ingest → query → external-ID round trip.
+
+The central property: ingesting an edge list over arbitrary external IDs
+(sparse 64-bit integers or strings, with duplicate edges and isolated
+nodes) and querying the resulting cloud returns matches expressed in
+exactly the original external IDs — equal to what a brute-force match
+over the external edge set would produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.cluster import MemoryCloud
+from repro.cloud.config import ClusterConfig
+from repro.core.engine import SubgraphMatcher
+from repro.ingest import ingest_edges
+from repro.query.query_graph import QueryGraph
+
+RELAXED = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+# Sparse 64-bit external IDs: mix tiny values with hash-sized ones so the
+# contiguity fast path never applies by accident.
+SPARSE_IDS = st.one_of(
+    st.integers(min_value=0, max_value=50),
+    st.integers(min_value=2**32, max_value=2**63 - 1),
+)
+
+STRING_IDS = st.text(
+    alphabet="abcdefghijklmnop-./", min_size=1, max_size=12
+)
+
+
+def edge_lists(ids):
+    """Edge lists over the given ID strategy, with duplicates and extras."""
+    return st.lists(st.tuples(ids, ids), min_size=1, max_size=25).flatmap(
+        lambda edges: st.tuples(
+            st.just(edges),
+            # Re-draw some of the same edges to force duplicates.
+            st.lists(st.sampled_from(edges), max_size=5),
+            # Isolated nodes that appear in no edge.
+            st.lists(ids, max_size=3),
+        )
+    )
+
+
+def expected_edge_matches(graph):
+    """Brute-force the single-edge query in external-ID space."""
+    id_map = graph.id_map
+    out = set()
+    for u in range(graph.node_count):
+        for v in graph.neighbors(u):
+            out.add((id_map.external_of(u), id_map.external_of(int(v))))
+    return out
+
+
+def run_round_trip(drawn, executor="serial"):
+    edges, dup_edges, extras = drawn
+    all_edges = edges + dup_edges
+    src = [e[0] for e in all_edges]
+    dst = [e[1] for e in all_edges]
+    graph = ingest_edges(np.asarray(src), np.asarray(dst), extra_ids=extras)
+
+    # Every external ID used must survive the round trip.
+    externals = set(src) | set(dst) | set(extras)
+    assert len(graph.id_map) == len(externals)
+    for ext in externals:
+        assert graph.id_map.external_of(graph.id_map.dense_of(ext)) == ext
+
+    cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=2))
+    try:
+        query = QueryGraph({"a": "entity", "b": "entity"}, [("a", "b")])
+        result = SubgraphMatcher(cloud, executor=executor).match(query)
+        got = {(d["a"], d["b"]) for d in result.as_dicts()}
+        assert got == expected_edge_matches(graph)
+        for ext_a, ext_b in got:
+            assert ext_a in externals and ext_b in externals
+    finally:
+        cloud.close()
+
+
+class TestExternalIdRoundTrip:
+    @RELAXED
+    @given(drawn=edge_lists(SPARSE_IDS))
+    def test_sparse_int64_ids(self, drawn):
+        run_round_trip(drawn)
+
+    @RELAXED
+    @given(drawn=edge_lists(STRING_IDS))
+    def test_string_ids(self, drawn):
+        run_round_trip(drawn)
+
+
+class TestExecutorParity:
+    """The ISSUE-mandated fixed case, on serial AND process executors."""
+
+    CASE = (
+        [(2**62 + 3, 7), (7, 12345678901), (12345678901, 2**62 + 3), (7, 50)],
+        [(7, 12345678901)],  # duplicate
+        [2**40],  # isolated node
+    )
+
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_round_trip(self, executor):
+        run_round_trip(self.CASE, executor=executor)

@@ -1,0 +1,204 @@
+"""Tests of the repro.api facade and the normalized-kwarg deprecation shims."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.cloud.cluster import MemoryCloud
+from repro.cloud.config import ClusterConfig
+from repro.core.engine import SubgraphMatcher
+from repro.errors import ConfigurationError, GraphError, ServiceError
+from repro.ingest import ingest_edges
+from repro.query.query_graph import QueryGraph
+from repro.serve.service import QueryService, ServiceConfig
+
+TRIANGLE_QUERY = """
+node a entity
+node b entity
+edge a b
+"""
+
+
+@pytest.fixture
+def sparse_graph():
+    # Triangle over sparse 64-bit IDs plus one isolated node.
+    return ingest_edges(
+        np.array([7, 12345678901, 2**62], dtype=np.int64),
+        np.array([12345678901, 2**62, 7], dtype=np.int64),
+        extra_ids=[999],
+    )
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    path = tmp_path / "toy.edges"
+    path.write_text("7 12345678901\n12345678901 99\n")
+    return path
+
+
+class TestLoadDataset:
+    def test_named_dataset(self):
+        graph = api.load_dataset("tiny")
+        assert graph.node_count > 0
+
+    def test_graph_passthrough(self, sparse_graph):
+        assert api.load_dataset(sparse_graph) is sparse_graph
+
+    def test_edge_list_file(self, edge_file):
+        graph = api.load_dataset(edge_file)
+        assert graph.node_count == 3
+        assert graph.id_map.dense_of(12345678901) >= 0
+
+    def test_uniform_label_mode(self, edge_file):
+        graph = api.load_dataset(edge_file, label_mode="uniform")
+        assert {graph.label(v) for v in range(graph.node_count)} == {"entity"}
+
+    def test_bad_label_mode(self, edge_file):
+        with pytest.raises(GraphError, match="label_mode"):
+            api.load_dataset(edge_file, label_mode="rainbow")
+
+    def test_unresolvable_source_names_known_datasets(self, tmp_path):
+        with pytest.raises(GraphError, match="tiny"):
+            api.load_dataset(tmp_path / "missing.edges")
+
+    def test_snapshot_directory(self, sparse_graph, tmp_path):
+        snap = tmp_path / "snap"
+        with MemoryCloud.from_graph(
+            sparse_graph, ClusterConfig(machine_count=2)
+        ) as cloud:
+            cloud.save_snapshot(snap)
+        graph = api.load_dataset(snap)
+        assert graph.node_count == sparse_graph.node_count
+        assert graph.id_map == sparse_graph.id_map
+
+
+class TestSessionLifecycle:
+    def test_connect_query_close(self, edge_file):
+        with api.connect(edge_file, machines=2, label_mode="uniform") as db:
+            result = db.query(TRIANGLE_QUERY)
+            externals = {(d["a"], d["b"]) for d in result.as_dicts()}
+            assert (7, 12345678901) in externals
+            assert db.id_map is not None
+        with pytest.raises(ServiceError, match="closed"):
+            db.query(TRIANGLE_QUERY)
+
+    def test_query_accepts_query_graph_and_limit(self, edge_file):
+        query = QueryGraph({"a": "entity", "b": "entity"}, [("a", "b")])
+        with api.connect(edge_file, machines=2, label_mode="uniform") as db:
+            result = db.query(query, limit=1)
+            assert len(result.as_dicts()) == 1
+
+    def test_per_call_executor_override_caches_service(self, edge_file):
+        with api.connect(edge_file, machines=2, label_mode="uniform") as db:
+            a = db.query(TRIANGLE_QUERY)
+            b = db.query(TRIANGLE_QUERY, executor="serial")
+            assert sorted(a.as_dicts(), key=str) == sorted(b.as_dicts(), key=str)
+            db.query(TRIANGLE_QUERY, executor="serial")
+            assert len(db._services) <= 2
+
+    def test_connect_cloud_is_borrowed(self, sparse_graph):
+        cloud = MemoryCloud.from_graph(sparse_graph, ClusterConfig(machine_count=2))
+        with api.connect(cloud) as db:
+            db.query(TRIANGLE_QUERY)
+        # Closing the session must NOT close a caller-owned cloud.
+        assert cloud.node_count == sparse_graph.node_count
+        cloud.close()
+
+    def test_connect_snapshot_round_trips_external_ids(self, sparse_graph, tmp_path):
+        snap = tmp_path / "snap"
+        with MemoryCloud.from_graph(
+            sparse_graph, ClusterConfig(machine_count=2)
+        ) as cloud:
+            cloud.save_snapshot(snap)
+        with api.connect(snap) as db:
+            result = db.query(TRIANGLE_QUERY)
+            flat = {v for d in result.as_dicts() for v in d.values()}
+            assert flat == {7, 12345678901, 2**62}
+
+    def test_machines_and_cluster_config_conflict(self, edge_file):
+        with pytest.raises(ConfigurationError, match="not both"):
+            api.connect(
+                edge_file, machines=2, cluster_config=ClusterConfig(machine_count=2)
+            )
+
+    def test_explain_and_stats(self, edge_file):
+        with api.connect(edge_file, machines=2, label_mode="uniform") as db:
+            db.query(TRIANGLE_QUERY)
+            assert db.explain(TRIANGLE_QUERY) is not None
+            assert db.stats().completed >= 1
+
+    def test_open_snapshot(self, sparse_graph, tmp_path):
+        snap = tmp_path / "snap"
+        with MemoryCloud.from_graph(
+            sparse_graph, ClusterConfig(machine_count=2)
+        ) as cloud:
+            cloud.save_snapshot(snap)
+        with api.open_snapshot(snap) as cloud:
+            assert cloud.node_count == sparse_graph.node_count
+            assert cloud.id_map == sparse_graph.id_map
+
+
+class TestDeprecationShims:
+    """The renamed kwargs keep working, warn, and forward correctly."""
+
+    def test_matcher_max_workers_forwards_to_workers(self, tiny_cloud):
+        with pytest.warns(DeprecationWarning, match="max_workers.*workers"):
+            matcher = SubgraphMatcher(tiny_cloud, executor="thread", max_workers=2)
+        try:
+            assert matcher.executor._max_workers == 2
+        finally:
+            matcher.close()
+
+    def test_matcher_both_spellings_rejected(self, tiny_cloud):
+        with pytest.raises(TypeError, match="max_workers"):
+            SubgraphMatcher(tiny_cloud, executor="thread", workers=2, max_workers=2)
+
+    def test_matcher_unknown_kwarg_rejected(self, tiny_cloud):
+        with pytest.raises(TypeError, match="bogus"):
+            SubgraphMatcher(tiny_cloud, bogus=1)
+
+    def test_service_default_limit_forwards_to_limit(self, tiny_cloud):
+        with pytest.warns(DeprecationWarning, match="default_limit.*limit"):
+            service = QueryService(tiny_cloud, default_limit=5)
+        try:
+            assert service.service_config.default_limit == 5
+        finally:
+            service.close()
+
+    def test_service_convenience_kwargs_fold_into_config(self, tiny_cloud):
+        service = QueryService(tiny_cloud, limit=5, max_row_budget=50, max_in_flight=2)
+        try:
+            assert service.service_config.default_limit == 5
+            assert service.service_config.max_row_budget == 50
+            assert service.service_config.max_in_flight == 2
+        finally:
+            service.close()
+
+    def test_service_conflicting_config_rejected(self, tiny_cloud):
+        with pytest.raises(ConfigurationError, match="not both"):
+            QueryService(tiny_cloud, limit=5, service_config=ServiceConfig())
+
+    def test_workers_cannot_resize_executor_instance(self, tiny_cloud):
+        matcher = SubgraphMatcher(tiny_cloud)
+        try:
+            with pytest.raises(ConfigurationError, match="resize"):
+                SubgraphMatcher(tiny_cloud, executor=matcher.executor, workers=2)
+        finally:
+            matcher.close()
+
+
+class TestPublicApiSurface:
+    def test_all_names_resolve(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_datasets_registry(self):
+        assert set(api.DATASETS) == {
+            "tiny",
+            "figure5",
+            "patents-small",
+            "wordnet-small",
+            "rmat",
+        }

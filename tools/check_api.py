@@ -1,0 +1,93 @@
+"""Public-API lint: every facade namespace must declare itself honestly.
+
+Checks, for each guarded module:
+
+* ``__all__`` exists, has no duplicates, and every name in it resolves;
+* every name in ``__all__`` is public (no leading underscore);
+* for the strict modules (``repro.api`` — THE documented entry point),
+  additionally: ``__all__`` is sorted, and every public object *defined*
+  in the module (functions/classes whose ``__module__`` is the module
+  itself, plus module-level UPPERCASE constants) appears in ``__all__`` —
+  so a new facade symbol cannot ship undocumented, and re-exported
+  internals cannot leak in silently.
+
+Run from the repo root (CI's lint job does):
+
+    python tools/check_api.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import sys
+from pathlib import Path
+from typing import List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+#: Modules whose __all__ must exist and resolve.
+GUARDED = [
+    "repro",
+    "repro.api",
+    "repro.ingest",
+    "repro.runtime",
+    "repro.workloads",
+]
+
+#: Modules additionally held to the sorted/complete standard.
+STRICT = ["repro.api", "repro.ingest"]
+
+
+def check_module(name: str, strict: bool) -> List[str]:
+    errors = []
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return [f"{name}: missing __all__"]
+    if len(set(exported)) != len(exported):
+        dupes = sorted({n for n in exported if exported.count(n) > 1})
+        errors.append(f"{name}: duplicate __all__ entries {dupes}")
+    for entry in exported:
+        if entry.startswith("_") and not (
+            entry.startswith("__") and entry.endswith("__")
+        ):
+            errors.append(f"{name}: private name {entry!r} in __all__")
+        elif not hasattr(module, entry):
+            errors.append(f"{name}: __all__ entry {entry!r} does not resolve")
+    if not strict:
+        return errors
+
+    if list(exported) != sorted(exported):
+        errors.append(f"{name}: __all__ is not sorted: {list(exported)}")
+    defined = set()
+    for attr, value in vars(module).items():
+        if attr.startswith("_") or inspect.ismodule(value):
+            continue
+        if inspect.isfunction(value) or inspect.isclass(value):
+            if getattr(value, "__module__", None) == name:
+                defined.add(attr)
+        elif attr.isupper():
+            defined.add(attr)
+    undeclared = sorted(defined - set(exported))
+    if undeclared:
+        errors.append(
+            f"{name}: public names defined but not in __all__: {undeclared}"
+        )
+    return errors
+
+
+def main() -> int:
+    failures = []
+    for name in GUARDED:
+        failures.extend(check_module(name, strict=name in STRICT))
+    if failures:
+        for failure in failures:
+            print(f"API LINT: {failure}", file=sys.stderr)
+        return 1
+    print(f"api lint passed ({len(GUARDED)} modules)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
