@@ -473,7 +473,7 @@ def run_cross_validation(quick: bool) -> Dict[str, object]:
                 tuple(match[node] for node in query.nodes())
                 for match in vf2_match(graph, query)
             )
-            got = canonical(matcher.match(query).matches.rows)
+            got = canonical(matcher.match(query).rows)
             if got != expected:
                 raise SystemExit(
                     f"VF2 MISMATCH on gnm seed={seed} size={size}: "

@@ -52,7 +52,7 @@ OPEN_REPEATS = 3
 def match_rows(cloud, query, limit: Optional[int]) -> List[tuple]:
     with SubgraphMatcher(cloud) as matcher:
         result = matcher.match(query, limit=limit)
-    return sorted(result.matches.rows), list(result.query_nodes)
+    return sorted(result.rows), list(result.query_nodes)
 
 
 def require(condition: bool, message: str) -> None:

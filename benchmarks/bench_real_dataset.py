@@ -119,11 +119,11 @@ def run(machine_count: int, limit: Optional[int]) -> Dict[str, object]:
                 dense_result = dense_matcher.match(query, limit=limit)
 
                 require(
-                    sorted(sparse_result.matches.rows)
-                    == sorted(dense_result.matches.rows),
+                    sorted(sparse_result.rows)
+                    == sorted(dense_result.rows),
                     f"{name}: sparse and compacted ingests disagree on dense rows",
                 )
-                dense_rows = sparse_result.matches.rows
+                dense_rows = sparse_result.rows
                 externals = sparse_result.external_rows()
                 require(
                     len(externals) == len(dense_rows)

@@ -215,6 +215,12 @@ class Session:
     ) -> MatchResult:
         """Run one subgraph query and return its :class:`MatchResult`.
 
+        The result materializes rows lazily from its
+        :class:`~repro.core.tasks.TableHandle`: ``result.rows``,
+        ``result.external_rows()`` and ``result.as_dicts()`` share a
+        single gather and are the stable result API
+        (``result.matches`` — the raw table — is deprecated).
+
         Args:
             q: a :class:`QueryGraph` or query text for
                 :func:`~repro.query.parser.parse_query`.
@@ -259,7 +265,7 @@ class Session:
                 workers=self._workers,
                 service_config=ServiceConfig(
                     max_in_flight=self._max_in_flight,
-                    default_limit=self._limit,
+                    limit=self._limit,
                     max_row_budget=self._max_row_budget,
                 ),
             )

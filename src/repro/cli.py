@@ -353,7 +353,7 @@ def _open_cloud(args: argparse.Namespace) -> MemoryCloud:
 
 def _command_query(args: argparse.Namespace) -> int:
     query = parse_query(Path(args.query_file).read_text(encoding="utf-8"))
-    runtime = RuntimeConfig(backend=args.executor, max_workers=args.workers)
+    runtime = RuntimeConfig(backend=args.executor, workers=args.workers)
     with _open_cloud(args) as cloud:
         with SubgraphMatcher(
             cloud,
@@ -408,10 +408,10 @@ def _command_serve(args: argparse.Namespace) -> int:
     sources = sum(s is not None for s in (args.dataset, args.graph, args.snapshot))
     if sources != 1:
         raise SystemExit(_SOURCE_ERROR)
-    runtime = RuntimeConfig(backend=args.executor, max_workers=args.workers)
+    runtime = RuntimeConfig(backend=args.executor, workers=args.workers)
     service_config = ServiceConfig(
         max_in_flight=args.max_in_flight,
-        default_limit=args.limit if args.limit > 0 else None,
+        limit=args.limit if args.limit > 0 else None,
         max_row_budget=args.max_row_budget,
     )
     if args.snapshot is not None:
@@ -485,7 +485,7 @@ def _command_bench_serve(args: argparse.Namespace) -> int:
     queries = query_workload(
         graph, args.queries, kind="dfs", node_count=args.query_nodes, seed=args.seed
     )
-    runtime = RuntimeConfig(backend=args.executor, max_workers=args.workers)
+    runtime = RuntimeConfig(backend=args.executor, workers=args.workers)
     with QueryService(
         graph=graph,
         cluster_config=ClusterConfig(machine_count=args.machines),

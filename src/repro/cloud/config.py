@@ -36,28 +36,64 @@ def resolve_backend(backend: Optional[str] = None) -> str:
 
 @dataclass(frozen=True)
 class RuntimeConfig:
-    """Execution-runtime knobs: which executor runs the per-machine fan-outs.
+    """Execution-runtime knobs: which executor runs the task batches.
 
     Attributes:
         backend: ``"serial"`` (in-process, the parity oracle), ``"thread"``
             (thread pool over the shared store), or ``"process"`` (worker
             processes over shared-memory CSR partitions).  ``None`` defers
             to the ``REPRO_EXECUTOR`` environment variable.
-        max_workers: pool size for the thread/process backends; ``None``
+        workers: pool size for the thread/process backends; ``None``
             sizes the pool to ``min(machine_count, cpu_count)``.
         start_method: multiprocessing start method (``"fork"``, ``"spawn"``,
             ``"forkserver"``); ``None`` uses the platform default.
+        stealing: whether the thread/process backends split skewed
+            machines' exploration roots into chunks idle workers can
+            steal.  Results and metrics are schedule-independent; this is
+            a wall-clock knob only.
+
+    ``max_workers=`` is the deprecated spelling of ``workers=`` (kept as a
+    warning constructor alias; reads of ``.max_workers`` return
+    ``.workers``).
     """
 
     backend: Optional[str] = None
-    max_workers: Optional[int] = None
+    workers: Optional[int] = None
     start_method: Optional[str] = None
+    stealing: bool = True
+
+    def __init__(
+        self,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        stealing: bool = True,
+        **deprecated,
+    ) -> None:
+        from repro.utils.deprecation import shim_renamed_kwarg
+
+        workers = shim_renamed_kwarg(
+            deprecated, "max_workers", "workers", workers, RuntimeConfig
+        )
+        if deprecated:
+            raise TypeError(
+                f"unexpected keyword arguments {sorted(deprecated)} for RuntimeConfig"
+            )
+        object.__setattr__(self, "backend", backend)
+        object.__setattr__(self, "workers", workers)
+        object.__setattr__(self, "start_method", start_method)
+        object.__setattr__(self, "stealing", stealing)
+
+    @property
+    def max_workers(self) -> Optional[int]:
+        """Deprecated alias of :attr:`workers` (reads do not warn)."""
+        return self.workers
 
     def validate(self) -> None:
         if self.backend is not None:
             resolve_backend(self.backend)
-        if self.max_workers is not None:
-            require_positive(self.max_workers, "max_workers")
+        if self.workers is not None:
+            require_positive(self.workers, "workers")
         if self.start_method is not None and self.start_method not in (
             "fork",
             "spawn",

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.cloud.cluster import MemoryCloud
 from repro.core.exploration import ExplorationOutcome, ExplorationTables
+from repro.core.tasks import JoinTask
 from repro.core.join import (
     CooperativeJoinBudget,
     JoinBudget,
@@ -80,11 +81,14 @@ def assemble_results(
         plan: the query plan being executed.
         exploration: per-machine STwig tables from the exploration phase.
         result_limit: stop once this many global matches are assembled.
-        executor: optional :class:`~repro.runtime.Executor` running the
-            per-machine gather+join fan-out concurrently.  Limited queries
-            dispatch through it too: every machine joins against its own
-            machine-ordered :class:`CooperativeJoinBudget` view of the
-            shared budget, which keeps the concatenated rows an exact
+        executor: optional :class:`~repro.runtime.Executor` receiving one
+            :class:`~repro.core.tasks.JoinTask` per machine.  The tasks
+            carry the exploration *handles*, so a process backend's
+            workers attach the very tables they published during
+            exploration — zero-copy, no driver round trip.  Limited
+            queries dispatch through it too: every machine joins against
+            its own machine-ordered :class:`CooperativeJoinBudget` view of
+            the shared budget, which keeps the concatenated rows an exact
             prefix of the unlimited result on every backend (lower machine
             IDs are never starved of budget by higher ones).
 
@@ -109,9 +113,17 @@ def assemble_results(
     probe_limit = None if result_limit is None else result_limit + 1
 
     if executor is not None:
-        row_blocks = executor.map_join(
-            cloud, plan, exploration.tables, bindings, row_limit=probe_limit
-        )
+        tasks = [
+            JoinTask(
+                machine_id=machine_id,
+                plan=plan,
+                tables=exploration.handles,
+                bindings=bindings,
+                row_limit=probe_limit,
+            )
+            for machine_id in range(cloud.machine_count)
+        ]
+        row_blocks = [result.rows for result in executor.run(cloud, tasks)]
     else:
         # Executor-less fallback: the sequential loop *is* the serial
         # schedule of the cooperative budget — machine k's view telescopes

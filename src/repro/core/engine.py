@@ -163,9 +163,14 @@ class SubgraphMatcher:
         stats.stwig_result_rows = exploration.total_rows()
 
         join_started = time.perf_counter()
-        join_outcome = assemble_results(
-            scoped, plan, exploration, result_limit, executor=self._executor
-        )
+        try:
+            join_outcome = assemble_results(
+                scoped, plan, exploration, result_limit, executor=self._executor
+            )
+        finally:
+            # The intermediate tables may live in worker-published shared
+            # memory; the join phase was their last consumer.
+            exploration.release()
         matches = join_outcome.table
         stats.join_seconds = time.perf_counter() - join_started
         # Truncation is what the join phase observed, not an after-the-fact

@@ -35,25 +35,58 @@ from repro.core.matcher import match_stwig
 from repro.core.planner import QueryPlan
 from repro.core.result import MatchTable
 from repro.core.stwig import STwig
+from repro.core.tasks import ExploreResult, ExploreTask, TableHandle, release_matrix
 from repro.graph.labeled_graph import NODE_DTYPE
 
 #: Per-machine tables: explored[machine_id][stwig_index] -> MatchTable.
 ExplorationTables = List[List[MatchTable]]
 
+#: Per-machine handles: handles[machine_id][stwig_index] -> TableHandle.
+ExplorationHandles = List[List[TableHandle]]
+
 
 class ExplorationOutcome:
-    """Result of the exploration phase."""
+    """Result of the exploration phase.
 
-    def __init__(self, tables: ExplorationTables, bindings: BindingTable) -> None:
-        self.tables = tables
+    Tables are held as :class:`~repro.core.tasks.TableHandle`\\ s — for
+    process-explored stages the data stays in the workers' shared-memory
+    publications and only the descriptors live here.  The join phase
+    consumes :attr:`handles` directly (attaching zero-copy);
+    :attr:`tables` materializes plain :class:`MatchTable`\\ s for
+    in-process consumers and is cached.  Whoever owns the outcome must
+    call :meth:`release` once the results are no longer needed, or
+    published blocks outlive the query.
+    """
+
+    def __init__(self, tables, bindings: BindingTable) -> None:
+        self.handles: ExplorationHandles = [
+            [
+                table
+                if isinstance(table, TableHandle)
+                else TableHandle.from_table(table)
+                for table in machine
+            ]
+            for machine in tables
+        ]
         self.bindings = bindings
         self._empty: Optional[bool] = None
+        self._tables: Optional[ExplorationTables] = None
+
+    @property
+    def tables(self) -> ExplorationTables:
+        """Materialized per-machine tables (published data is copied once)."""
+        if self._tables is None:
+            self._tables = [
+                [handle.materialize() for handle in machine]
+                for machine in self.handles
+            ]
+        return self._tables
 
     @property
     def empty(self) -> bool:
         """True if some STwig matched nothing anywhere (the query has no answers).
 
-        Computed once over the (immutable after exploration) tables and
+        Computed once over the (immutable after exploration) handles and
         cached: the join phase consults this per query, and re-scanning
         every (machine, STwig) pair on each access is pure waste.
         """
@@ -62,13 +95,13 @@ class ExplorationOutcome:
         return self._empty
 
     def _compute_empty(self) -> bool:
-        machine_count = len(self.tables)
+        machine_count = len(self.handles)
         if machine_count == 0:
             return True
-        stwig_count = len(self.tables[0])
+        stwig_count = len(self.handles[0])
         for stwig_index in range(stwig_count):
             if all(
-                self.tables[machine][stwig_index].row_count == 0
+                self.handles[machine][stwig_index].row_count == 0
                 for machine in range(machine_count)
             ):
                 return True
@@ -76,11 +109,20 @@ class ExplorationOutcome:
 
     def total_rows(self) -> int:
         """Total intermediate rows produced across machines and STwigs."""
-        return sum(table.row_count for machine in self.tables for table in machine)
+        return sum(handle.row_count for machine in self.handles for handle in machine)
 
     def rows_for_stwig(self, stwig_index: int) -> int:
         """Total rows produced for one STwig across all machines."""
-        return sum(machine[stwig_index].row_count for machine in self.tables)
+        return sum(machine[stwig_index].row_count for machine in self.handles)
+
+    def release(self) -> None:
+        """Retire any published table storage (idempotent).
+
+        Materialized tables stay valid — :attr:`tables` copies published
+        data out of shared memory — so late consumers that already
+        materialized keep working; only zero-copy attachment stops.
+        """
+        release_matrix(self.handles)
 
 
 def explore(
@@ -99,63 +141,128 @@ def explore(
             stage's owner-partitioned root array; one that does not (a
             legacy baseline) derives its own roots per machine.
         executor: optional :class:`~repro.runtime.Executor` running each
-            stage's per-machine ``match_stwig`` fan-out concurrently
-            (thread or process pool).  Only the default matcher routes
-            through it — injected matchers keep the inline loop.  Stage
-            root partitioning, binding merges, and their accounting stay on
-            the driver (the query proxy), exactly as in the serial model.
+            stage's per-machine :class:`~repro.core.tasks.ExploreTask`
+            batch (thread or process pool, possibly with work stealing).
+            Only the default matcher routes through it — injected matchers
+            keep the inline loop.  Stage root partitioning stays on the
+            driver (the query proxy), and the proxy-side binding merge
+            *overlaps* the stage barrier: each machine's distinct sets are
+            absorbed (and their transfer charged) as that machine's result
+            arrives, so only the final intersection waits for the slowest
+            machine.  The accounting is exactly the serial model's.
     """
     query = plan.query
     config = plan.config
     machine_count = cloud.machine_count
     bindings = BindingTable(query)
-    tables: ExplorationTables = [[] for _ in range(machine_count)]
+    tables: List[list] = [[] for _ in range(machine_count)]
     batch_roots = _supports_roots(match_fn)
     use_executor = executor is not None and match_fn is match_stwig
 
-    for stwig in plan.stwigs:
-        stage_filter = bindings if config.use_binding_filter else None
-        stage_roots = (
-            _stage_root_partition(cloud, stwig, query.label(stwig.root), stage_filter)
-            if batch_roots
-            else None
-        )
-        if use_executor:
-            per_machine = executor.map_explore(
-                cloud, stwig, query, stage_filter, stage_roots
+    try:
+        for stwig in plan.stwigs:
+            stage_filter = bindings if config.use_binding_filter else None
+            stage_roots = (
+                _stage_root_partition(
+                    cloud, stwig, query.label(stwig.root), stage_filter
+                )
+                if batch_roots
+                else None
             )
-            for machine_id, table in enumerate(per_machine):
-                tables[machine_id].append(table)
-        else:
-            per_machine = []
-            for machine_id in range(machine_count):
-                if stage_roots is None:
-                    table = match_fn(
-                        cloud, machine_id, stwig, query, bindings=stage_filter
-                    )
-                else:
-                    table = match_fn(
-                        cloud,
-                        machine_id,
-                        stwig,
-                        query,
+            if use_executor:
+                tasks = [
+                    ExploreTask(
+                        machine_id=machine_id,
+                        stwig=stwig,
+                        query=query,
                         bindings=stage_filter,
                         roots=stage_roots[machine_id],
                     )
-                per_machine.append(table)
-                tables[machine_id].append(table)
+                    for machine_id in range(machine_count)
+                ]
+                merger = _BindingMerger(cloud, stwig.nodes)
+                results = executor.run(cloud, tasks, on_result=merger.absorb)
+                for machine_id, result in enumerate(results):
+                    tables[machine_id].append(result.table)
+                merger.bind_into(bindings)
+            else:
+                per_machine = []
+                for machine_id in range(machine_count):
+                    if stage_roots is None:
+                        table = match_fn(
+                            cloud, machine_id, stwig, query, bindings=stage_filter
+                        )
+                    else:
+                        table = match_fn(
+                            cloud,
+                            machine_id,
+                            stwig,
+                            query,
+                            bindings=stage_filter,
+                            roots=stage_roots[machine_id],
+                        )
+                    per_machine.append(table)
+                    tables[machine_id].append(table)
+                _update_bindings(cloud, bindings, stwig.nodes, per_machine)
 
-        _update_bindings(cloud, bindings, stwig.nodes, per_machine)
-        if config.use_binding_filter and bindings.any_empty():
-            # Some query node has no surviving candidate: fill the remaining
-            # STwigs with empty tables so downstream code sees a uniform
-            # structure, then stop exploring.
-            for machine_id in range(machine_count):
-                for skipped in plan.stwigs[len(tables[machine_id]):]:
-                    tables[machine_id].append(MatchTable(skipped.nodes))
-            break
+            if config.use_binding_filter and bindings.any_empty():
+                # Some query node has no surviving candidate: fill the
+                # remaining STwigs with empty tables so downstream code sees
+                # a uniform structure, then stop exploring.
+                for machine_id in range(machine_count):
+                    for skipped in plan.stwigs[len(tables[machine_id]):]:
+                        tables[machine_id].append(TableHandle.empty(skipped.nodes))
+                break
+    except BaseException:
+        # Don't leak earlier stages' published tables when a later stage
+        # fails (the executor already retired the failing batch's own).
+        for machine in tables:
+            for table in machine:
+                if isinstance(table, TableHandle):
+                    table.release()
+        raise
 
     return ExplorationOutcome(tables, bindings)
+
+
+class _BindingMerger:
+    """Accumulates per-machine binding contributions as results arrive.
+
+    The executor invokes :meth:`absorb` (from the driver thread) the moment
+    each machine's :class:`ExploreResult` completes — possibly out of
+    machine order — so the proxy's merge work and its transfer accounting
+    overlap the stage barrier.  Totals are order-independent: each
+    machine's charge depends only on its own distinct counts, and the
+    final :meth:`bind_into` union is a sort-merge.
+    """
+
+    def __init__(self, cloud: MemoryCloud, stwig_nodes: tuple) -> None:
+        self._cloud = cloud
+        self._nodes = stwig_nodes
+        self._chunks: Dict[str, List[np.ndarray]] = {node: [] for node in stwig_nodes}
+
+    def absorb(self, index: int, result: ExploreResult) -> None:
+        if result.table.row_count == 0:
+            return
+        # Binding synchronisation traffic: each machine ships its distinct
+        # column values to the proxy once per STwig (chunk-split machines
+        # were merged to per-machine distincts by the executor first).
+        distinct_total = 0
+        for node in self._nodes:
+            values = result.distincts[node]
+            self._chunks[node].append(values)
+            distinct_total += len(values)
+        self._cloud.metrics.record_result_transfer(
+            sender=result.machine_id, receiver=-1, rows=distinct_total, row_width=1
+        )
+
+    def bind_into(self, bindings: BindingTable) -> None:
+        for node, chunks in self._chunks.items():
+            if chunks:
+                merged = np.unique(np.concatenate(chunks))
+            else:
+                merged = np.empty(0, dtype=NODE_DTYPE)
+            bindings.bind(node, merged)
 
 
 def _supports_roots(match_fn) -> bool:

@@ -136,12 +136,23 @@ class CooperativeJoinBudget(JoinBudget):
     always the exact row prefix of the unlimited join, regardless of
     scheduling.  Higher-ID machines stop early whenever lower IDs have
     already filled the budget — that early stop is the parallel win.
+
+    The guarantee is per *machine-ordered task*: the work-stealing runtime
+    may split exploration stages into chunks, but join tasks are never
+    split (two chunks of one machine would race the same slot), so any
+    schedule — including stolen, out-of-order completion — still yields an
+    exact prefix.
     """
 
     def __init__(self, slots, machine_id: int, limit: Optional[int]) -> None:
         self._slots = slots
         self._machine_id = machine_id
         self._limit = limit
+
+    @classmethod
+    def for_machines(cls, slots, machine_count: int, limit: Optional[int]):
+        """One machine-ordered view per machine over a shared slot array."""
+        return [cls(slots, machine_id, limit) for machine_id in range(machine_count)]
 
     def remaining(self) -> Optional[int]:
         if self._limit is None:

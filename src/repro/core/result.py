@@ -10,7 +10,8 @@ original list-of-tuples implementation (``rows``, ``as_dicts``, iteration,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Sequence, Tuple, Union
 
 import numpy as np
@@ -278,40 +279,105 @@ class StageStats:
     join_peak_intermediate_rows: int = 0
 
 
-@dataclass
 class MatchResult:
     """The answer to one subgraph matching query plus execution metadata.
 
-    ``matches`` always holds the engine's internal (dense) node IDs.  For a
-    graph that came through the ingestion layer, ``id_map`` carries the
+    The result holds its data as a :class:`~repro.core.tasks.TableHandle`
+    and materializes lazily, at most once: :attr:`rows`,
+    :meth:`external_rows` and :meth:`as_dicts` all share a single gather,
+    so a result whose table still lives in shared memory costs nothing
+    until the caller actually reads rows.  These three accessors (plus
+    :attr:`match_count` and :attr:`columns`, which never materialize) are
+    the **stable result API**.
+
+    Rows always hold the engine's internal (dense) node IDs.  For a graph
+    that came through the ingestion layer, ``id_map`` carries the
     external<->dense bijection and the materializing accessors
     (:meth:`as_dicts`, :meth:`external_rows`) translate back to the
     caller's original IDs — one vectorized gather over the final result,
     never per intermediate row.
+
+    :attr:`matches` (the raw :class:`MatchTable`) is deprecated in favor
+    of the accessors above; it still works but warns.
     """
 
-    query_nodes: Tuple[str, ...]
-    matches: MatchTable
-    wall_seconds: float = 0.0
-    simulated_seconds: float = 0.0
-    metrics: Dict[str, int] = field(default_factory=dict)
-    stats: StageStats = field(default_factory=StageStats)
-    id_map: object | None = None
+    def __init__(
+        self,
+        query_nodes: Tuple[str, ...],
+        matches: MatchTable | None = None,
+        wall_seconds: float = 0.0,
+        simulated_seconds: float = 0.0,
+        metrics: Dict[str, int] | None = None,
+        stats: StageStats | None = None,
+        id_map: object | None = None,
+        table=None,
+    ) -> None:
+        if (matches is None) == (table is None):
+            raise ValueError("MatchResult takes exactly one of matches= or table=")
+        if table is None:
+            # Deferred import: repro.core.tasks imports MatchTable from here.
+            from repro.core.tasks import TableHandle
+
+            table = TableHandle.from_table(matches)
+        self.query_nodes = tuple(query_nodes)
+        self.wall_seconds = wall_seconds
+        self.simulated_seconds = simulated_seconds
+        self.metrics: Dict[str, int] = {} if metrics is None else metrics
+        self.stats: StageStats = StageStats() if stats is None else stats
+        self.id_map = id_map
+        self._handle = table
+        self._materialized: MatchTable | None = None
+
+    @property
+    def table(self):
+        """The :class:`~repro.core.tasks.TableHandle` backing this result."""
+        return self._handle
+
+    def _gathered(self) -> MatchTable:
+        """The materialized table — one gather, cached for every accessor."""
+        if self._materialized is None:
+            self._materialized = self._handle.materialize()
+        return self._materialized
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        """Result column order (the query nodes, sorted)."""
+        return self._handle.columns
 
     @property
     def match_count(self) -> int:
         """Number of matches found (possibly truncated by a result limit)."""
-        return self.matches.row_count
+        return self._handle.row_count
+
+    @property
+    def rows(self) -> List[Tuple[int, ...]]:
+        """Match rows (internal IDs) in result column order."""
+        return self._gathered().rows
+
+    @property
+    def matches(self) -> MatchTable:
+        """Deprecated: the raw result table.
+
+        Use :attr:`rows`, :meth:`external_rows` or :meth:`as_dicts` (all
+        one shared gather), or :attr:`table` for the zero-copy handle.
+        """
+        warnings.warn(
+            "MatchResult.matches is deprecated; use .rows / .external_rows() / "
+            ".as_dicts(), or .table for the zero-copy handle",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._gathered()
 
     def external_rows(self) -> List[Tuple]:
         """Match rows in the caller's original (external) node IDs.
 
-        Identical to ``matches.rows`` when no :attr:`id_map` is attached or
+        Identical to :attr:`rows` when no :attr:`id_map` is attached or
         the map is the identity.
         """
         from repro.ingest.idmap import remap_results
 
-        return remap_results(self.id_map, self.matches.rows)
+        return remap_results(self.id_map, self.rows)
 
     def as_dicts(self) -> List[Dict[str, int]]:
         """Matches as dictionaries keyed by query-node name.
@@ -319,9 +385,8 @@ class MatchResult:
         Values are external IDs when the result carries an :attr:`id_map`.
         """
         if self.id_map is None:
-            return self.matches.as_dicts()
-        columns = self.matches.columns
-        return [dict(zip(columns, row)) for row in self.external_rows()]
+            return self._gathered().as_dicts()
+        return [dict(zip(self.columns, row)) for row in self.external_rows()]
 
     def assignments(self) -> List[Dict[str, int]]:
         """Alias of :meth:`as_dicts` (query node -> data node)."""

@@ -1,0 +1,265 @@
+"""Task-graph primitives of the executor API: tasks, results, table handles.
+
+The runtime's :meth:`~repro.runtime.Executor.run` interface is a uniform
+task graph: the engine describes *what* to compute — one
+:class:`ExploreTask` per (stage, machine), one :class:`JoinTask` per
+machine — and backends differ only in *scheduling* (inline, thread pool,
+process pool with work stealing).  Results reference their data through
+:class:`TableHandle`, the single-part descriptor that keeps exploration
+tables in shared memory end to end:
+
+* a worker that produced a large table publishes its columnar array once
+  (through the :mod:`repro.storage` provider layer) and returns only the
+  handle;
+* the join phase attaches the very same pages zero-copy — the driver never
+  materializes intermediate tables, matching the paper's premise that the
+  cluster exchanges only small control messages while bulk data stays
+  resident;
+* small tables stay inline (an ordinary array riding the handle), so the
+  serial and thread backends pay no publication cost at all.
+
+Handles are *owning* descriptors: whoever holds the last reference to a
+published handle must call :meth:`TableHandle.release` (the engine does,
+after the join phase) or the shared-memory block leaks until interpreter
+exit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import ExitStack, contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.result import MatchTable
+from repro.core.stwig import STwig
+from repro.errors import ExecutionError
+from repro.graph.labeled_graph import NODE_DTYPE
+from repro.storage.provider import ArraySpec, attach_spec, discard_spec
+
+#: Process-wide monotone fingerprint source for table handles.  Fingerprints
+#: key the process backend's publication cache, so they must never repeat
+#: within one driver process — ``id()`` can be recycled after GC, a counter
+#: cannot.
+_fingerprints = itertools.count(1)
+
+
+class TableHandle:
+    """A :class:`MatchTable`'s columnar data, described without copying it.
+
+    Always **single-part**: ``part`` is ``None`` (empty table), a live
+    ``(row_count, width)`` array (inline), or one storage spec (published —
+    shm or mmap, both attach through
+    :func:`~repro.storage.provider.attach_spec`).  Keeping handles
+    single-part is what makes the join phase's attachment zero-copy: a
+    worker maps exactly one segment per table, never reassembles chunks.
+
+    ``fingerprint`` identifies the underlying data across pickling: the
+    process backend keys its publication cache on it so one resident table
+    is published at most once no matter how many queries or fan-outs
+    reference it.
+    """
+
+    __slots__ = ("columns", "row_count", "part", "fingerprint")
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        row_count: int,
+        part,
+        fingerprint: Optional[int] = None,
+    ) -> None:
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self.row_count = int(row_count)
+        self.part = part
+        self.fingerprint = (
+            next(_fingerprints) if fingerprint is None else fingerprint
+        )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_table(cls, table: MatchTable) -> "TableHandle":
+        """Wrap a live table inline (no copy; the handle aliases its data)."""
+        part = table.to_array() if table.row_count else None
+        return cls(table.columns, table.row_count, part)
+
+    @classmethod
+    def from_array(cls, columns: Sequence[str], array: np.ndarray) -> "TableHandle":
+        """Wrap a ``(rows, width)`` array inline (no copy)."""
+        return cls(columns, len(array), array if len(array) else None)
+
+    @classmethod
+    def empty(cls, columns: Sequence[str]) -> "TableHandle":
+        """Handle of a zero-row table."""
+        return cls(columns, 0, None)
+
+    @classmethod
+    def published(
+        cls, columns: Sequence[str], row_count: int, spec: ArraySpec
+    ) -> "TableHandle":
+        """Handle over an already-published array (the caller publishes)."""
+        return cls(columns, row_count, spec)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def is_published(self) -> bool:
+        """True when the data lives behind a storage spec, not inline."""
+        return self.part is not None and not isinstance(self.part, np.ndarray)
+
+    # -- access ------------------------------------------------------------
+
+    @contextmanager
+    def attach(self) -> Iterator[MatchTable]:
+        """Zero-copy :class:`MatchTable` over the handle's data.
+
+        Published handles map their segment for the duration of the
+        ``with`` block only; anything derived from the yielded table that
+        outlives the block must be copied first.
+        """
+        if self.part is None:
+            if self.row_count:
+                raise ExecutionError(
+                    f"table handle for {self.columns} was already released"
+                )
+            yield MatchTable(self.columns)
+        elif isinstance(self.part, np.ndarray):
+            yield MatchTable.from_array(self.columns, self.part)
+        else:
+            handle, view = attach_spec(self.part)
+            try:
+                yield MatchTable.from_array(self.columns, view)
+            finally:
+                handle.close()
+
+    def materialize(self) -> MatchTable:
+        """A table safe to keep: inline data is wrapped, published data copied."""
+        if self.part is None or isinstance(self.part, np.ndarray):
+            with self.attach() as table:
+                return table
+        with self.attach() as table:
+            return table.copy()
+
+    def release(self) -> None:
+        """Retire published storage (idempotent; inline handles no-op)."""
+        part, self.part = self.part, None
+        if part is not None and isinstance(part, np.ndarray):
+            # Inline data has no external storage; keep it referenced so an
+            # already-handed-out view (e.g. final result rows) stays valid.
+            self.part = part
+            return
+        if part is not None:
+            discard_spec(part)
+
+    def __repr__(self) -> str:
+        kind = (
+            "empty"
+            if self.part is None
+            else ("inline" if isinstance(self.part, np.ndarray) else "published")
+        )
+        return (
+            f"TableHandle(columns={self.columns}, rows={self.row_count}, {kind})"
+        )
+
+
+#: The join phase's input: handles[machine_id][stwig_index].
+TableMatrix = Sequence[Sequence[TableHandle]]
+
+
+@contextmanager
+def attached_matrix(handles: TableMatrix) -> Iterator[List[List[MatchTable]]]:
+    """Attach a whole handle matrix, yielding zero-copy ``MatchTable``s.
+
+    Attachment-scoped like :meth:`TableHandle.attach`: rows taken out of the
+    yielded tables must be copied before the ``with`` block exits.
+    """
+    with ExitStack() as stack:
+        yield [
+            [stack.enter_context(handle.attach()) for handle in machine]
+            for machine in handles
+        ]
+
+
+def matrix_is_published(handles: TableMatrix) -> bool:
+    """True if any handle in the matrix is backed by published storage."""
+    return any(handle.is_published for machine in handles for handle in machine)
+
+
+def release_matrix(handles: TableMatrix) -> None:
+    """Release every handle in the matrix (idempotent)."""
+    for machine in handles:
+        for handle in machine:
+            handle.release()
+
+
+@dataclass
+class ExploreTask:
+    """One machine's share of one exploration stage.
+
+    ``roots`` is this machine's owner-partitioned root candidate array (the
+    driver computes and charges the partition once per stage); backends may
+    split it further into chunks for work stealing — chunked sub-results
+    concatenate in chunk order to exactly the unchunked table, because
+    ``match_stwig`` emits rows in root order and charges per root/neighbor.
+    """
+
+    machine_id: int
+    stwig: STwig
+    query: object
+    bindings: object
+    roots: np.ndarray
+
+
+@dataclass
+class JoinTask:
+    """One machine's gather+join over the exploration handle matrix.
+
+    Join tasks are **never** split for work stealing: the cooperative
+    budget's exact-prefix guarantee is per machine-ordered task, and all
+    join tasks of one :meth:`~repro.runtime.Executor.run` call share one
+    budget (``row_limit`` must agree across them).
+    """
+
+    machine_id: int
+    plan: object
+    tables: TableMatrix
+    bindings: object
+    row_limit: Optional[int] = None
+
+
+@dataclass
+class ExploreResult:
+    """One :class:`ExploreTask`'s outcome: the table handle plus its
+    per-column sorted-distinct arrays (the binding contribution the proxy
+    merges — shipped instead of the table itself, so the driver can update
+    bindings without ever materializing worker tables)."""
+
+    machine_id: int
+    table: TableHandle
+    distincts: Dict[str, np.ndarray] = field(default_factory=dict)
+
+
+@dataclass
+class JoinResult:
+    """One :class:`JoinTask`'s outcome: final-column-ordered result rows."""
+
+    machine_id: int
+    rows: np.ndarray
+
+
+def explore_result(task: ExploreTask, table: MatchTable) -> ExploreResult:
+    """Package an in-process ``match_stwig`` table as an :class:`ExploreResult`."""
+    distincts: Dict[str, np.ndarray] = {}
+    if table.row_count:
+        distincts = {
+            node: table.column_distinct(node) for node in task.stwig.nodes
+        }
+    return ExploreResult(task.machine_id, TableHandle.from_table(table), distincts)
+
+
+def empty_rows(width: int) -> np.ndarray:
+    """A zero-row result-row block of the given width."""
+    return np.empty((0, width), dtype=NODE_DTYPE)

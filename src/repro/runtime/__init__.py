@@ -1,12 +1,15 @@
-"""Cluster execution runtime: pluggable per-machine fan-out executors.
+"""Cluster execution runtime: pluggable task-graph executors.
 
 The engine's two distributed phases — STwig exploration and the per-machine
-gather+join — fan out over every machine of the simulated memory cloud.
-This package makes that fan-out pluggable (serial / thread pool / process
-pool over shared-memory CSR partitions) while preserving, exactly, the
-serial model's results and communication counters.  See
-:mod:`repro.runtime.executors` for the backends and
-:mod:`repro.runtime.shared_cloud` for the zero-copy publication layer.
+gather+join — are described as batches of :class:`ExploreTask` /
+:class:`JoinTask` and submitted through the uniform
+:meth:`Executor.run` interface; backends (serial / thread pool / process
+pool over shared-memory CSR partitions, with work stealing) differ only in
+scheduling while preserving, exactly, the serial model's results and
+communication counters.  Results carry their tables as zero-copy
+:class:`TableHandle`\\ s end to end.  See :mod:`repro.runtime.executors`
+for the backends, :mod:`repro.core.tasks` for the task/handle types, and
+:mod:`repro.runtime.shared_cloud` for the graph publication layer.
 
 Backend selection::
 
@@ -20,6 +23,13 @@ from repro.cloud.config import (
     RuntimeConfig,
     resolve_backend,
 )
+from repro.core.tasks import (
+    ExploreResult,
+    ExploreTask,
+    JoinResult,
+    JoinTask,
+    TableHandle,
+)
 from repro.runtime.executors import (
     Executor,
     ExecutorSpec,
@@ -32,7 +42,6 @@ from repro.runtime.executors import (
 from repro.runtime.shared_cloud import (
     CloudHandle,
     publish_cloud,
-    publish_tables,
     rebuild_cloud,
 )
 
@@ -42,14 +51,18 @@ __all__ = [
     "CloudHandle",
     "Executor",
     "ExecutorSpec",
+    "ExploreResult",
+    "ExploreTask",
+    "JoinResult",
+    "JoinTask",
     "ProcessExecutor",
     "RuntimeConfig",
     "SerialExecutor",
+    "TableHandle",
     "ThreadExecutor",
     "create_executor",
     "normalize_executor_spec",
     "publish_cloud",
-    "publish_tables",
     "rebuild_cloud",
     "resolve_backend",
 ]

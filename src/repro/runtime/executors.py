@@ -1,10 +1,11 @@
-"""Pluggable executors for the cluster's two per-machine fan-out sites.
+"""Pluggable executors behind the uniform ``Executor.run`` task interface.
 
 The paper's query engine is distributed: every machine matches STwigs over
 its partition *concurrently*, and every machine assembles its share of the
-answer concurrently.  The reproduction models that cluster with one process,
-so the fan-outs used to be plain ``for machine_id in range(...)`` loops.
-The executors here make the fan-out pluggable:
+answer concurrently.  The reproduction models that cluster with one
+process; the engine describes each fan-out as a batch of tasks
+(:class:`~repro.core.tasks.ExploreTask` / :class:`~repro.core.tasks.JoinTask`)
+and an executor schedules them:
 
 * :class:`SerialExecutor` — runs tasks inline, in machine order.  This is
   the parity oracle: the other backends must produce row-for-row identical
@@ -13,59 +14,115 @@ The executors here make the fan-out pluggable:
   Numpy kernels release the GIL, so batched matching overlaps.
 * :class:`ProcessExecutor` — a process pool over shared-memory CSR
   partitions (see :mod:`repro.runtime.shared_cloud`).  The graph is
-  published once; workers rebuild zero-copy views lazily and keep their own
-  dense-table caches, which is the closest single-host model of the paper's
-  memory cloud: partition-parallel workers over shared immutable storage
-  with a thin merge layer on the proxy.
+  published once; workers rebuild zero-copy views lazily.  Exploration
+  result tables stay in shared memory *end to end*: workers publish their
+  columns once and return only :class:`~repro.core.tasks.TableHandle`\\ s,
+  and the join tasks attach those same pages — the driver never receives,
+  re-pickles, or re-publishes an intermediate table (the
+  ``transport_counters`` make that claim observable).
 
-Metric faithfulness is structural: every task runs against a
+Work stealing: the thread and process backends split each exploration
+task's root array into bounded chunks queued individually, so idle workers
+steal from skewed machines.  Chunked sub-results concatenate in chunk
+order to exactly the unchunked table (``match_stwig`` emits rows in root
+order and charges per root/neighbor), and join tasks are never split, so
+the cooperative budget's exact-prefix guarantee survives any schedule.
+
+Metric faithfulness is structural: every task chunk runs against a
 metrics-scoped view of the cloud (:meth:`MemoryCloud.with_metrics`), and
-the isolated counters are merged back **in machine-ID order**.  Counter
-totals are sums, so any schedule aggregates to exactly the serial model's
-metrics — the invariant the parity suite asserts.
+the isolated counters are merged back in (task, chunk) order after the
+batch completes.  Counter totals are sums, so any schedule aggregates to
+exactly the serial model's metrics — the invariant the parity suite
+asserts.  ``run`` reports each task's result through an optional
+``on_result`` callback *as it completes* (always from the calling thread),
+which is what lets the proxy-side binding merge overlap with the stage
+barrier instead of waiting for the slowest machine.
 """
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import os
 import threading
 import weakref
 from abc import ABC, abstractmethod
-from concurrent.futures import ThreadPoolExecutor
-from contextlib import contextmanager
-from typing import List, Optional, Sequence, Tuple, Union
+from concurrent.futures import ThreadPoolExecutor, as_completed, wait
+from contextlib import ExitStack, contextmanager
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.cloud.cluster import MemoryCloud
 from repro.cloud.config import RuntimeConfig, resolve_backend
 from repro.cloud.metrics import CloudMetrics
-from repro.core.bindings import BindingTable
 from repro.core.distributed import machine_result_rows
 from repro.core.join import CooperativeJoinBudget
 from repro.core.matcher import match_stwig
-from repro.core.planner import QueryPlan
-from repro.core.result import MatchTable
-from repro.core.stwig import STwig
+from repro.core.tasks import (
+    ExploreResult,
+    ExploreTask,
+    JoinResult,
+    JoinTask,
+    TableHandle,
+    attached_matrix,
+    explore_result,
+    matrix_is_published,
+)
+from repro.errors import ExecutionError
 from repro.graph.labeled_graph import NODE_DTYPE
 from repro.query.query_graph import QueryGraph
 from repro.runtime.shared_cloud import (
     BindingsHandle,
     CloudHandle,
     attached_bindings,
-    attached_tables,
     publish_bindings,
     publish_cloud,
-    publish_tables,
     rebuild_cloud,
 )
-from repro.utils.shm import SharedArraySpec, attach_array, publish_array
+from repro.utils.deprecation import shim_renamed_kwarg as _shim_deprecated
+from repro.utils.shm import (
+    SharedArraySpec,
+    attach_array,
+    publish_array,
+    unlink_block,
+)
 
-#: Result arrays at or above this entry count return to the driver through a
+#: Arrays at or above this entry count travel between processes through a
 #: one-shot shared-memory block instead of the pool's pickle pipe (two
 #: memcpys instead of serialize -> pipe -> deserialize).  256 KiB of int64.
+#: Exploration tables this large are *published* worker-side and never
+#: travel at all — only their handles do.
 _SHIP_THRESHOLD_ENTRIES = 32_768
+
+#: Work stealing: a machine's stage roots are split into at most
+#: ``_STEAL_MAX_CHUNKS`` chunks of at least ``_STEAL_MIN_ROOTS`` roots each
+#: (machines below twice the minimum stay unsplit — there is nothing worth
+#: stealing).  Bounded chunking caps the coalesce cost on the driver while
+#: still letting idle workers take work from skewed machines.
+_STEAL_MIN_ROOTS = 4_096
+_STEAL_MAX_CHUNKS = 4
+
+
+def _root_chunks(roots: np.ndarray, stealing: bool) -> List[np.ndarray]:
+    """Split one machine's stage roots into bounded stealable chunks."""
+    count = len(roots)
+    if not stealing or count < 2 * _STEAL_MIN_ROOTS:
+        return [roots]
+    return np.array_split(roots, min(_STEAL_MAX_CHUNKS, count // _STEAL_MIN_ROOTS))
+
+
+def _shared_join_limit(tasks: Sequence[object]) -> Optional[int]:
+    """The single row limit shared by every join task of one batch."""
+    limits = {task.row_limit for task in tasks if isinstance(task, JoinTask)}
+    if not limits:
+        return None
+    if len(limits) > 1:
+        raise ExecutionError(
+            "join tasks submitted in one Executor.run batch must share one "
+            f"row_limit, got {limits}"
+        )
+    return limits.pop()
 
 
 def _ship_array(array: np.ndarray):
@@ -90,7 +147,13 @@ def _receive_array(shipped) -> np.ndarray:
         segment.unlink()
 
 
-def _ship_bindings(bindings, query):
+def _discard_shipped(shipped) -> None:
+    """Driver-side: retire a shipped block without materializing it."""
+    if isinstance(shipped, SharedArraySpec):
+        unlink_block(shipped)
+
+
+def _ship_bindings(bindings, query: QueryGraph):
     """Driver-side: large binding tables go to workers via shared memory.
 
     Returns ``(payload, registry)``: small (or absent) bindings pass
@@ -113,7 +176,7 @@ def _ship_bindings(bindings, query):
 
 
 @contextmanager
-def _resolved_bindings(payload, query):
+def _resolved_bindings(payload, query: QueryGraph):
     """Worker-side counterpart of :func:`_ship_bindings`."""
     if isinstance(payload, BindingsHandle):
         with attached_bindings(payload, query) as bindings:
@@ -122,76 +185,39 @@ def _resolved_bindings(payload, query):
         yield payload
 
 
-def _discard_shipped(shipped) -> None:
-    """Driver-side: retire a shipped block without materializing it."""
-    if isinstance(shipped, SharedArraySpec):
-        try:
-            segment, _ = attach_array(shipped)
-        except FileNotFoundError:  # pragma: no cover - already retired
-            return
-        segment.close()
-        segment.unlink()
-
-
-def _collect_shipped(outcomes):
-    """Unwrap guarded worker outcomes, leaking no shipped block on error.
-
-    Workers return ``("ok", (shipped, metrics))`` or ``("error", exc)`` —
-    they never raise through the pool, because ``Pool.map`` discards the
-    sibling results of a failed map and any shared-memory blocks those
-    siblings shipped would stay linked forever.  On failure every
-    successfully shipped block is unlinked before the first error is
-    re-raised.
-    """
-    errors = [payload for status, payload in outcomes if status == "error"]
-    if errors:
-        for status, payload in outcomes:
-            if status == "ok":
-                _discard_shipped(payload[0])
-        raise errors[0]
-    return [
-        (_receive_array(shipped), metrics) for _, (shipped, metrics) in outcomes
-    ]
-
-
 class Executor(ABC):
-    """Runs the engine's per-machine fan-outs and merges their metrics."""
+    """Schedules the engine's task batches and merges their metrics."""
 
     name: str = "abstract"
 
     @abstractmethod
-    def map_explore(
+    def run(
         self,
         cloud: MemoryCloud,
-        stwig: STwig,
-        query: QueryGraph,
-        bindings: Optional[BindingTable],
-        stage_roots: Sequence[np.ndarray],
-    ) -> List[MatchTable]:
-        """Run one exploration stage's ``match_stwig`` on every machine.
+        tasks: Sequence[object],
+        on_result: Optional[Callable[[int, object], None]] = None,
+    ) -> List[object]:
+        """Run a batch of tasks, returning one result per task in task order.
 
-        Returns the per-machine tables in machine-ID order and merges each
-        task's isolated metrics into ``cloud.metrics`` in the same order.
-        """
+        Tasks are :class:`~repro.core.tasks.ExploreTask` (result:
+        :class:`~repro.core.tasks.ExploreResult`) or
+        :class:`~repro.core.tasks.JoinTask` (result:
+        :class:`~repro.core.tasks.JoinResult`).  ``on_result(index,
+        result)`` is invoked exactly once per task, from the calling
+        thread, as soon as that task's result is complete — possibly out
+        of task order — so the caller can overlap per-task post-processing
+        (the proxy's binding merge) with the remaining tasks.
 
-    @abstractmethod
-    def map_join(
-        self,
-        cloud: MemoryCloud,
-        plan: QueryPlan,
-        tables,
-        bindings,
-        row_limit: Optional[int] = None,
-    ) -> List[np.ndarray]:
-        """Run the gather+join of every machine, returning its result rows.
+        All join tasks of one batch share a single cooperative row budget:
+        every machine joins against its machine-ordered
+        :class:`~repro.core.join.CooperativeJoinBudget` view of one slot
+        array, so machines stop as soon as lower IDs have produced enough
+        rows and the driver's ordered concatenation stays an exact prefix
+        of the unlimited result on every backend.
 
-        Per-machine row blocks come back in machine-ID order (the serial
-        concatenation order), already normalized to the query's sorted
-        column order.  ``row_limit`` is a *shared* budget: every machine
-        joins against its machine-ordered :class:`CooperativeJoinBudget`
-        view of one slot array, so machines stop as soon as lower IDs have
-        produced enough rows and the driver's ordered concatenation stays
-        an exact prefix of the unlimited result on every backend.
+        Each task chunk's isolated :class:`CloudMetrics` are merged into
+        ``cloud.metrics`` in (task, chunk) order after the batch; totals
+        are sums, so every schedule reproduces the serial counters.
         """
 
     def close(self) -> None:
@@ -204,15 +230,6 @@ class Executor(ABC):
         self.close()
 
 
-def _merge_ordered(cloud: MemoryCloud, outcomes: Sequence[Tuple[object, CloudMetrics]]):
-    """Fold per-task metrics into the cloud in task order; return results."""
-    results = []
-    for result, metrics in outcomes:
-        cloud.metrics.merge(metrics)
-        results.append(result)
-    return results
-
-
 def _pool_size(requested: Optional[int], machine_count: int) -> int:
     """Default pool sizing: one worker per machine, capped at the host CPUs."""
     if requested is not None:
@@ -220,47 +237,137 @@ def _pool_size(requested: Optional[int], machine_count: int) -> int:
     return max(1, min(machine_count, os.cpu_count() or 1))
 
 
+class _AttachedJoinTables:
+    """Driver-side shared state for the join tasks of one ``run`` batch.
+
+    Attaches each distinct handle matrix once (all tasks of a batch share
+    the exploration matrix), keeps one binding-filtered-table cache per
+    matrix, and owns the budget slot array.  Thread-safe: the thread
+    backend calls :meth:`tables_for` concurrently.
+    """
+
+    def __init__(self, cloud: MemoryCloud, tasks: Sequence[object]) -> None:
+        self._lock = threading.Lock()
+        self._stack = ExitStack()
+        self._entries: Dict[int, tuple] = {}
+        self.limit = _shared_join_limit(tasks)
+        # One produced-count slot per machine, single writer each; list
+        # item reads/writes are atomic under the GIL, and a stale read of
+        # another machine's slot only under-counts (the final truncate in
+        # assemble_results restores the exact limit).
+        self.slots = [0] * cloud.machine_count if self.limit is not None else None
+
+    def tables_for(self, task: JoinTask):
+        """``(tables, any_published, filtered_cache)`` for one task's matrix."""
+        key = id(task.tables)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                tables = self._stack.enter_context(attached_matrix(task.tables))
+                entry = (tables, matrix_is_published(task.tables), {})
+                self._entries[key] = entry
+        return entry
+
+    def budget_for(self, machine_id: int) -> Optional[CooperativeJoinBudget]:
+        if self.limit is None:
+            return None
+        return CooperativeJoinBudget(self.slots, machine_id, self.limit)
+
+    def close(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._stack.close()
+
+
+def _join_inline(cloud, shared: _AttachedJoinTables, task: JoinTask) -> JoinResult:
+    """Run one join task in-process against the batch's shared attachments."""
+    tables, published, filtered_cache = shared.tables_for(task)
+    rows = machine_result_rows(
+        cloud,
+        task.plan,
+        tables,
+        task.machine_id,
+        task.bindings,
+        budget=shared.budget_for(task.machine_id),
+        filtered_cache=filtered_cache,
+    )
+    if published and len(rows):
+        # The attachments close when the batch ends; detach the result rows
+        # from the shared pages before they do.
+        rows = np.array(rows, dtype=NODE_DTYPE, copy=True)
+    return JoinResult(task.machine_id, rows)
+
+
+def _explore_chunk_inline(cloud: MemoryCloud, task: ExploreTask, chunk: np.ndarray):
+    metrics = CloudMetrics()
+    table = match_stwig(
+        cloud.with_metrics(metrics),
+        task.machine_id,
+        task.stwig,
+        task.query,
+        bindings=task.bindings,
+        roots=chunk,
+    )
+    return table, metrics
+
+
+def _join_unit_inline(cloud: MemoryCloud, shared: _AttachedJoinTables, task: JoinTask):
+    metrics = CloudMetrics()
+    return _join_inline(cloud.with_metrics(metrics), shared, task), metrics
+
+
+def _assemble_inline(task: object, entries: Sequence[tuple]) -> object:
+    """Combine one task's chunk payloads (in-process backends)."""
+    if isinstance(task, JoinTask):
+        return entries[0][0]
+    tables = [table for table, _ in entries]
+    if len(tables) == 1:
+        return explore_result(task, tables[0])
+    merged = np.concatenate([table.to_array() for table in tables], axis=0)
+    from repro.core.result import MatchTable
+
+    return explore_result(task, MatchTable.from_array(task.stwig.nodes, merged))
+
+
 class SerialExecutor(Executor):
-    """Inline execution in machine order — today's behavior, the oracle."""
+    """Inline execution in task (= machine) order — the parity oracle.
+
+    Sequential join tasks share one filtered-table cache, exactly like the
+    historical single-loop assembly; the cooperative budget views, consumed
+    in machine order, telescope to the historical remaining countdown
+    (including the skip-everything early exit).
+    """
 
     name = "serial"
 
-    def map_explore(self, cloud, stwig, query, bindings, stage_roots):
-        outcomes = []
-        for machine_id in range(cloud.machine_count):
-            metrics = CloudMetrics()
-            table = match_stwig(
-                cloud.with_metrics(metrics),
-                machine_id,
-                stwig,
-                query,
-                bindings=bindings,
-                roots=stage_roots[machine_id],
-            )
-            outcomes.append((table, metrics))
-        return _merge_ordered(cloud, outcomes)
-
-    def map_join(self, cloud, plan, tables, bindings, row_limit=None):
-        # Sequential tasks share one filtered-table cache, exactly like the
-        # historical single-loop assembly; the cooperative budget views,
-        # consumed in machine order, telescope to the historical remaining
-        # countdown (including the skip-everything early exit).
-        slots = [0] * cloud.machine_count
-        filtered_cache: dict = {}
-        outcomes = []
-        for machine_id in range(cloud.machine_count):
-            metrics = CloudMetrics()
-            rows = machine_result_rows(
-                cloud.with_metrics(metrics),
-                plan,
-                tables,
-                machine_id,
-                bindings,
-                budget=CooperativeJoinBudget(slots, machine_id, row_limit),
-                filtered_cache=filtered_cache,
-            )
-            outcomes.append((rows, metrics))
-        return _merge_ordered(cloud, outcomes)
+    def run(self, cloud, tasks, on_result=None):
+        results: List[object] = [None] * len(tasks)
+        shared = _AttachedJoinTables(cloud, tasks)
+        try:
+            for index, task in enumerate(tasks):
+                metrics = CloudMetrics()
+                scoped = cloud.with_metrics(metrics)
+                if isinstance(task, ExploreTask):
+                    table = match_stwig(
+                        scoped,
+                        task.machine_id,
+                        task.stwig,
+                        task.query,
+                        bindings=task.bindings,
+                        roots=task.roots,
+                    )
+                    result = explore_result(task, table)
+                elif isinstance(task, JoinTask):
+                    result = _join_inline(scoped, shared, task)
+                else:
+                    raise ExecutionError(f"unknown task type {type(task).__name__}")
+                cloud.metrics.merge(metrics)
+                results[index] = result
+                if on_result is not None:
+                    on_result(index, result)
+        finally:
+            shared.close()
+        return results
 
 
 class ThreadExecutor(Executor):
@@ -268,8 +375,22 @@ class ThreadExecutor(Executor):
 
     name = "thread"
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
-        self._max_workers = max_workers
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        stealing: bool = True,
+        **deprecated,
+    ) -> None:
+        workers = _shim_deprecated(
+            deprecated, "max_workers", "workers", workers, ThreadExecutor
+        )
+        if deprecated:
+            raise TypeError(
+                f"unexpected keyword arguments {sorted(deprecated)} "
+                "for ThreadExecutor"
+            )
+        self._workers = workers
+        self._stealing = stealing
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_workers = 0
         self._lock = threading.Lock()
@@ -278,69 +399,75 @@ class ThreadExecutor(Executor):
         # Serialized: the query service submits fan-outs from many threads,
         # and two of them must not both decide to (re)build the pool.
         with self._lock:
-            wanted = _pool_size(self._max_workers, machine_count)
+            wanted = _pool_size(self._workers, machine_count)
             if self._pool is not None and wanted > self._pool_workers:
                 # A later cloud has more machines than the pool was sized for
                 # (shared executors outlive their first cloud): resize up.
                 self._pool.shutdown(wait=True)
                 self._pool = None
             if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=wanted, thread_name_prefix="repro-runtime"
-                )
+                self._pool = ThreadPoolExecutor(wanted, thread_name_prefix="repro-runtime")
                 self._pool_workers = wanted
             return self._pool
 
-    def map_explore(self, cloud, stwig, query, bindings, stage_roots):
+    def run(self, cloud, tasks, on_result=None):
+        if not tasks:
+            return []
         pool = self._ensure_pool(cloud.machine_count)
-        # Safety barrier: complete any staged-store lazy merges before the
-        # machines are read from several threads (the merge reassigns the
-        # CSR arrays non-atomically).
-        cloud.flush_staged()
-
-        def task(machine_id: int):
-            metrics = CloudMetrics()
-            table = match_stwig(
-                cloud.with_metrics(metrics),
-                machine_id,
-                stwig,
-                query,
-                bindings=bindings,
-                roots=stage_roots[machine_id],
-            )
-            return table, metrics
-
-        outcomes = list(pool.map(task, range(cloud.machine_count)))
-        return _merge_ordered(cloud, outcomes)
-
-    def map_join(self, cloud, plan, tables, bindings, row_limit=None):
-        pool = self._ensure_pool(cloud.machine_count)
-        # Threads share the filtered-table cache: values are immutable
-        # tables keyed by (machine, STwig), so the worst race is a
-        # duplicated computation, never a wrong entry — and the counters
-        # never depend on cache hits.
-        filtered_cache: dict = {}
-        # One produced-count slot per machine, single writer each; list
-        # item reads/writes are atomic under the GIL, and a stale read of
-        # another machine's slot only under-counts (the final truncate in
-        # assemble_results restores the exact limit).
-        slots = [0] * cloud.machine_count
-
-        def task(machine_id: int):
-            metrics = CloudMetrics()
-            rows = machine_result_rows(
-                cloud.with_metrics(metrics),
-                plan,
-                tables,
-                machine_id,
-                bindings,
-                budget=CooperativeJoinBudget(slots, machine_id, row_limit),
-                filtered_cache=filtered_cache,
-            )
-            return rows, metrics
-
-        outcomes = list(pool.map(task, range(cloud.machine_count)))
-        return _merge_ordered(cloud, outcomes)
+        if any(isinstance(task, ExploreTask) for task in tasks):
+            # Safety barrier: complete any staged-store lazy merges before
+            # the machines are read from several threads (the merge
+            # reassigns the CSR arrays non-atomically).
+            cloud.flush_staged()
+        shared = _AttachedJoinTables(cloud, tasks)
+        chunk_counts = [1] * len(tasks)
+        units = []
+        for index, task in enumerate(tasks):
+            if isinstance(task, ExploreTask):
+                chunks = _root_chunks(task.roots, self._stealing)
+                chunk_counts[index] = len(chunks)
+                for chunk_index, chunk in enumerate(chunks):
+                    units.append(
+                        (
+                            index,
+                            chunk_index,
+                            functools.partial(_explore_chunk_inline, cloud, task, chunk),
+                        )
+                    )
+            elif isinstance(task, JoinTask):
+                units.append(
+                    (index, 0, functools.partial(_join_unit_inline, cloud, shared, task))
+                )
+            else:
+                raise ExecutionError(f"unknown task type {type(task).__name__}")
+        buffers: List[List] = [[None] * count for count in chunk_counts]
+        pending = list(chunk_counts)
+        results: List[object] = [None] * len(tasks)
+        futures: Dict = {}
+        try:
+            futures = {
+                pool.submit(thunk): (task_index, chunk_index)
+                for task_index, chunk_index, thunk in units
+            }
+            for future in as_completed(futures):
+                task_index, chunk_index = futures[future]
+                buffers[task_index][chunk_index] = future.result()
+                pending[task_index] -= 1
+                if pending[task_index] == 0:
+                    results[task_index] = _assemble_inline(
+                        tasks[task_index], buffers[task_index]
+                    )
+                    if on_result is not None:
+                        on_result(task_index, results[task_index])
+        finally:
+            # On error the attachments must outlive still-running units.
+            wait(list(futures))
+            shared.close()
+        for chunk_list in buffers:
+            for entry in chunk_list:
+                if entry is not None:
+                    cloud.metrics.merge(entry[1])
+        return results
 
     def close(self) -> None:
         with self._lock:
@@ -370,56 +497,85 @@ def _worker_cloud() -> MemoryCloud:
     return cloud
 
 
-def _worker_explore(payload):
-    try:
-        machine_id, stwig, query, shipped_bindings, roots = payload
-        metrics = CloudMetrics()
-        with _resolved_bindings(shipped_bindings, query) as bindings:
-            table = match_stwig(
-                _worker_cloud().with_metrics(metrics),
-                machine_id,
-                stwig,
-                query,
-                bindings=bindings,
-                roots=roots,
-            )
-        return "ok", (_ship_array(table.to_array()), metrics)
-    except Exception as error:  # noqa: BLE001 - transported to the driver
-        return "error", error
+def _worker_explore(args):
+    machine_id, stwig, query, shipped_bindings, roots = args
+    metrics = CloudMetrics()
+    with _resolved_bindings(shipped_bindings, query) as bindings:
+        table = match_stwig(
+            _worker_cloud().with_metrics(metrics),
+            machine_id,
+            stwig,
+            query,
+            bindings=bindings,
+            roots=roots,
+        )
+    part = None
+    published = 0
+    distincts = {}
+    if table.row_count:
+        array = table.to_array()
+        if array.size >= _SHIP_THRESHOLD_ENTRIES:
+            # The end-to-end shared-memory path: publish once, return only
+            # the spec.  The block lives until a TableHandle.release() (or
+            # an executor error path) unlinks it — the driver never maps it.
+            segment, spec = publish_array(array)
+            segment.close()
+            part = spec
+            published = 1
+        else:
+            part = array
+        distincts = {
+            node: _ship_array(table.column_distinct(node)) for node in stwig.nodes
+        }
+    return table.row_count, part, distincts, published, metrics
 
 
-def _worker_join(payload):
+def _worker_join(args):
+    machine_id, plan, matrix, shipped_bindings, budget = args
+    metrics = CloudMetrics()
+    scoped = _worker_cloud().with_metrics(metrics)
     try:
-        machine_id, plan, tables_handle, shipped_bindings, budget = payload
-        metrics = CloudMetrics()
-        scoped = _worker_cloud().with_metrics(metrics)
-        try:
-            with _resolved_bindings(shipped_bindings, plan.query) as bindings:
-                with attached_tables(tables_handle, plan) as tables:
-                    rows = machine_result_rows(
-                        scoped, plan, tables, machine_id, bindings, budget=budget
-                    )
-                    # The attachments close on exit; detach the result from
-                    # the shared pages before they do.
-                    rows = np.array(rows, dtype=NODE_DTYPE, copy=True)
-        finally:
-            if budget is not None:
-                # Drop this task's mapping of the budget-slot segment; the
-                # driver unlinks the block after the whole fan-out returns.
-                budget.release()
-        return "ok", (_ship_array(rows), metrics)
+        with _resolved_bindings(shipped_bindings, plan.query) as bindings:
+            with attached_matrix(matrix) as tables:
+                rows = machine_result_rows(
+                    scoped, plan, tables, machine_id, bindings, budget=budget
+                )
+                # The attachments close on exit; detach the result from
+                # the shared pages before they do.
+                rows = np.array(rows, dtype=NODE_DTYPE, copy=True)
+    finally:
+        if budget is not None:
+            # Drop this task's mapping of the budget-slot segment; the
+            # driver unlinks the block after the whole batch returns.
+            budget.release()
+    return _ship_array(rows), metrics
+
+
+def _worker_run(payload):
+    """Guarded worker dispatch: errors are transported, never raised.
+
+    A worker that raised through ``imap_unordered`` would abort the whole
+    iteration and strand every sibling's shipped shared-memory block; the
+    driver instead collects ``("error", ...)`` outcomes, drains the batch,
+    unlinks everything the successful siblings shipped, and re-raises.
+    """
+    unit_index, kind, args = payload
+    try:
+        if kind == "explore":
+            return "ok", unit_index, _worker_explore(args)
+        return "ok", unit_index, _worker_join(args)
     except Exception as error:  # noqa: BLE001 - transported to the driver
-        return "error", error
+        return "error", unit_index, error
 
 
 class _SharedBudgetSlots:
     """Picklable, lazily attached int64 slot array for cooperative budgets.
 
     ``multiprocessing.Value``/``Array`` only share by inheritance and
-    cannot ride through ``Pool.map`` payloads, so the slots live in a tiny
+    cannot ride through pool payloads, so the slots live in a tiny
     shared-memory block instead: the driver publishes zeros, each worker
     task attaches writable on first use and closes its mapping when the
-    task ends, and the driver unlinks the block after the fan-out.
+    task ends, and the driver unlinks the block after the batch.
     Aligned 8-byte loads/stores are atomic on every platform numpy
     supports, and each slot has exactly one writer, so stale reads of
     *other* slots only under-count — always the safe direction.
@@ -456,12 +612,20 @@ class _SharedBudgetSlots:
 
 
 class _ProcessState:
-    """Pool + publication owned by one :class:`ProcessExecutor`.
+    """Pool + publications owned by one :class:`ProcessExecutor`.
 
     Kept outside the executor so a ``weakref.finalize`` can tear it down
     without keeping the executor alive: dropping the last reference to an
     unclosed executor (or interpreter exit) still terminates the workers
     and unlinks every published segment.
+
+    ``publications`` is the join-phase publication cache: table
+    fingerprint -> shm spec for *inline* handles the executor had to
+    publish itself (tables explored by another backend, or one outcome
+    joined repeatedly).  The cache makes re-publication a cache hit instead
+    of a new segment when the same cloud serves interleaved queries; it is
+    implicitly keyed on (runtime owner, load generation) because a cloud
+    switch or reload tears this whole state down.
     """
 
     def __init__(self) -> None:
@@ -469,6 +633,7 @@ class _ProcessState:
         self.registry = None
         self.cloud_ref = lambda: None
         self.load_generation = -1
+        self.publications: Dict[int, SharedArraySpec] = {}
 
     def teardown(self) -> None:
         pool, self.pool = self.pool, None
@@ -478,35 +643,68 @@ class _ProcessState:
         registry, self.registry = self.registry, None
         if registry is not None:
             registry.close()
+        publications, self.publications = self.publications, {}
+        for spec in publications.values():
+            unlink_block(spec)
         self.cloud_ref = lambda: None
 
 
 class ProcessExecutor(Executor):
-    """Process-pool execution over shared-memory CSR partition views."""
+    """Process-pool execution over shared-memory CSR partition views.
+
+    ``transport_counters`` exposes the backend's data movement:
+
+    * ``explore_publications`` — tables published worker-side (handles
+      returned, bytes stayed in shared memory);
+    * ``explore_coalesced`` / ``driver_table_receives`` — chunk-split
+      machines whose parts the driver had to reassemble (work stealing
+      only; zero when tasks are unsplit);
+    * ``join_publications`` / ``join_cache_hits`` — inline tables the join
+      dispatch had to publish itself, and re-uses of those publications by
+      later batches over the same data.
+    """
 
     name = "process"
 
     def __init__(
         self,
-        max_workers: Optional[int] = None,
+        workers: Optional[int] = None,
         start_method: Optional[str] = None,
+        stealing: bool = True,
+        **deprecated,
     ) -> None:
-        self._max_workers = max_workers
+        workers = _shim_deprecated(
+            deprecated, "max_workers", "workers", workers, ProcessExecutor
+        )
+        if deprecated:
+            raise TypeError(
+                f"unexpected keyword arguments {sorted(deprecated)} "
+                "for ProcessExecutor"
+            )
+        self._workers = workers
         self._start_method = start_method
+        self._stealing = stealing
         self._state = _ProcessState()
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
         self._inflight = 0
+        self.transport_counters: Dict[str, int] = {
+            "explore_publications": 0,
+            "explore_coalesced": 0,
+            "driver_table_receives": 0,
+            "join_publications": 0,
+            "join_cache_hits": 0,
+        }
         self._finalizer = weakref.finalize(self, _ProcessState.teardown, self._state)
 
     @contextmanager
     def _inflight_map(self):
-        """Track an in-flight fan-out so close() drains before teardown.
+        """Track an in-flight batch so close() drains before teardown.
 
-        ``Pool.terminate()`` under an outstanding ``Pool.map`` leaves the
-        mapping thread blocked forever (its result never arrives), so a
-        concurrent close must wait for in-flight fan-outs to complete
-        before tearing the pool down.
+        ``Pool.terminate()`` under an outstanding map leaves the mapping
+        thread blocked forever (its result never arrives), so a concurrent
+        close must wait for in-flight batches to complete before tearing
+        the pool down.
         """
         with self._idle:
             self._inflight += 1
@@ -548,7 +746,7 @@ class ProcessExecutor(Executor):
             state.load_generation = owner.load_generation
             context = multiprocessing.get_context(self._start_method)
             state.pool = context.Pool(
-                processes=_pool_size(self._max_workers, owner.machine_count),
+                processes=_pool_size(self._workers, owner.machine_count),
                 initializer=_worker_initialize,
                 initargs=(handle,),
             )
@@ -557,62 +755,204 @@ class ProcessExecutor(Executor):
             owner.register_runtime_resource(self)
             return state.pool
 
-    def map_explore(self, cloud, stwig, query, bindings, stage_roots):
-        with self._inflight_map():
-            pool = self._ensure_pool(cloud)
-            shipped_bindings, bindings_registry = _ship_bindings(bindings, query)
-            try:
-                payloads = [
-                    (machine_id, stwig, query, shipped_bindings, stage_roots[machine_id])
-                    for machine_id in range(cloud.machine_count)
-                ]
-                received = _collect_shipped(
-                    pool.map(_worker_explore, payloads, chunksize=1)
-                )
-            finally:
-                if bindings_registry is not None:
-                    bindings_registry.close()
-        outcomes = [
-            (MatchTable.from_array(stwig.nodes, array), metrics)
-            for array, metrics in received
-        ]
-        return _merge_ordered(cloud, outcomes)
+    def _shipped_handle(self, handle: TableHandle) -> TableHandle:
+        """The pool-pipe form of one handle: published handles pass through.
 
-    def map_join(self, cloud, plan, tables, bindings, row_limit=None):
+        Large *inline* handles are published through the cache (keyed by
+        table fingerprint), so one resident table crosses into shared
+        memory at most once per cloud generation no matter how many
+        interleaved queries join over it; small inline arrays just ride
+        the pipe.
+        """
+        part = handle.part
+        if not isinstance(part, np.ndarray) or part.size < _SHIP_THRESHOLD_ENTRIES:
+            return handle
+        with self._lock:
+            spec = self._state.publications.get(handle.fingerprint)
+            if spec is None:
+                segment, spec = publish_array(part)
+                segment.close()
+                self._state.publications[handle.fingerprint] = spec
+                self.transport_counters["join_publications"] += 1
+            else:
+                self.transport_counters["join_cache_hits"] += 1
+        return TableHandle(handle.columns, handle.row_count, spec, handle.fingerprint)
+
+    def _assemble(self, task: object, bodies: Sequence[tuple]) -> object:
+        counters = self.transport_counters
+        if isinstance(task, JoinTask):
+            shipped_rows, _ = bodies[0]
+            return JoinResult(task.machine_id, _receive_array(shipped_rows))
+        columns = task.stwig.nodes
+        if len(bodies) == 1:
+            row_count, part, distincts, published, _ = bodies[0]
+            counters["explore_publications"] += published
+            received = {
+                node: _receive_array(shipped) for node, shipped in distincts.items()
+            }
+            return ExploreResult(
+                task.machine_id, TableHandle(columns, row_count, part), received
+            )
+        # A chunk-split (stolen-from) machine: coalesce its parts into one
+        # inline handle so downstream consumers still see single-part
+        # handles.  This is the only driver-side table materialization in
+        # the backend, and it is charged to its own counters.
+        arrays: List[np.ndarray] = []
+        distinct_chunks: Dict[str, List[np.ndarray]] = {}
+        for row_count, part, distincts, published, _ in bodies:
+            counters["explore_publications"] += published
+            if part is not None:
+                counters["driver_table_receives"] += 1
+                arrays.append(_receive_array(part))
+            for node, shipped in distincts.items():
+                distinct_chunks.setdefault(node, []).append(_receive_array(shipped))
+        counters["explore_coalesced"] += 1
+        if arrays:
+            handle = TableHandle.from_array(columns, np.concatenate(arrays, axis=0))
+        else:
+            handle = TableHandle.empty(columns)
+        received = {
+            node: np.unique(np.concatenate(chunks))
+            for node, chunks in distinct_chunks.items()
+        }
+        return ExploreResult(task.machine_id, handle, received)
+
+    @staticmethod
+    def _discard_partial(results: List[object], buffers: List[List]) -> None:
+        """Error path: retire every block a failed batch left behind."""
+        for result in results:
+            if isinstance(result, ExploreResult):
+                result.table.release()
+        for chunk_list in buffers:
+            for body in chunk_list or ():
+                if body is None:
+                    continue
+                if len(body) == 2:  # join body: (shipped_rows, metrics)
+                    _discard_shipped(body[0])
+                else:  # explore body: (rows, part, distincts, published, metrics)
+                    _discard_shipped(body[1])
+                    for shipped in body[2].values():
+                        _discard_shipped(shipped)
+
+    def run(self, cloud, tasks, on_result=None):
+        if not tasks:
+            return []
+        results: List[object] = [None] * len(tasks)
+        unit_metrics: List[List] = []
         with self._inflight_map():
             pool = self._ensure_pool(cloud)
-            handle, registry = publish_tables(tables)
-            shipped_bindings, bindings_registry = _ship_bindings(bindings, plan.query)
+            registries: List = []
+            bindings_cache: Dict[int, object] = {}
+            matrix_cache: Dict[int, tuple] = {}
             budget_segment = None
-            budgets: List = [None] * cloud.machine_count
-            if row_limit is not None:
+            slots = None
+            join_limit = _shared_join_limit(tasks)
+            if join_limit is not None:
                 budget_segment, spec = publish_array(
                     np.zeros(cloud.machine_count, dtype=np.int64)
                 )
                 slots = _SharedBudgetSlots(spec)
-                budgets = [
-                    CooperativeJoinBudget(slots, machine_id, row_limit)
-                    for machine_id in range(cloud.machine_count)
-                ]
+
+            def shipped_bindings_for(bindings, query):
+                if bindings is None:
+                    return None
+                key = id(bindings)
+                if key not in bindings_cache:
+                    payload, registry = _ship_bindings(bindings, query)
+                    if registry is not None:
+                        registries.append(registry)
+                    bindings_cache[key] = payload
+                return bindings_cache[key]
+
+            def shipped_matrix_for(matrix):
+                key = id(matrix)
+                if key not in matrix_cache:
+                    matrix_cache[key] = tuple(
+                        tuple(self._shipped_handle(handle) for handle in machine)
+                        for machine in matrix
+                    )
+                return matrix_cache[key]
+
+            payloads: List[tuple] = []
+            meta: List[tuple] = []
+            chunk_counts = [1] * len(tasks)
+            for index, task in enumerate(tasks):
+                if isinstance(task, ExploreTask):
+                    shipped = shipped_bindings_for(task.bindings, task.query)
+                    chunks = _root_chunks(task.roots, self._stealing)
+                    chunk_counts[index] = len(chunks)
+                    for chunk_index, chunk in enumerate(chunks):
+                        meta.append((index, chunk_index))
+                        payloads.append(
+                            (
+                                len(payloads),
+                                "explore",
+                                (task.machine_id, task.stwig, task.query, shipped, chunk),
+                            )
+                        )
+                elif isinstance(task, JoinTask):
+                    shipped = shipped_bindings_for(task.bindings, task.plan.query)
+                    budget = (
+                        CooperativeJoinBudget(slots, task.machine_id, join_limit)
+                        if join_limit is not None
+                        else None
+                    )
+                    meta.append((index, 0))
+                    payloads.append(
+                        (
+                            len(payloads),
+                            "join",
+                            (
+                                task.machine_id,
+                                task.plan,
+                                shipped_matrix_for(task.tables),
+                                shipped,
+                                budget,
+                            ),
+                        )
+                    )
+                else:
+                    raise ExecutionError(f"unknown task type {type(task).__name__}")
+
+            buffers: List[List] = [[None] * count for count in chunk_counts]
+            unit_metrics = [[None] * count for count in chunk_counts]
+            pending = list(chunk_counts)
+            errors: List[BaseException] = []
             try:
-                payloads = [
-                    (machine_id, plan, handle, shipped_bindings, budgets[machine_id])
-                    for machine_id in range(cloud.machine_count)
-                ]
-                outcomes = _collect_shipped(
-                    pool.map(_worker_join, payloads, chunksize=1)
-                )
+                for status, unit_index, body in pool.imap_unordered(
+                    _worker_run, payloads, chunksize=1
+                ):
+                    task_index, chunk_index = meta[unit_index]
+                    if status == "error":
+                        errors.append(body)
+                        continue
+                    unit_metrics[task_index][chunk_index] = body[-1]
+                    buffers[task_index][chunk_index] = body
+                    pending[task_index] -= 1
+                    if pending[task_index] == 0 and not errors:
+                        result = self._assemble(tasks[task_index], buffers[task_index])
+                        buffers[task_index] = ()
+                        results[task_index] = result
+                        if on_result is not None:
+                            on_result(task_index, result)
+                if errors:
+                    raise errors[0]
+            except BaseException:
+                self._discard_partial(results, buffers)
+                raise
             finally:
-                registry.close()
-                if bindings_registry is not None:
-                    bindings_registry.close()
+                for registry in registries:
+                    registry.close()
                 if budget_segment is not None:
                     budget_segment.close()
                     try:
                         budget_segment.unlink()
                     except FileNotFoundError:  # pragma: no cover
                         pass
-        return _merge_ordered(cloud, outcomes)
+        for metrics_list in unit_metrics:
+            for metrics in metrics_list:
+                cloud.metrics.merge(metrics)
+        return results
 
     def published_segment_names(self) -> List[str]:
         """Names of the live graph segments (empty after close)."""
@@ -626,7 +966,7 @@ class ProcessExecutor(Executor):
         # publication, and those must be closeable again.  The finalizer
         # stays armed as the GC/interpreter-exit backstop.  The lock orders
         # close() against a concurrent _ensure_pool, and the in-flight drain
-        # orders it against concurrent fan-outs, so matcher.close() and
+        # orders it against concurrent batches, so matcher.close() and
         # MemoryCloud.close() can run in any order (or twice) safely even
         # while queries are executing.
         with self._idle:
@@ -658,10 +998,12 @@ def create_executor(spec: ExecutorSpec = None) -> Executor:
         spec.validate()
         backend = spec.resolved_backend()
         if backend == "thread":
-            return ThreadExecutor(max_workers=spec.max_workers)
+            return ThreadExecutor(workers=spec.workers, stealing=spec.stealing)
         if backend == "process":
             return ProcessExecutor(
-                max_workers=spec.max_workers, start_method=spec.start_method
+                workers=spec.workers,
+                start_method=spec.start_method,
+                stealing=spec.stealing,
             )
         return SerialExecutor()
     backend = resolve_backend(spec)
@@ -697,7 +1039,8 @@ def normalize_executor_spec(
     if isinstance(executor, RuntimeConfig):
         return RuntimeConfig(
             backend=executor.backend,
-            max_workers=workers,
+            workers=workers,
             start_method=executor.start_method,
+            stealing=executor.stealing,
         )
-    return RuntimeConfig(backend=executor, max_workers=workers)
+    return RuntimeConfig(backend=executor, workers=workers)

@@ -21,24 +21,22 @@ task**.  Instead:
   the caches live in per-process memory while the billion-edge-shaped
   payload stays shared.
 
-Exploration result tables take the same road for the join phase:
-:func:`publish_tables` exports the per-(machine, STwig) ``G_k(q_i)``
-relations once per query, and :func:`attached_tables` maps them back into
-columnar :class:`~repro.core.result.MatchTable` views for the worker-side
-gather+join.
+Exploration result tables no longer pass through here at all: workers
+publish their own ``G_k(q_i)`` relations and hand back
+:class:`~repro.core.tasks.TableHandle`\\ s, which the join tasks attach
+directly (see :mod:`repro.core.tasks`) — this module only ships what is
+genuinely driver-resident: the graph itself and large binding tables.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Tuple
 
 from repro.cloud.cluster import MemoryCloud
 from repro.cloud.config import ClusterConfig
 from repro.core.bindings import BindingTable
-from repro.core.planner import QueryPlan
-from repro.core.result import MatchTable
 from repro.graph.label_table import LabelTable
 from repro.graph.partition import PartitionAssignment
 from repro.query.query_graph import QueryGraph
@@ -82,17 +80,6 @@ class BindingsHandle:
     """
 
     specs: Tuple[Tuple[str, SharedArraySpec], ...]
-
-
-@dataclass(frozen=True)
-class TableSetHandle:
-    """Published exploration tables: one optional spec per (machine, STwig).
-
-    ``None`` marks an empty table (re-created worker-side from the plan's
-    STwig columns; POSIX shared memory cannot hold zero bytes anyway).
-    """
-
-    specs: Tuple[Tuple[Optional[SharedArraySpec], ...], ...]
 
 
 def publish_cloud(cloud: MemoryCloud) -> Tuple[CloudHandle, SegmentRegistry]:
@@ -201,28 +188,6 @@ def rebuild_cloud(handle: CloudHandle) -> MemoryCloud:
     return cloud
 
 
-def publish_tables(tables) -> Tuple[TableSetHandle, SegmentRegistry]:
-    """Publish per-(machine, STwig) exploration tables for one join phase.
-
-    One shared-memory block per non-empty table, owned by the returned
-    registry; the caller closes it (unlinking everything) as soon as the
-    join tasks have completed.
-    """
-    registry = ShmStorageProvider()
-    try:
-        specs = tuple(
-            tuple(
-                registry.publish(table.to_array()) if table.row_count else None
-                for table in machine_tables
-            )
-            for machine_tables in tables
-        )
-    except Exception:
-        registry.close()
-        raise
-    return TableSetHandle(specs), registry
-
-
 def publish_bindings(
     bindings: BindingTable, query: QueryGraph
 ) -> Tuple[BindingsHandle, SegmentRegistry]:
@@ -261,35 +226,6 @@ def attached_bindings(
             segments.append(segment)
             bindings.bind(node, view)
         yield bindings
-    finally:
-        for segment in segments:
-            segment.close()
-
-
-@contextmanager
-def attached_tables(
-    handle: TableSetHandle, plan: QueryPlan
-) -> Iterator[List[List[MatchTable]]]:
-    """Worker-side view of published exploration tables, attachment-scoped.
-
-    Yields ``tables[machine][stwig_index]`` backed by zero-copy views; on
-    exit the attachments are closed, so the caller must copy anything it
-    returns out of the ``with`` block.
-    """
-    segments = []
-    try:
-        tables: List[List[MatchTable]] = []
-        for machine_specs in handle.specs:
-            machine_tables: List[MatchTable] = []
-            for stwig, spec in zip(plan.stwigs, machine_specs):
-                if spec is None:
-                    machine_tables.append(MatchTable(stwig.nodes))
-                else:
-                    segment, view = attach_array(spec)
-                    segments.append(segment)
-                    machine_tables.append(MatchTable.from_array(stwig.nodes, view))
-            tables.append(machine_tables)
-        yield tables
     finally:
         for segment in segments:
             segment.close()

@@ -65,8 +65,10 @@ class ServiceConfig:
         admission_timeout: seconds a submission may wait for a slot before
             being rejected with :class:`~repro.errors.AdmissionError`;
             ``None`` waits indefinitely.
-        default_limit: row budget applied to queries submitted without one;
+        limit: row budget applied to queries submitted without one;
             ``None`` leaves unlimited queries unlimited.
+            (``default_limit=`` is the deprecated spelling; reads of
+            ``.default_limit`` return ``.limit``.)
         max_row_budget: upper bound on any query's row budget; submissions
             asking for more (or for no limit at all, when set) are rejected.
             ``None`` accepts any budget.  The admitted budget is a true
@@ -83,9 +85,36 @@ class ServiceConfig:
 
     max_in_flight: int = 8
     admission_timeout: Optional[float] = None
-    default_limit: Optional[int] = None
+    limit: Optional[int] = None
     max_row_budget: Optional[int] = None
     drain_timeout: Optional[float] = 60.0
+
+    def __init__(
+        self,
+        max_in_flight: int = 8,
+        admission_timeout: Optional[float] = None,
+        limit: Optional[int] = None,
+        max_row_budget: Optional[int] = None,
+        drain_timeout: Optional[float] = 60.0,
+        **deprecated,
+    ) -> None:
+        limit = _shim_deprecated(
+            deprecated, "default_limit", "limit", limit, ServiceConfig
+        )
+        if deprecated:
+            raise TypeError(
+                f"unexpected keyword arguments {sorted(deprecated)} for ServiceConfig"
+            )
+        object.__setattr__(self, "max_in_flight", max_in_flight)
+        object.__setattr__(self, "admission_timeout", admission_timeout)
+        object.__setattr__(self, "limit", limit)
+        object.__setattr__(self, "max_row_budget", max_row_budget)
+        object.__setattr__(self, "drain_timeout", drain_timeout)
+
+    @property
+    def default_limit(self) -> Optional[int]:
+        """Deprecated alias of :attr:`limit` (reads do not warn)."""
+        return self.limit
 
     def validate(self) -> None:
         if self.max_in_flight < 1:
@@ -96,7 +125,7 @@ class ServiceConfig:
             value = getattr(self, name)
             if value is not None and value < 0:
                 raise ConfigurationError(f"{name} must be non-negative, got {value}")
-        for name in ("default_limit", "max_row_budget"):
+        for name in ("limit", "max_row_budget"):
             value = getattr(self, name)
             if value is not None and value < 1:
                 raise ConfigurationError(f"{name} must be positive, got {value}")
@@ -179,7 +208,7 @@ class QueryService:
             workers: pool size for thread/process backends — the same
                 spelling as ``SubgraphMatcher`` and the CLI's ``--workers``.
             limit: default row budget for queries submitted without one
-                (``ServiceConfig.default_limit``).
+                (``ServiceConfig.limit``).
             max_row_budget: upper bound on any query's row budget.
             max_in_flight: maximum concurrently executing queries.
             service_config: admission-control and lifecycle knobs; mutually
@@ -206,7 +235,7 @@ class QueryService:
         overrides = {
             name: value
             for name, value in (
-                ("default_limit", limit),
+                ("limit", limit),
                 ("max_row_budget", max_row_budget),
                 ("max_in_flight", max_in_flight),
             )
@@ -319,7 +348,7 @@ class QueryService:
         """
         del query  # shape-based admission (per-query cost caps) goes here
         config = self.service_config
-        budget = limit if limit is not None else config.default_limit
+        budget = limit if limit is not None else config.limit
         with self._state:
             if self._closed:
                 raise ServiceError("query service is closed")

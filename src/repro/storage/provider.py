@@ -34,7 +34,12 @@ from typing import List, Tuple, Union
 import numpy as np
 
 from repro.errors import StorageError
-from repro.utils.shm import SegmentRegistry, SharedArraySpec, attach_array
+from repro.utils.shm import (
+    SegmentRegistry,
+    SharedArraySpec,
+    attach_array,
+    unlink_block,
+)
 
 #: Byte alignment of arrays inside an mmap data file.  64 matches the
 #: widest vector registers in current CPUs, so memmapped columns are as
@@ -114,6 +119,21 @@ def attach_spec(spec: ArraySpec, writable: bool = False):
         )
         return _MmapHandle(view), view
     raise StorageError(f"unknown array spec type {type(spec).__name__}")
+
+
+def discard_spec(spec: ArraySpec) -> None:
+    """Retire one published array without attaching to its contents.
+
+    The destruction counterpart of :func:`attach_spec`, dispatching on the
+    spec type the same way: shm blocks are unlinked (idempotently — a
+    concurrent or earlier unlink is fine), while mmap specs are durable by
+    design and discarding them is a no-op (snapshot files are deleted by
+    explicit filesystem operations, never by handle lifecycle).
+    """
+    if isinstance(spec, SharedArraySpec):
+        unlink_block(spec)
+    elif not isinstance(spec, MmapArraySpec):
+        raise StorageError(f"unknown array spec type {type(spec).__name__}")
 
 
 class StorageProvider(ABC):

@@ -87,6 +87,21 @@ def attach_array(
     return segment, view
 
 
+def unlink_block(spec: SharedArraySpec) -> None:
+    """Retire a published block by name without materializing its contents.
+
+    Idempotent: a block that was already unlinked (or never existed) is
+    silently ignored, so every owner on an error path can call this without
+    coordinating who got there first.
+    """
+    try:
+        segment = shared_memory.SharedMemory(name=spec.name)
+    except FileNotFoundError:
+        return
+    segment.close()
+    segment.unlink()
+
+
 class SegmentRegistry:
     """Owns a set of published segments and unlinks them exactly once."""
 

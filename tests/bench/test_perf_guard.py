@@ -95,14 +95,44 @@ class TestPerfGuard:
             == 1
         )
 
+    def test_min_cpus_gates_the_floor_but_not_the_metric(self, tmp_path, capsys):
+        """Core-count-gated floors skip only on small hosts, and only the
+        floor: the report and its metric must still exist either way."""
+        gated = {
+            "alpha": {
+                "metric": ["aggregate", "speedup"],
+                "speedup": 2.0,
+                "min_cpus": 4,
+            }
+        }
+        quick = tmp_path / "quick"
+        quick.mkdir()
+        baselines = write_baselines(tmp_path, gated)
+        # Below-floor speedup on a small host: floor skipped, guard passes.
+        write_report(quick, "alpha", {"cpu_count": 1, "aggregate": {"speedup": 0.5}})
+        assert perf_guard.main(["--quick-dir", str(quick), "--baselines", str(baselines)]) == 0
+        assert "floor skipped" in capsys.readouterr().out
+        # Same report on a big host: the floor applies and fails.
+        write_report(quick, "alpha", {"cpu_count": 4, "aggregate": {"speedup": 0.5}})
+        assert perf_guard.main(["--quick-dir", str(quick), "--baselines", str(baselines)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+        # The metric must still be readable even when the floor is skipped.
+        write_report(quick, "alpha", {"cpu_count": 1, "totals": {}})
+        assert perf_guard.main(["--quick-dir", str(quick), "--baselines", str(baselines)]) == 1
+        assert "cannot read guarded metric" in capsys.readouterr().err
+
     def test_checked_in_baselines_cover_real_reports(self):
         """Every checked-in baseline has a runnable benchmark behind it."""
+        # Reports produced by a mode flag of another benchmark script
+        # rather than a script of their own.
+        produced_by = {"runtime_multicore": "bench_runtime.py"}
         config = json.loads(
             (BENCHMARKS_DIR / "results" / "quick_baselines.json").read_text(
                 encoding="utf-8"
             )
         )
         for name in config["baselines"]:
+            script = produced_by.get(name, f"bench_{name}.py")
             assert (
-                BENCHMARKS_DIR / f"bench_{name}.py"
-            ).exists(), f"baseline {name} has no benchmarks/bench_{name}.py"
+                BENCHMARKS_DIR / script
+            ).exists(), f"baseline {name} has no benchmarks/{script}"

@@ -153,7 +153,7 @@ class TestMetricsIsolation:
         assert errors == []
         for result, reference in zip(outputs, solo):
             assert result.metrics == reference.metrics
-            assert result.matches.rows == reference.matches.rows
+            assert result.rows == reference.rows
 
     def test_many_overlapping_queries_sum_to_total(self, interleave_setup):
         cloud, queries = interleave_setup

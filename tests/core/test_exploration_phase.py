@@ -28,6 +28,7 @@ from repro.core.head_selection import full_load_sets
 from repro.core.planner import MatcherConfig, QueryPlan, QueryPlanner
 from repro.core.result import MatchTable
 from repro.core.stwig import STwig
+from repro.core.tasks import TableHandle
 from repro.graph.labeled_graph import LabeledGraph
 from repro.query.generators import dfs_query
 from repro.query.query_graph import QueryGraph
@@ -166,9 +167,9 @@ class TestEarlyExitPadding:
     def test_empty_is_computed_once(self):
         _, _, outcome = self.wipeout_setup()
         assert outcome.empty is True
-        # Swapping the tables out from under the outcome must not change
+        # Swapping the handles out from under the outcome must not change
         # the answer: the scan ran once and was cached.
-        outcome.tables = [[MatchTable(("x",), [(1,)])]]
+        outcome.handles = [[TableHandle.from_table(MatchTable(("x",), [(1,)]))]]
         assert outcome.empty is True
 
     def test_empty_false_is_cached_too(self):
@@ -178,7 +179,7 @@ class TestEarlyExitPadding:
         plan = manual_plan(query, [STwig("qa", ("qb",))], 1)
         outcome = explore(cloud, plan)
         assert outcome.empty is False
-        outcome.tables = []
+        outcome.handles = []
         assert outcome.empty is False
 
 
@@ -270,7 +271,7 @@ class TestRandomizedSetEquivalence:
                 tuple(match[node] for node in query.nodes())
                 for match in vf2_match(graph, query)
             )
-            assert sorted(matcher.match(query).matches.rows) == expected
+            assert sorted(matcher.match(query).rows) == expected
 
 
 class TestFilteredShippingAccounting:

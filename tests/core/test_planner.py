@@ -223,6 +223,6 @@ class TestPlanCache:
             assert second.stats.plan_cache_hit
             assert second.stats.plan_cache_hits == 1
             assert second.stats.plan_cache_misses == 1
-            assert second.matches.rows == first.matches.rows
+            assert second.rows == first.rows
         finally:
             cloud.close()

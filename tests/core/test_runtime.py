@@ -55,7 +55,7 @@ def parity_queries(parity_graph):
 def run_backend(graph, queries, backend, limit=None):
     """Fresh cloud + matcher per backend; returns rows/metrics/pair counts."""
     cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=4))
-    executor = create_executor(RuntimeConfig(backend=backend, max_workers=2))
+    executor = create_executor(RuntimeConfig(backend=backend, workers=2))
     outputs = []
     try:
         with SubgraphMatcher(cloud, MatcherConfig(), executor=executor) as matcher:
@@ -63,7 +63,7 @@ def run_backend(graph, queries, backend, limit=None):
                 result = matcher.match(query, limit=limit)
                 outputs.append(
                     {
-                        "rows": result.matches.rows,
+                        "rows": result.rows,
                         "dicts": result.as_dicts(),
                         "metrics": result.metrics,
                         "truncated": result.stats.truncated,
@@ -120,30 +120,35 @@ class TestBackendParity:
     def test_limited_queries_dispatch_through_executor(
         self, parity_graph, parity_queries
     ):
-        """Regression: a limit= query must fan out via map_join, not fall
+        """Regression: a limit= query must fan out through ``Executor.run``
+        as one JoinTask per machine carrying the probe budget, not fall
         back to a sequential gather (the pre-streaming-budget behavior)."""
+        from repro.core.tasks import JoinTask
+
         query = parity_queries[0]
         for executor_cls in (ThreadExecutor, ProcessExecutor):
             observed_limits = []
 
             class RecordingExecutor(executor_cls):  # noqa: B903
-                def map_join(self, cloud, plan, tables, bindings, row_limit=None):
-                    observed_limits.append(row_limit)
-                    return super().map_join(
-                        cloud, plan, tables, bindings, row_limit=row_limit
+                def run(self, cloud, tasks, on_result=None):
+                    observed_limits.extend(
+                        task.row_limit
+                        for task in tasks
+                        if isinstance(task, JoinTask)
                     )
+                    return super().run(cloud, tasks, on_result=on_result)
 
             cloud = MemoryCloud.from_graph(parity_graph, ClusterConfig(machine_count=4))
-            executor = RecordingExecutor(max_workers=2)
+            executor = RecordingExecutor(workers=2)
             try:
                 with SubgraphMatcher(cloud, MatcherConfig(), executor=executor) as m:
                     result = m.match(query, limit=25)
             finally:
                 executor.close()
                 cloud.close()
-            # One fan-out, carrying the probe budget (limit + 1 proves
-            # truncation exactly).
-            assert observed_limits == [26], executor_cls.name
+            # One join fan-out — a JoinTask per machine — each carrying the
+            # probe budget (limit + 1 proves truncation exactly).
+            assert observed_limits == [26] * 4, executor_cls.name
             assert result.match_count <= 25
 
     def test_vf2_cross_check(self, parity_graph, parity_queries):
@@ -159,7 +164,7 @@ class TestBackendParity:
 class TestProcessRuntimeLifecycle:
     def test_segments_unlinked_after_cloud_close(self, parity_graph, parity_queries):
         cloud = MemoryCloud.from_graph(parity_graph, ClusterConfig(machine_count=4))
-        executor = ProcessExecutor(max_workers=2)
+        executor = ProcessExecutor(workers=2)
         with SubgraphMatcher(cloud, MatcherConfig(), executor=executor) as matcher:
             matcher.match(parity_queries[0])
             names = executor.published_segment_names()
@@ -175,7 +180,7 @@ class TestProcessRuntimeLifecycle:
 
     def test_executor_close_is_idempotent(self, parity_graph, parity_queries):
         cloud = MemoryCloud.from_graph(parity_graph, ClusterConfig(machine_count=4))
-        executor = ProcessExecutor(max_workers=1)
+        executor = ProcessExecutor(workers=1)
         matcher = SubgraphMatcher(cloud, MatcherConfig(), executor=executor)
         matcher.match(parity_queries[0])
         executor.close()
@@ -187,13 +192,13 @@ class TestProcessRuntimeLifecycle:
     ):
         """close() must stay effective after a close -> reuse cycle."""
         cloud = MemoryCloud.from_graph(parity_graph, ClusterConfig(machine_count=4))
-        executor = ProcessExecutor(max_workers=1)
+        executor = ProcessExecutor(workers=1)
         matcher = SubgraphMatcher(cloud, MatcherConfig(), executor=executor)
         first = matcher.match(parity_queries[0])
         executor.close()
         assert executor.published_segment_names() == []
         second = matcher.match(parity_queries[0])  # rebuilds pool + publication
-        assert second.matches.rows == first.matches.rows
+        assert second.rows == first.rows
         names = executor.published_segment_names()
         assert names
         executor.close()
@@ -217,7 +222,7 @@ class TestProcessRuntimeLifecycle:
         for close_matcher_first in (True, False):
             cloud = MemoryCloud.from_graph(parity_graph, ClusterConfig(machine_count=4))
             matcher = SubgraphMatcher(
-                cloud, MatcherConfig(), executor=ProcessExecutor(max_workers=1)
+                cloud, MatcherConfig(), executor=ProcessExecutor(workers=1)
             )
             matcher._owns_executor = True  # owned, so matcher.close() closes it
             matcher.match(parity_queries[0], limit=5)
@@ -255,12 +260,12 @@ class TestProcessRuntimeLifecycle:
         expected = None
         cloud = MemoryCloud.from_graph(parity_graph, ClusterConfig(machine_count=4))
         with SubgraphMatcher(cloud, MatcherConfig(), executor="serial") as oracle:
-            expected = oracle.match(parity_queries[0], limit=20).matches.rows
+            expected = oracle.match(parity_queries[0], limit=20).rows
         cloud.close()
 
         cloud = MemoryCloud.from_graph(parity_graph, ClusterConfig(machine_count=4))
         matcher = SubgraphMatcher(
-            cloud, MatcherConfig(), executor=ProcessExecutor(max_workers=1)
+            cloud, MatcherConfig(), executor=ProcessExecutor(workers=1)
         )
         matcher._owns_executor = True
         matcher.match(parity_queries[0], limit=5)  # provision pool + shm
@@ -273,7 +278,7 @@ class TestProcessRuntimeLifecycle:
             try:
                 result = matcher.match(parity_queries[0], limit=20)
                 with lock:
-                    outcomes.append(("ok", result.matches.rows))
+                    outcomes.append(("ok", result.rows))
             except Exception as exc:  # noqa: BLE001 - recorded for the assert
                 with lock:
                     outcomes.append(("error", exc))
@@ -304,16 +309,16 @@ class TestProcessRuntimeLifecycle:
         """Closing an executor's *former* cloud must not kill its new one."""
         cloud_a = MemoryCloud.from_graph(parity_graph, ClusterConfig(machine_count=2))
         cloud_b = MemoryCloud.from_graph(parity_graph, ClusterConfig(machine_count=2))
-        executor = ProcessExecutor(max_workers=1)
+        executor = ProcessExecutor(workers=1)
         try:
             matcher_a = SubgraphMatcher(cloud_a, MatcherConfig(), executor=executor)
-            expected = matcher_a.match(parity_queries[0]).matches.rows
+            expected = matcher_a.match(parity_queries[0]).rows
             matcher_b = SubgraphMatcher(cloud_b, MatcherConfig(), executor=executor)
             matcher_b.match(parity_queries[0])
             names_b = executor.published_segment_names()
             cloud_a.close()  # must not tear down cloud B's runtime
             assert executor.published_segment_names() == names_b
-            again = matcher_b.match(parity_queries[0]).matches.rows
+            again = matcher_b.match(parity_queries[0]).rows
             assert again == expected
         finally:
             executor.close()
@@ -325,7 +330,7 @@ class TestProcessRuntimeLifecycle:
         graph_a = generate_power_law(2_000, 5, label_density=5e-3, seed=71)
         graph_b = generate_power_law(3_000, 5, label_density=5e-3, seed=72)
         cloud = MemoryCloud.from_graph(graph_a, ClusterConfig(machine_count=3))
-        executor = ProcessExecutor(max_workers=1)
+        executor = ProcessExecutor(workers=1)
         try:
             matcher = SubgraphMatcher(cloud, MatcherConfig(), executor=executor)
             query_a = dfs_query(graph_a, 4, seed=9)
@@ -336,7 +341,7 @@ class TestProcessRuntimeLifecycle:
             expected = SubgraphMatcher(cloud, executor="serial").match(query_b)
             cloud.reset_metrics()
             actual = matcher.match(query_b)
-            assert actual.matches.rows == expected.matches.rows
+            assert actual.rows == expected.rows
             assert actual.metrics == expected.metrics
             assert executor.published_segment_names() != names_before
         finally:
@@ -356,18 +361,124 @@ class TestProcessRuntimeLifecycle:
             assert process_out["metrics"] == serial_out["metrics"]
 
     def test_worker_error_does_not_leak_shipped_blocks(self):
-        """A failed sibling task must not strand successfully shipped blocks."""
-        from repro.runtime.executors import _collect_shipped
+        """A failed batch must not strand blocks shipped by finished units.
 
-        array = np.arange(40_000, dtype=np.int64)
-        segment, spec = publish_array(array)
-        segment.close()
-        outcomes = [("ok", (spec, None)), ("error", ValueError("worker died"))]
-        with pytest.raises(ValueError, match="worker died"):
-            _collect_shipped(outcomes)
+        Exercises ``_discard_partial`` with one of every block-bearing
+        shape the driver may hold when a sibling unit raises: an assembled
+        ExploreResult over a published table, a buffered explore body
+        (shipped part + shipped distincts), and a buffered join body.
+        """
+        from repro.core.tasks import ExploreResult, TableHandle
+        from repro.runtime.executors import ProcessExecutor as executor_cls
+
+        specs = []
+
+        def shipped():
+            segment, spec = publish_array(np.arange(1_000, dtype=np.int64))
+            segment.close()
+            specs.append(spec)
+            return spec
+
+        assembled = ExploreResult(
+            0, TableHandle(("qa",), 500, shipped()), {"qa": np.arange(3)}
+        )
+        explore_body = (500, shipped(), {"qa": shipped()}, True, None)
+        join_body = (shipped(), None)
+        executor_cls._discard_partial(
+            [assembled, None], [(), [explore_body, None], [join_body]]
+        )
+        assert len(specs) == 4
+        for spec in specs:
+            with pytest.raises(FileNotFoundError):
+                leftover = shared_memory.SharedMemory(name=spec.name)
+                leftover.close()
+
+    def test_explore_tables_stay_in_shared_memory(
+        self, parity_graph, parity_queries, monkeypatch
+    ):
+        """The zero-copy claim, asserted on counters: with stealing off,
+        every exploration table is published worker-side and the driver
+        receives only handles — no table bytes cross the pool pipe back,
+        and the join dispatch never has to publish anything itself."""
+        import repro.runtime.executors as executors_module
+
+        reference, _ = run_backend(parity_graph, parity_queries, "serial")
+        monkeypatch.setattr(executors_module, "_SHIP_THRESHOLD_ENTRIES", 1)
+        cloud = MemoryCloud.from_graph(parity_graph, ClusterConfig(machine_count=4))
+        executor = ProcessExecutor(workers=2, stealing=False)
+        try:
+            with SubgraphMatcher(cloud, MatcherConfig(), executor=executor) as matcher:
+                for query, serial_out in zip(parity_queries, reference):
+                    result = matcher.match(query)
+                    assert result.rows == serial_out["rows"]
+        finally:
+            executor.close()
+            cloud.close()
+        counters = executor.transport_counters
+        assert counters["explore_publications"] > 0
+        assert counters["driver_table_receives"] == 0
+        assert counters["explore_coalesced"] == 0
+        assert counters["join_publications"] == 0
+
+    def test_work_stealing_preserves_rows_and_metrics(
+        self, parity_graph, parity_queries, monkeypatch
+    ):
+        """Forced chunk-splitting (stealing on, tiny chunk floor) must not
+        change a single row or metric: chunks of one machine concatenate
+        in chunk order and per-chunk metric deltas sum to the serial
+        totals regardless of which worker ran which chunk when."""
+        import repro.runtime.executors as executors_module
+
+        reference, reference_pairs = run_backend(parity_graph, parity_queries, "serial")
+        monkeypatch.setattr(executors_module, "_STEAL_MIN_ROOTS", 8)
+        for backend in ("thread", "process"):
+            outputs, pairs = run_backend(parity_graph, parity_queries, backend)
+            for serial_out, backend_out in zip(reference, outputs):
+                assert backend_out["rows"] == serial_out["rows"], backend
+                assert backend_out["metrics"] == serial_out["metrics"], backend
+            assert pairs == reference_pairs, backend
+
+    def test_interleaved_joins_publish_each_table_once(self):
+        """Regression: repeated join batches over the same resident table
+        (interleaved queries on one cloud) must hit the fingerprint-keyed
+        publication cache, not re-publish the table per batch."""
+        from repro.core.tasks import TableHandle
+        from repro.graph.labeled_graph import NODE_DTYPE
+
+        executor = ProcessExecutor(workers=1)
+        array = np.arange(100_000, dtype=NODE_DTYPE).reshape(-1, 2)
+        handle = TableHandle.from_array(("qa", "qb"), array)
+        try:
+            first = executor._shipped_handle(handle)
+            again = executor._shipped_handle(handle)
+            assert first.is_published
+            assert again.part is first.part, "second batch must reuse the spec"
+            assert first.fingerprint == handle.fingerprint
+            assert executor.transport_counters["join_publications"] == 1
+            assert executor.transport_counters["join_cache_hits"] == 1
+            name = first.part.name
+        finally:
+            executor.close()
         with pytest.raises(FileNotFoundError):
-            leftover = shared_memory.SharedMemory(name=spec.name)
+            leftover = shared_memory.SharedMemory(name=name)
             leftover.close()
+
+    def test_root_chunks_partition_exactly(self):
+        """Chunking for stealing is an exact order-preserving partition,
+        and joins/small machines are never split."""
+        from repro.runtime.executors import (
+            _STEAL_MAX_CHUNKS,
+            _STEAL_MIN_ROOTS,
+            _root_chunks,
+        )
+
+        small = np.arange(2 * _STEAL_MIN_ROOTS - 1, dtype=np.int64)
+        assert len(_root_chunks(small, True)) == 1
+        large = np.arange(10 * _STEAL_MIN_ROOTS, dtype=np.int64)
+        assert len(_root_chunks(large, False)) == 1
+        chunks = _root_chunks(large, True)
+        assert 2 <= len(chunks) <= _STEAL_MAX_CHUNKS
+        np.testing.assert_array_equal(np.concatenate(chunks), large)
 
     def test_rebuild_cloud_round_trip(self, parity_graph):
         cloud = MemoryCloud.from_graph(parity_graph, ClusterConfig(machine_count=3))
@@ -420,11 +531,11 @@ class TestBackendSelection:
         assert isinstance(create_executor("thread"), ThreadExecutor)
 
     def test_runtime_config_validation(self):
-        RuntimeConfig(backend="process", max_workers=2).validate()
+        RuntimeConfig(backend="process", workers=2).validate()
         with pytest.raises(ConfigurationError):
             RuntimeConfig(backend="bogus").validate()
         with pytest.raises(ConfigurationError):
-            RuntimeConfig(max_workers=0).validate()
+            RuntimeConfig(workers=0).validate()
         with pytest.raises(ConfigurationError):
             RuntimeConfig(start_method="teleport").validate()
 
@@ -475,7 +586,7 @@ class TestThreadStagedStores:
         serial = SubgraphMatcher(self.staged_cloud(), executor="serial").match(query)
         threaded = SubgraphMatcher(self.staged_cloud(), executor="thread").match(query)
         assert serial.match_count > 0
-        assert threaded.matches.rows == serial.matches.rows
+        assert threaded.rows == serial.rows
         assert threaded.metrics == serial.metrics
 
 

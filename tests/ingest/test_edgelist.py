@@ -147,8 +147,8 @@ class TestIngestedQueryEndToEnd:
         externals = {(d["hub"], d["leaf"]) for d in result.as_dicts()}
         assert externals == {(7, 2**40 + 1), (7, 12345678901), (7, 99)}
         # The raw table stays dense for downstream numpy consumers.
-        assert result.matches.to_array().max() < graph.node_count
+        assert result.table.materialize().to_array().max() < graph.node_count
         assert result.external_rows() == [
-            tuple(d[c] for c in result.matches.columns) for d in result.as_dicts()
+            tuple(d[c] for c in result.columns) for d in result.as_dicts()
         ]
         cloud.close()

@@ -84,7 +84,7 @@ class TestDistributionClaims:
             for seed in range(4):
                 query = dfs_query(graph, 5, seed=seed)
                 result = matcher.match(query)
-                assert len(set(result.matches.rows)) == result.match_count
+                assert len(set(result.rows)) == result.match_count
 
     def test_load_set_pruning_reduces_shipped_rows(self):
         """Claim (§5.3): cluster-graph load sets reduce communication."""

@@ -88,7 +88,7 @@ class TestEngineEquivalence:
     def test_no_duplicate_assignments(self, graph, query):
         cloud = MemoryCloud.from_graph(graph, ClusterConfig(machine_count=4))
         result = SubgraphMatcher(cloud).match(query)
-        assert len(set(result.matches.rows)) == result.match_count
+        assert len(set(result.rows)) == result.match_count
 
 
 class TestBaselineEquivalence:

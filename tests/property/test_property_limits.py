@@ -35,7 +35,7 @@ def limit_env():
         matcher = SubgraphMatcher(cloud, MatcherConfig(), executor=backend)
         environments[backend] = (cloud, matcher)
     serial_matcher = environments["serial"][1]
-    full_rows = [serial_matcher.match(query).matches.rows for query in queries]
+    full_rows = [serial_matcher.match(query).rows for query in queries]
     assert all(len(rows) > 10 for rows in full_rows), "queries must have matches"
     yield queries, environments, full_rows
     for cloud, matcher in environments.values():
@@ -62,7 +62,7 @@ def test_limit_k_is_exact_prefix_on_every_backend(limit_env, data):
     for backend in BACKENDS:
         _, matcher = environments[backend]
         result = matcher.match(query, limit=k)
-        assert result.matches.rows == reference[:k], backend
+        assert result.rows == reference[:k], backend
         assert result.stats.truncated == (k < len(reference)), backend
         # The budget must bound work, not just output: the per-query peak
         # materialization may not exceed what an unlimited join of this

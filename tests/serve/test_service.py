@@ -43,7 +43,7 @@ def solo_oracle(service_graph, queries, limits):
         with SubgraphMatcher(cloud) as matcher:
             for query, limit in zip(queries, limits):
                 result = matcher.match(query, limit=limit)
-                oracle.append((result.matches.rows, result.metrics))
+                oracle.append((result.rows, result.metrics))
     finally:
         cloud.close()
     return oracle
@@ -82,7 +82,7 @@ class TestConcurrentSubmission:
                 thread.join()
             assert errors == []
             for result, limit, (rows, metrics) in zip(outputs, limits, oracle):
-                assert result.matches.rows == rows
+                assert result.rows == rows
                 if limit is None:
                     # Unlimited queries have schedule-independent counters.
                     # Limited ones run under the cooperative shared budget,
@@ -143,12 +143,12 @@ class TestAdmissionControl:
         with QueryService(
             graph=service_graph,
             cluster_config=ClusterConfig(machine_count=3),
-            service_config=ServiceConfig(default_limit=1),
+            service_config=ServiceConfig(limit=1),
         ) as service:
             result = service.submit(service_queries[0])
             assert result.match_count == min(1, len(unlimited[0]))
             explicit = service.submit(service_queries[0], limit=10_000)
-            assert explicit.matches.rows == unlimited[0]
+            assert explicit.rows == unlimited[0]
 
     def test_max_in_flight_blocks_then_admits(self, monkeypatch):
         """With one slot, a second query waits until the first finishes."""
@@ -209,7 +209,7 @@ class TestAdmissionControl:
         with pytest.raises(ConfigurationError):
             ServiceConfig(max_in_flight=0).validate()
         with pytest.raises(ConfigurationError):
-            ServiceConfig(default_limit=0).validate()
+            ServiceConfig(limit=0).validate()
         with pytest.raises(ConfigurationError):
             ServiceConfig(admission_timeout=-1).validate()
 
@@ -247,10 +247,10 @@ class TestSnapshotRestart:
         with QueryService(
             graph=service_graph, cluster_config=ClusterConfig(machine_count=3)
         ) as reference:
-            expected = reference.submit(query).matches.rows
+            expected = reference.submit(query).rows
         with QueryService(snapshot=snapshot_dir) as restarted:
             assert restarted.cloud.machine_count == 3
-            assert restarted.submit(query).matches.rows == expected
+            assert restarted.submit(query).rows == expected
 
     def test_warm_after_snapshot_restart(self, service_queries, snapshot_dir):
         with QueryService(snapshot=snapshot_dir) as service:
@@ -343,10 +343,10 @@ class TestLifecycle:
         try:
             query = dfs_query(service_graph, 3, seed=5)
             with QueryService(cloud) as service:
-                expected = service.submit(query, limit=10).matches.rows
+                expected = service.submit(query, limit=10).rows
             # The service closed, but the caller's cloud must still serve.
             with SubgraphMatcher(cloud) as matcher:
-                assert matcher.match(query, limit=10).matches.rows == expected
+                assert matcher.match(query, limit=10).rows == expected
         finally:
             cloud.close()
 
@@ -367,12 +367,12 @@ class TestAsyncFrontend:
                 graph=service_graph, cluster_config=ClusterConfig(machine_count=3)
             ) as service:
                 sync_rows = [
-                    service.submit(q, limit=20).matches.rows for q in service_queries
+                    service.submit(q, limit=20).rows for q in service_queries
                 ]
                 results = await asyncio.gather(
                     *(service.submit_async(q, limit=20) for q in service_queries)
                 )
-                assert [r.matches.rows for r in results] == sync_rows
+                assert [r.rows for r in results] == sync_rows
             assert service.closed
 
         asyncio.run(scenario())

@@ -38,7 +38,7 @@ def two_edge_path_query(graph) -> QueryGraph:
 
 def match_rows(cloud, query, executor="serial"):
     result = SubgraphMatcher(cloud, executor=executor).match(query)
-    return sorted(result.matches.rows)
+    return sorted(result.rows)
 
 
 class TestCloudRoundTrip:
@@ -167,7 +167,7 @@ class TestQueryParity:
             tuple(match[node] for node in result.query_nodes)
             for match in vf2_match(graph, query)
         }
-        assert set(result.matches.rows) == expected
+        assert set(result.rows) == expected
 
 
 class TestPlanCacheInvalidation:
@@ -183,4 +183,4 @@ class TestPlanCacheInvalidation:
         cloud.load_snapshot(tmp_path / "snap")
         third = matcher.match(query)
         assert third.stats.plan_cache_hit is False
-        assert sorted(third.matches.rows) == sorted(first.matches.rows)
+        assert sorted(third.rows) == sorted(first.rows)

@@ -147,7 +147,7 @@ class TestDeprecationShims:
         with pytest.warns(DeprecationWarning, match="max_workers.*workers"):
             matcher = SubgraphMatcher(tiny_cloud, executor="thread", max_workers=2)
         try:
-            assert matcher.executor._max_workers == 2
+            assert matcher.executor._workers == 2
         finally:
             matcher.close()
 
